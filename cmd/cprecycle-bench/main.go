@@ -1,0 +1,100 @@
+// Command cprecycle-bench regenerates the paper's tables and figures at
+// configurable fidelity. Each experiment prints an aligned text table whose
+// rows mirror the corresponding figure's series (see DESIGN.md §4 for the
+// experiment index and EXPERIMENTS.md for paper-vs-measured results).
+//
+// Usage:
+//
+//	cprecycle-bench -experiment fig8 -packets 2000 -bytes 400
+//	cprecycle-bench -experiment all -packets 200
+//	cprecycle-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+type runner func(experiments.Options) (*experiments.Table, error)
+
+func registry() map[string]runner {
+	return map[string]runner{
+		"table1":            func(experiments.Options) (*experiments.Table, error) { return experiments.Table1(), nil },
+		"fig4a":             func(o experiments.Options) (*experiments.Table, error) { return experiments.Fig4a(o.Seed) },
+		"fig4b":             func(o experiments.Options) (*experiments.Table, error) { return experiments.Fig4b(o.Seed) },
+		"fig4c":             func(o experiments.Options) (*experiments.Table, error) { return experiments.Fig4c(o.Seed) },
+		"fig5":              experiments.Fig5,
+		"fig6a":             func(experiments.Options) (*experiments.Table, error) { return experiments.Fig6a() },
+		"fig6b":             func(o experiments.Options) (*experiments.Table, error) { return experiments.Fig6b(o.Seed) },
+		"fig8":              experiments.Fig8,
+		"fig9":              experiments.Fig9,
+		"fig10":             experiments.Fig10,
+		"fig11":             experiments.Fig11,
+		"fig12":             experiments.Fig12,
+		"fig13":             func(o experiments.Options) (*experiments.Table, error) { return experiments.Fig13(o.Seed, 15) },
+		"fig14":             experiments.Fig14,
+		"ablation-decision": experiments.AblationDecision,
+		"delay-spread":      experiments.DelaySpreadSweep,
+		"ablation-soft":     experiments.AblationSoftDecoding,
+	}
+}
+
+func main() {
+	var (
+		name    = flag.String("experiment", "all", "experiment id (see -list) or 'all'")
+		packets = flag.Int("packets", 2000, "packets per measurement point (paper: 2000)")
+		bytes   = flag.Int("bytes", 400, "PSDU size in bytes (paper: 400)")
+		seed    = flag.Int64("seed", 1, "base RNG seed")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	reg := registry()
+	names := make([]string, 0, len(reg))
+	for n := range reg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	if *list {
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	opts := experiments.Options{Packets: *packets, PSDUBytes: *bytes, Seed: *seed}
+	run := func(n string) error {
+		r, ok := reg[n]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", n)
+		}
+		start := time.Now()
+		tb, err := r(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", n, err)
+		}
+		fmt.Print(tb.Render())
+		fmt.Printf("[%s completed in %v]\n\n", n, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	if *name == "all" {
+		for _, n := range names {
+			if err := run(n); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	if err := run(*name); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of "CPRecycle: Recycling
+// Cyclic Prefix for Versatile Interference Mitigation in OFDM based
+// Wireless Systems" (Rathinakumar, Radunovic, Marina — CoNEXT 2016).
+//
+// The paper's contribution lives in internal/core; every substrate it
+// depends on (FFT/DSP primitives, 802.11a/g modulation and coding, OFDM
+// framing, channel models, interference scenarios, kernel density
+// estimation, a standard receiver chain, and a network-level deployment
+// simulator) is implemented in the other internal packages. See README.md
+// for the architecture overview, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-versus-measured
+// results. The benchmarks in bench_test.go regenerate every table and
+// figure of the paper's evaluation at reduced fidelity;
+// cmd/cprecycle-bench runs them at full fidelity.
+package repro

@@ -1,0 +1,73 @@
+// netplan runs the paper's network-level analysis (Fig. 13): given a
+// five-floor office deployment of 40 access points, how many interfering
+// neighbours does each AP see with a standard receiver versus a CPRecycle
+// receiver that tolerates 15 dB more co-channel interference?
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/dsp"
+	"repro/internal/netsim"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 7, "deployment RNG seed")
+		threshold = flag.Float64("threshold", -78, "standard interference threshold in dBm")
+		gain      = flag.Float64("gain", 15, "CPRecycle tolerable-interference gain in dB (Fig. 11)")
+	)
+	flag.Parse()
+
+	b := netsim.PaperBuilding()
+	r := dsp.NewRand(*seed)
+	d, err := netsim.Deploy(b, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deployed %d APs across %d floors (%gx%g m)\n\n",
+		len(d.APs), b.Floors, b.Width, b.Depth)
+
+	std := d.NeighborCounts(*threshold)
+	cpr := d.NeighborCounts(*threshold + *gain)
+
+	fmt.Printf("%-10s median neighbours: %d\n", "standard", netsim.MedianNeighbors(std))
+	fmt.Printf("%-10s median neighbours: %d\n\n", "cprecycle", netsim.MedianNeighbors(cpr))
+
+	// ASCII CDF.
+	fmt.Println("CDF of interfering neighbours (s = standard, c = cprecycle):")
+	cdfAt := func(counts []int, x int) float64 {
+		n := 0
+		for _, c := range counts {
+			if c <= x {
+				n++
+			}
+		}
+		return float64(n) / float64(len(counts))
+	}
+	for x := 0; x <= 24; x += 2 {
+		s := cdfAt(std, x)
+		c := cdfAt(cpr, x)
+		bar := func(f float64, ch byte) string {
+			return strings.Repeat(string(ch), int(f*40+0.5))
+		}
+		fmt.Printf("%3d │ %-42s %.2f\n", x, bar(c, 'c'), c)
+		fmt.Printf("    │ %-42s %.2f\n", bar(s, 's'), s)
+	}
+
+	// The paper's headline comparison.
+	fracAtLeast := func(counts []int, x int) float64 {
+		n := 0
+		for _, c := range counts {
+			if c >= x {
+				n++
+			}
+		}
+		return float64(n) / float64(len(counts))
+	}
+	fmt.Printf("\nstandard : %.0f%% of APs have ≥ 12 interfering neighbours\n", 100*fracAtLeast(std, 12))
+	fmt.Printf("cprecycle: %.0f%% of APs have ≤ 6 interfering neighbours\n", 100*cdfAt(cpr, 6))
+}

@@ -1,0 +1,93 @@
+// Quickstart: an end-to-end 802.11g link through multipath, noise and an
+// adjacent-channel interferer, decoded three ways — standard receiver,
+// CPRecycle, and the Oracle upper bound — to show the CPRecycle API in its
+// smallest complete form.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/dsp"
+	"repro/internal/interference"
+	"repro/internal/ofdm"
+	"repro/internal/rx"
+	"repro/internal/wifi"
+)
+
+func main() {
+	// 1. Describe the radio environment: a 16-QAM victim at its operating
+	// SNR with one adjacent-channel interferer 10 dB stronger (SIR −10 dB)
+	// separated by a 4-subcarrier guard band.
+	scenario := &interference.Scenario{
+		Q:            4,  // 80 MHz composite band (4× oversampled view)
+		VictimCenter: 64, // victim DC on composite bin 64
+		SNRdB:        17,
+		Channel:      channel.Indoor2Tap(),
+		Interferers: []interference.Interferer{
+			{CenterOffset: 57, SIRdB: -10, Channel: channel.Indoor2Tap()},
+		},
+	}
+
+	// 2. Transmit a burst of 400-byte packets and decode each with three
+	// receivers: the standard CP-discarding receiver, CPRecycle, and the
+	// Oracle upper bound.
+	mcs, err := wifi.MCSByName("16-QAM 1/2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const packets = 20
+	ok := map[string]int{}
+	order := []string{"standard (discards CP)", "CPRecycle", "oracle (impractical bound)"}
+	for pkt := 0; pkt < packets; pkt++ {
+		r := dsp.NewRand(int64(1000 + pkt))
+		psdu := wifi.BuildPSDU(r.Bytes(396)) // payload + CRC-32 FCS
+		comp, err := scenario.Run(r, psdu, mcs)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// 3. Bind a receive frame: channel estimation from the preamble.
+		frame, err := rx.NewFrame(comp.Grid, comp.Samples, comp.FrameStart)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// 4. Build the CPRecycle receiver: 16 FFT segments across the
+		// ISI-free cyclic prefix (the paper's P = 16), its interference
+		// model trained on this frame's preamble.
+		q := comp.Grid.NFFT / 64
+		segments, err := ofdm.SegmentPlan(comp.Grid.CP, q, 16, 2*q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cpr, err := core.NewReceiver(frame, core.Config{Segments: segments})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// 5. Decode with each receiver.
+		deciders := map[string]rx.SymbolDecider{
+			order[0]: rx.StandardDecider{},
+			order[1]: cpr,
+			order[2]: &core.OracleDecider{
+				InterferenceOnly: comp.InterferenceOnly, Segments: segments},
+		}
+		for name, d := range deciders {
+			res, err := rx.DecodeData(frame, mcs, len(psdu), d)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.FCSOK {
+				ok[name]++
+			}
+		}
+	}
+
+	fmt.Printf("%s at SIR -10 dB, %d packets of 400 bytes:\n", mcs.Name, packets)
+	for _, name := range order {
+		fmt.Printf("  %-28s %2d/%d packets delivered\n", name, ok[name], packets)
+	}
+}

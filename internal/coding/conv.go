@@ -1,0 +1,162 @@
+package coding
+
+import "fmt"
+
+// The 802.11 convolutional code: rate 1/2, constraint length 7, generator
+// polynomials g0 = 133₈ (output A) and g1 = 171₈ (output B), §18.3.5.6.
+const (
+	constraintLen = 7
+	numStates     = 1 << (constraintLen - 1) // 64
+	polyA         = 0o133
+	polyB         = 0o171
+)
+
+// parity returns the parity (XOR of all bits) of v.
+func parity(v uint32) byte {
+	v ^= v >> 16
+	v ^= v >> 8
+	v ^= v >> 4
+	v ^= v >> 2
+	v ^= v >> 1
+	return byte(v & 1)
+}
+
+// ConvEncode encodes bits with the 802.11 rate-1/2 code, starting from the
+// all-zero state. Output is A0 B0 A1 B1 …, twice the input length. Callers
+// terminate the trellis by appending six zero tail bits to the input.
+func ConvEncode(bits []byte) []byte {
+	out := make([]byte, 0, 2*len(bits))
+	var reg uint32 // reg holds the last 6 input bits; newest in bit 5... we use shift-in-at-top
+	for _, b := range bits {
+		v := (uint32(b&1) << 6) | reg
+		out = append(out, parity(v&polyA), parity(v&polyB))
+		reg = v >> 1
+	}
+	return out
+}
+
+// CodeRate identifies one of the 802.11 puncturing configurations.
+type CodeRate int
+
+// Supported code rates.
+const (
+	Rate1_2 CodeRate = iota // no puncturing
+	Rate2_3                 // drop every second B bit
+	Rate3_4                 // drop B2 and A3 of every 6 coded bits
+)
+
+// String returns the conventional fraction for the rate.
+func (r CodeRate) String() string {
+	switch r {
+	case Rate1_2:
+		return "1/2"
+	case Rate2_3:
+		return "2/3"
+	case Rate3_4:
+		return "3/4"
+	default:
+		return fmt.Sprintf("CodeRate(%d)", int(r))
+	}
+}
+
+// Num and Den return the numerator/denominator of the code rate.
+func (r CodeRate) Num() int {
+	switch r {
+	case Rate1_2:
+		return 1
+	case Rate2_3:
+		return 2
+	case Rate3_4:
+		return 3
+	default:
+		panic("coding: unknown rate")
+	}
+}
+
+// Den returns the denominator of the code rate fraction.
+func (r CodeRate) Den() int {
+	switch r {
+	case Rate1_2:
+		return 2
+	case Rate2_3:
+		return 3
+	case Rate3_4:
+		return 4
+	default:
+		panic("coding: unknown rate")
+	}
+}
+
+// puncturePattern returns the keep-mask over one period of mother-code
+// output bits (A1 B1 A2 B2 …), per §18.3.5.6 figures 18-9/18-10.
+func (r CodeRate) puncturePattern() []bool {
+	switch r {
+	case Rate1_2:
+		return []bool{true, true}
+	case Rate2_3:
+		// period: A1 B1 A2 B2 → keep A1 B1 A2, drop B2
+		return []bool{true, true, true, false}
+	case Rate3_4:
+		// period: A1 B1 A2 B2 A3 B3 → keep A1 B1 A2 B3, drop B2 A3
+		return []bool{true, true, true, false, false, true}
+	default:
+		panic("coding: unknown rate")
+	}
+}
+
+// Puncture removes the positions dropped by rate r from mother-code output.
+func Puncture(coded []byte, r CodeRate) []byte {
+	pat := r.puncturePattern()
+	out := make([]byte, 0, len(coded))
+	for i, b := range coded {
+		if pat[i%len(pat)] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Depuncture expands a punctured LLR stream back to mother-code positions,
+// inserting 0 (erasure) where bits were dropped. motherLen is the expected
+// output length (2 × number of information bits).
+func Depuncture(llrs []float64, r CodeRate, motherLen int) ([]float64, error) {
+	pat := r.puncturePattern()
+	out := make([]float64, motherLen)
+	j := 0
+	for i := 0; i < motherLen; i++ {
+		if pat[i%len(pat)] {
+			if j >= len(llrs) {
+				return nil, fmt.Errorf("coding: depuncture needs %d llrs, have %d", j+1, len(llrs))
+			}
+			out[i] = llrs[j]
+			j++
+		}
+	}
+	if j != len(llrs) {
+		return nil, fmt.Errorf("coding: depuncture consumed %d of %d llrs", j, len(llrs))
+	}
+	return out, nil
+}
+
+// PuncturedLen returns the number of transmitted coded bits for nInfo
+// information bits at rate r. nInfo must make the mother output a whole
+// number of puncturing periods for rates 2/3 and 3/4 (true for all 802.11
+// OFDM symbol sizes).
+func PuncturedLen(nInfo int, r CodeRate) int {
+	mother := 2 * nInfo
+	pat := r.puncturePattern()
+	keep := 0
+	for _, k := range pat {
+		if k {
+			keep++
+		}
+	}
+	full := mother / len(pat)
+	n := full * keep
+	for i := full * len(pat); i < mother; i++ {
+		if pat[i%len(pat)] {
+			n++
+		}
+	}
+	return n
+}

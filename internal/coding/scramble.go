@@ -1,0 +1,48 @@
+package coding
+
+// Scrambler is the 802.11 frame-synchronous scrambler with generator
+// polynomial S(x) = x⁷ + x⁴ + 1 (§18.3.5.5). The same structure both
+// scrambles and descrambles. The zero value is invalid (an all-zero state
+// never produces output); construct with NewScrambler.
+type Scrambler struct {
+	state uint8 // 7-bit shift register, bit 6 = x⁷ stage
+}
+
+// DefaultScramblerSeed is the widely used non-zero initial state 1011101.
+const DefaultScramblerSeed = 0x5D
+
+// NewScrambler returns a scrambler initialised with the 7-bit seed.
+// A zero seed is replaced by DefaultScramblerSeed, since the standard
+// requires a pseudo-random non-zero state.
+func NewScrambler(seed uint8) *Scrambler {
+	seed &= 0x7F
+	if seed == 0 {
+		seed = DefaultScramblerSeed
+	}
+	return &Scrambler{state: seed}
+}
+
+// NextBit advances the register one step and returns the scrambling bit.
+func (s *Scrambler) NextBit() byte {
+	b := ((s.state >> 6) ^ (s.state >> 3)) & 1
+	s.state = ((s.state << 1) | b) & 0x7F
+	return b
+}
+
+// Apply XORs the scrambling sequence onto bits in place and returns bits.
+// Applying a scrambler with the same seed twice restores the input.
+func (s *Scrambler) Apply(bits []byte) []byte {
+	for i := range bits {
+		bits[i] = (bits[i] ^ s.NextBit()) & 1
+	}
+	return bits
+}
+
+// Sequence returns the next n scrambling bits without data.
+func (s *Scrambler) Sequence(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = s.NextBit()
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package coding
+
+import (
+	"fmt"
+	"math"
+)
+
+// Viterbi is a maximum-likelihood decoder for the 802.11 rate-1/2 K=7
+// convolutional code. It consumes per-bit log-likelihood ratios (positive =
+// bit 0 more likely; 0 = erasure, as produced by Depuncture), so a single
+// implementation serves both hard decisions (±1 LLRs) and soft decisions.
+//
+// The decoder assumes the encoder started in the all-zero state and, when
+// Terminated is set, that six zero tail bits returned it there.
+type Viterbi struct {
+	// Terminated selects traceback from state 0 (true, the 802.11 case
+	// with tail bits) or from the best final state (false).
+	Terminated bool
+
+	// branch output bits for transition (state, input): outA|outB<<1
+	outs [numStates][2]byte
+	next [numStates][2]int
+}
+
+// NewViterbi returns a decoder with precomputed trellis transitions.
+func NewViterbi() *Viterbi {
+	v := &Viterbi{Terminated: true}
+	for s := 0; s < numStates; s++ {
+		for in := 0; in < 2; in++ {
+			reg := (uint32(in) << 6) | uint32(s)
+			a := parity(reg & polyA)
+			b := parity(reg & polyB)
+			v.outs[s][in] = a | b<<1
+			v.next[s][in] = int(reg >> 1)
+		}
+	}
+	return v
+}
+
+// Decode recovers the information bits (including any tail bits the encoder
+// appended) from mother-code LLRs. len(llrs) must be even; nInfo =
+// len(llrs)/2 bits are returned.
+func (v *Viterbi) Decode(llrs []float64) ([]byte, error) {
+	if len(llrs)%2 != 0 {
+		return nil, fmt.Errorf("coding: Viterbi needs an even LLR count, got %d", len(llrs))
+	}
+	n := len(llrs) / 2
+	if n == 0 {
+		return nil, nil
+	}
+
+	const inf = math.MaxFloat64 / 4
+	metric := make([]float64, numStates)
+	nextMetric := make([]float64, numStates)
+	for s := 1; s < numStates; s++ {
+		metric[s] = inf
+	}
+	// decisions[t][s] = input bit that won at state s, step t, plus the
+	// predecessor packed as pred<<1|bit would cost memory; store winning
+	// predecessor state and bit separately in two compact arrays.
+	predecessor := make([][]uint8, n) // predecessor state is 6 bits
+	inputBit := make([][]uint8, n)
+	for t := range predecessor {
+		predecessor[t] = make([]uint8, numStates)
+		inputBit[t] = make([]uint8, numStates)
+	}
+
+	for t := 0; t < n; t++ {
+		la, lb := llrs[2*t], llrs[2*t+1]
+		for s := range nextMetric {
+			nextMetric[s] = inf
+		}
+		for s := 0; s < numStates; s++ {
+			m := metric[s]
+			if m >= inf {
+				continue
+			}
+			for in := 0; in < 2; in++ {
+				out := v.outs[s][in]
+				// cost: add llr when the hypothesised bit is 1
+				// (constant offsets per step cancel between branches)
+				cost := m
+				if out&1 != 0 {
+					cost += la
+				}
+				if out&2 != 0 {
+					cost += lb
+				}
+				ns := v.next[s][in]
+				if cost < nextMetric[ns] {
+					nextMetric[ns] = cost
+					predecessor[t][ns] = uint8(s)
+					inputBit[t][ns] = uint8(in)
+				}
+			}
+		}
+		metric, nextMetric = nextMetric, metric
+	}
+
+	// Traceback.
+	state := 0
+	if !v.Terminated {
+		best := math.Inf(1)
+		for s, m := range metric {
+			if m < best {
+				best, state = m, s
+			}
+		}
+	}
+	bits := make([]byte, n)
+	for t := n - 1; t >= 0; t-- {
+		bits[t] = inputBit[t][state]
+		state = int(predecessor[t][state])
+	}
+	return bits, nil
+}
+
+// DecodeHard is a convenience wrapper that decodes hard-decision
+// mother-code bits.
+func (v *Viterbi) DecodeHard(coded []byte) ([]byte, error) {
+	return v.Decode(HardToLLR(coded))
+}
+
+// DecodePunctured depunctures llrs for rate r (nInfo information bits,
+// including tail) and decodes.
+func (v *Viterbi) DecodePunctured(llrs []float64, r CodeRate, nInfo int) ([]byte, error) {
+	mother, err := Depuncture(llrs, r, 2*nInfo)
+	if err != nil {
+		return nil, err
+	}
+	return v.Decode(mother)
+}

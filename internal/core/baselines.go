@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/modem"
+	"repro/internal/ofdm"
+	"repro/internal/rx"
+)
+
+// NaiveDecider is the simple statistical decoder of §3.3 (the authors'
+// earlier ShiftFFT, Eq. 3): it picks the lattice point minimising the
+// summed Euclidean deviation of the received values over all segments,
+// l* = argmin_l Σ_j |X̂ʲ − l|. The paper uses it to motivate CPRecycle's
+// probabilistic model; it works at mild interference and collapses below
+// −10 dB SIR.
+type NaiveDecider struct {
+	// Segments lists the CP offsets to combine.
+	Segments []int
+}
+
+// DecideSymbol implements rx.SymbolDecider.
+func (n NaiveDecider) DecideSymbol(f *rx.Frame, symIdx int, cons *modem.Constellation) ([]int, error) {
+	if len(n.Segments) == 0 {
+		return nil, fmt.Errorf("core: naive decoder has no segments")
+	}
+	obs, err := f.ObserveSegments(symIdx, n.Segments)
+	if err != nil {
+		return nil, err
+	}
+	nSC := f.DataSubcarrierCount()
+	out := make([]int, nSC)
+	for i := 0; i < nSC; i++ {
+		best, bestSum := 0, math.Inf(1)
+		for li, l := range cons.Points() {
+			sum := 0.0
+			for j := range obs {
+				sum += cmplx.Abs(obs[j].Data[i] - l)
+			}
+			if sum < bestSum {
+				bestSum, best = sum, li
+			}
+		}
+		out[i] = best
+	}
+	return out, nil
+}
+
+// OracleDecider is the impractical upper bound of §3.2: it observes the
+// interference in isolation (the simulator provides the interference-plus-
+// noise waveform that the paper obtains "by muting the sender") and, for
+// every subcarrier of every symbol, picks the FFT segment with the lowest
+// interference power before slicing to the nearest lattice point.
+type OracleDecider struct {
+	// InterferenceOnly is the received stream with the sender muted,
+	// sample-aligned with the frame's stream.
+	InterferenceOnly []complex128
+	// Segments lists the CP offsets to choose from.
+	Segments []int
+
+	demod *ofdm.Demodulator
+}
+
+// DecideSymbol implements rx.SymbolDecider.
+func (o *OracleDecider) DecideSymbol(f *rx.Frame, symIdx int, cons *modem.Constellation) ([]int, error) {
+	if len(o.Segments) == 0 {
+		return nil, fmt.Errorf("core: oracle has no segments")
+	}
+	if o.demod == nil || o.demod.Grid() != f.Grid() {
+		d, err := ofdm.NewDemodulator(f.Grid())
+		if err != nil {
+			return nil, err
+		}
+		o.demod = d
+	}
+	obs, err := f.ObserveSegments(symIdx, o.Segments)
+	if err != nil {
+		return nil, err
+	}
+	symStart := f.DataSymbolStart(symIdx)
+	// Interference power per (segment, bin). Equalisation scales every
+	// segment of a subcarrier identically, so raw bin power preserves the
+	// per-subcarrier ordering the oracle needs.
+	ip := make([][]complex128, len(o.Segments))
+	for j, off := range o.Segments {
+		bins, err := o.demod.Segment(o.InterferenceOnly, symStart, off)
+		if err != nil {
+			return nil, fmt.Errorf("core: oracle interference window: %w", err)
+		}
+		ip[j] = bins
+	}
+	g := f.Grid()
+	scs := ofdm.DataSubcarriers()
+	out := make([]int, len(scs))
+	for i, sc := range scs {
+		bin := g.Bin(sc)
+		bestJ, bestP := 0, math.Inf(1)
+		for j := range o.Segments {
+			v := ip[j][bin]
+			p := real(v)*real(v) + imag(v)*imag(v)
+			if p < bestP {
+				bestP, bestJ = p, j
+			}
+		}
+		out[i] = cons.Nearest(obs[bestJ].Data[i])
+	}
+	return out, nil
+}
+
+// SegmentInterferencePower measures, for the OFDM symbol starting at
+// symStart in an interference-only stream, the interference power at every
+// (segment, bin): the quantity plotted in Fig. 4a/4b. Powers are in linear
+// units; convert with dsp.DB.
+func SegmentInterferencePower(interference []complex128, g ofdm.Grid, symStart int, segments []int) ([][]float64, error) {
+	d, err := ofdm.NewDemodulator(g)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float64, len(segments))
+	for j, off := range segments {
+		bins, err := d.Segment(interference, symStart, off)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, len(bins))
+		for k, v := range bins {
+			row[k] = real(v)*real(v) + imag(v)*imag(v)
+		}
+		out[j] = row
+	}
+	return out, nil
+}
+
+// OracleSpectrum returns, per bin, the minimum over segments of the
+// interference power (what an Oracle receiver leaves behind) and the
+// standard window's interference power, averaged over count symbols —
+// the two curves of Fig. 4a.
+func OracleSpectrum(interference []complex128, g ofdm.Grid, firstSymStart, count int, segments []int) (oracle, standard []float64, err error) {
+	oracle = make([]float64, g.NFFT)
+	standard = make([]float64, g.NFFT)
+	for s := 0; s < count; s++ {
+		start := firstSymStart + s*g.SymLen()
+		pw, err := SegmentInterferencePower(interference, g, start, segments)
+		if err != nil {
+			return nil, nil, err
+		}
+		for bin := 0; bin < g.NFFT; bin++ {
+			minP := math.Inf(1)
+			for j := range segments {
+				if pw[j][bin] < minP {
+					minP = pw[j][bin]
+				}
+			}
+			oracle[bin] += minP
+			standard[bin] += pw[len(segments)-1][bin] // last segment = standard window
+		}
+	}
+	for bin := 0; bin < g.NFFT; bin++ {
+		oracle[bin] /= float64(count)
+		standard[bin] /= float64(count)
+	}
+	return oracle, standard, nil
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/dsp"
+	"repro/internal/interference"
+	"repro/internal/ofdm"
+	"repro/internal/rx"
+	"repro/internal/wifi"
+)
+
+// TestFullPipelineWithSync exercises the entire self-contained receive
+// path the examples rely on: blind packet detection on the composite
+// stream, CFO estimation and correction, SIGNAL decoding, CPRecycle
+// training and DATA decoding — under a moderate adjacent-channel
+// interferer and a victim carrier offset.
+func TestFullPipelineWithSync(t *testing.T) {
+	s := &interference.Scenario{
+		Q:            4,
+		VictimCenter: 64,
+		SNRdB:        20,
+		Channel:      channel.Indoor2Tap(),
+		Interferers: []interference.Interferer{
+			{CenterOffset: 57, SIRdB: 0, Channel: channel.Indoor2Tap()},
+		},
+	}
+	r := dsp.NewRand(77)
+	m, err := wifi.MCSByName("QPSK 1/2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	psdu := wifi.BuildPSDU(r.Bytes(96))
+	c, err := s.Run(r, psdu, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Impose a small victim CFO the receiver must estimate and remove.
+	stream := append([]complex128{}, c.Samples...)
+	const trueCFO = 0.08
+	channel.ApplyCFO(stream, trueCFO, c.Grid.NFFT, 0)
+
+	sync, err := rx.Synchronize(stream, c.Grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := sync.FrameStart - c.FrameStart; d < -2*4 || d > 2*4 {
+		t.Fatalf("frame start %d, true %d", sync.FrameStart, c.FrameStart)
+	}
+	rx.CorrectCFO(stream, sync.CFO, c.Grid)
+
+	f, err := rx.NewFrame(c.Grid, stream, sync.FrameStart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotMCS, gotLen, err := rx.DecodeSignal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMCS.Name != m.Name || gotLen != len(psdu) {
+		t.Fatalf("SIGNAL decoded %s/%d, want %s/%d", gotMCS.Name, gotLen, m.Name, len(psdu))
+	}
+
+	q := c.Grid.NFFT / 64
+	segs, err := ofdm.SegmentPlan(c.Grid.CP, q, 16, 2*q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpr, err := NewReceiver(f, Config{Segments: segs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rx.DecodeData(f, gotMCS, gotLen, cpr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FCSOK || !bytes.Equal(res.PSDU, psdu) {
+		t.Fatal("full pipeline failed to deliver the PSDU")
+	}
+}
+
+// TestISIFreeDetectionFeedsSegmentPlan verifies the §6 workflow: detect the
+// ISI-free region from the received stream, build the segment plan from it,
+// and decode with CPRecycle under a longer-delay channel.
+func TestISIFreeDetectionFeedsSegmentPlan(t *testing.T) {
+	ch := channel.NewMultipath([]complex128{1, 0, 0, 0.55 + 0.2i}) // 3-sample spread
+	s := &interference.Scenario{
+		Q:           1,
+		SNRdB:       25,
+		Channel:     ch,
+		Interferers: nil,
+	}
+	r := dsp.NewRand(78)
+	m, err := wifi.MCSByName("QPSK 1/2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	psdu := wifi.BuildPSDU(r.Bytes(396))
+	c, err := s.Run(r, psdu, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := rx.NewFrame(c.Grid, c.Samples, c.FrameStart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var starts []int
+	for k := 0; k < c.Victim.NumDataSymbols; k++ {
+		starts = append(starts, f.DataSymbolStart(k))
+	}
+	isiFree := rx.ISIFreeDetect(c.Samples, starts, c.Grid, 0.9)
+	if isiFree < 3 || isiFree > 5 {
+		t.Fatalf("detected ISI-free offset %d, channel spread 3", isiFree)
+	}
+	segs, err := ofdm.SegmentPlan(c.Grid.CP, 1, 16, isiFree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpr, err := NewReceiver(f, Config{Segments: segs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rx.DecodeData(f, m, len(psdu), cpr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FCSOK {
+		t.Fatal("decode with detected ISI-free plan failed")
+	}
+}
+
+// TestCPRecycleOnWiderNumerology checks the receiver is not hard-wired to
+// the 20 MHz numerology: an 802.11n-style 128-point grid (Table 1 row 2,
+// embedded 2× oversampled) trains and decodes end to end.
+func TestCPRecycleOnWiderNumerology(t *testing.T) {
+	s := &interference.Scenario{
+		Q:            2,
+		VictimCenter: 32,
+		SNRdB:        18,
+		Channel:      channel.Indoor2Tap(),
+		Interferers: []interference.Interferer{
+			{CenterOffset: 57, SIRdB: -5, Channel: channel.Indoor2Tap()},
+		},
+	}
+	f, _, m := runScenario(t, s, 1234, "QPSK 1/2", 80)
+	if f.Grid().NFFT != 128 || f.Grid().CP != 32 {
+		t.Fatalf("grid %+v", f.Grid())
+	}
+	segs, err := ofdm.SegmentPlan(f.Grid().CP, 2, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpr, err := NewReceiver(f, Config{Segments: segs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !decodeWith(t, f, m, 80, cpr) {
+		t.Fatal("128-point numerology decode failed")
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/modem"
+	"repro/internal/rx"
+	"repro/internal/wifi"
+)
+
+func consFor(m wifi.MCS) *modem.Constellation { return modem.New(m.Scheme) }
+
+func TestCPRecycleSoftMatchesHardDecisions(t *testing.T) {
+	s := aciScenario(-15, 17, 57)
+	f, _, m := runScenario(t, s, 900, "16-QAM 1/2", 60)
+	segs := segments16(t, f.Grid())
+	hardRx, err := NewReceiver(f, Config{Segments: segs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	softRx, err := NewReceiver(f, Config{Segments: segs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := consFor(m)
+	for k := 0; k < 4; k++ {
+		hard, err := hardRx.DecideSymbol(f, k, cons)
+		if err != nil {
+			t.Fatal(err)
+		}
+		soft, conf, err := softRx.DecideSymbolSoft(f, k, cons)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range hard {
+			if hard[i] != soft[i] {
+				t.Fatalf("symbol %d sc %d: hard %d vs soft %d", k, i, hard[i], soft[i])
+			}
+			if conf[i] < 0 {
+				t.Fatalf("negative confidence")
+			}
+		}
+	}
+}
+
+func TestCPRecycleSoftDecodesUnderACI(t *testing.T) {
+	var hardOK, softOK int
+	const trials = 8
+	for i := 0; i < trials; i++ {
+		s := aciScenario(-15, 17, 57)
+		f, _, m := runScenario(t, s, int64(950+i), "16-QAM 1/2", 100)
+		segs := segments16(t, f.Grid())
+		h, err := NewReceiver(f, Config{Segments: segs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rh, err := rx.DecodeData(f, m, 100, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rh.FCSOK {
+			hardOK++
+		}
+		sRx, err := NewReceiver(f, Config{Segments: segs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := rx.DecodeDataSoft(f, m, 100, sRx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs.FCSOK {
+			softOK++
+		}
+	}
+	t.Logf("CPRecycle ACI -15dB 16-QAM: hard %d/%d, soft %d/%d", hardOK, trials, softOK, trials)
+	if softOK < hardOK {
+		t.Fatalf("soft (%d) must not lose to hard (%d)", softOK, hardOK)
+	}
+}
+
+func TestSphereKDESoftUnitConfidence(t *testing.T) {
+	s := aciScenario(-10, 17, 57)
+	f, _, m := runScenario(t, s, 990, "QPSK 1/2", 50)
+	segs := segments16(t, f.Grid())
+	r, err := NewReceiver(f, Config{Segments: segs, Decision: DecisionSphereKDE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, conf, err := r.DecideSymbolSoft(f, 0, consFor(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range conf {
+		if c != 1 {
+			t.Fatalf("sphere-KDE confidence %v, want 1", c)
+		}
+	}
+}

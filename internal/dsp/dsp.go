@@ -1,0 +1,358 @@
+// Package dsp provides the discrete-time signal processing primitives the
+// rest of the repository is built on: complex-vector arithmetic, a radix-2
+// FFT/IFFT, frequency shifting, correlation, power and dB conversions, and
+// small statistics helpers.
+//
+// Everything operates on []complex128 in place where it safely can, and all
+// transforms are deterministic: there is no hidden global state.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// NextPow2 returns the smallest power of two >= n. It panics if n <= 0 or if
+// the result would overflow an int.
+func NextPow2(n int) int {
+	if n <= 0 {
+		panic("dsp: NextPow2 of non-positive length")
+	}
+	p := 1
+	for p < n {
+		if p > math.MaxInt/2 {
+			panic("dsp: NextPow2 overflow")
+		}
+		p <<= 1
+	}
+	return p
+}
+
+// FFTPlan caches the twiddle factors and bit-reversal permutation for a
+// fixed transform size so repeated transforms avoid recomputing them.
+// A plan is safe for concurrent use once created.
+type FFTPlan struct {
+	n       int
+	rev     []int
+	fwd     []complex128 // forward twiddles e^{-i 2π k / n}, len n/2
+	inv     []complex128 // inverse twiddles e^{+i 2π k / n}, len n/2
+	scratch bool
+}
+
+// NewFFTPlan creates a plan for transforms of the given power-of-two size.
+func NewFFTPlan(n int) (*FFTPlan, error) {
+	if !IsPow2(n) {
+		return nil, fmt.Errorf("dsp: FFT size %d is not a power of two", n)
+	}
+	p := &FFTPlan{n: n}
+	p.rev = make([]int, n)
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	for i := 0; i < n; i++ {
+		r := 0
+		for b := 0; b < bits; b++ {
+			if i&(1<<b) != 0 {
+				r |= 1 << (bits - 1 - b)
+			}
+		}
+		p.rev[i] = r
+	}
+	half := n / 2
+	p.fwd = make([]complex128, half)
+	p.inv = make([]complex128, half)
+	for k := 0; k < half; k++ {
+		theta := 2 * math.Pi * float64(k) / float64(n)
+		s, c := math.Sincos(theta)
+		p.fwd[k] = complex(c, -s)
+		p.inv[k] = complex(c, s)
+	}
+	return p, nil
+}
+
+// MustFFTPlan is NewFFTPlan but panics on error; intended for fixed,
+// compile-time-known sizes.
+func MustFFTPlan(n int) *FFTPlan {
+	p, err := NewFFTPlan(n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Size returns the transform length the plan was built for.
+func (p *FFTPlan) Size() int { return p.n }
+
+func (p *FFTPlan) transform(x []complex128, tw []complex128) {
+	n := p.n
+	for i, r := range p.rev {
+		if i < r {
+			x[i], x[r] = x[r], x[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := n / size
+		for start := 0; start < n; start += size {
+			k := 0
+			for j := start; j < start+half; j++ {
+				t := tw[k] * x[j+half]
+				x[j+half] = x[j] - t
+				x[j] = x[j] + t
+				k += step
+			}
+		}
+	}
+}
+
+// Forward computes the in-place forward DFT
+// X[k] = Σ_n x[n]·e^{-i2πkn/N} of a slice whose length equals the plan size.
+func (p *FFTPlan) Forward(x []complex128) {
+	if len(x) != p.n {
+		panic(fmt.Sprintf("dsp: Forward length %d, plan size %d", len(x), p.n))
+	}
+	p.transform(x, p.fwd)
+}
+
+// Inverse computes the in-place inverse DFT including the 1/N scaling,
+// x[n] = (1/N) Σ_k X[k]·e^{+i2πkn/N}.
+func (p *FFTPlan) Inverse(x []complex128) {
+	if len(x) != p.n {
+		panic(fmt.Sprintf("dsp: Inverse length %d, plan size %d", len(x), p.n))
+	}
+	p.transform(x, p.inv)
+	scale := complex(1/float64(p.n), 0)
+	for i := range x {
+		x[i] *= scale
+	}
+}
+
+// FFT returns the forward DFT of x in a fresh slice. The length of x must be
+// a power of two.
+func FFT(x []complex128) []complex128 {
+	p := MustFFTPlan(len(x))
+	out := make([]complex128, len(x))
+	copy(out, x)
+	p.Forward(out)
+	return out
+}
+
+// IFFT returns the inverse DFT (with 1/N scaling) of x in a fresh slice.
+func IFFT(x []complex128) []complex128 {
+	p := MustFFTPlan(len(x))
+	out := make([]complex128, len(x))
+	copy(out, x)
+	p.Inverse(out)
+	return out
+}
+
+// DFTNaive computes the forward DFT directly in O(n²); used as a test oracle
+// for the fast transform and for non-power-of-two lengths in analyses.
+func DFTNaive(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var acc complex128
+		for t := 0; t < n; t++ {
+			theta := 2 * math.Pi * float64(k) * float64(t) / float64(n)
+			s, c := math.Sincos(theta)
+			acc += x[t] * complex(c, -s)
+		}
+		out[k] = acc
+	}
+	return out
+}
+
+// FreqShift multiplies x in place by e^{+i 2π (shift/n) t}, translating the
+// spectrum up by shift FFT bins (of an n-point grid). startSample offsets the
+// phase ramp so that consecutive blocks of one stream stay phase-continuous.
+func FreqShift(x []complex128, shiftBins float64, n int, startSample int) {
+	w := 2 * math.Pi * shiftBins / float64(n)
+	for t := range x {
+		theta := w * float64(startSample+t)
+		s, c := math.Sincos(theta)
+		x[t] *= complex(c, s)
+	}
+}
+
+// CyclicShift returns x circularly shifted left by k samples
+// (out[i] = x[(i+k) mod n]). Negative k shifts right.
+func CyclicShift(x []complex128, k int) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	if n == 0 {
+		return out
+	}
+	k = ((k % n) + n) % n
+	for i := 0; i < n; i++ {
+		out[i] = x[(i+k)%n]
+	}
+	return out
+}
+
+// Power returns the mean squared magnitude of x; zero for an empty slice.
+func Power(x []complex128) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return s / float64(len(x))
+}
+
+// Energy returns the total squared magnitude of x.
+func Energy(x []complex128) float64 {
+	var s float64
+	for _, v := range x {
+		s += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return s
+}
+
+// DB converts a linear power ratio to decibels. DB(0) returns -Inf.
+func DB(p float64) float64 {
+	return 10 * math.Log10(p)
+}
+
+// FromDB converts decibels to a linear power ratio.
+func FromDB(db float64) float64 {
+	return math.Pow(10, db/10)
+}
+
+// Scale multiplies x in place by the real factor g.
+func Scale(x []complex128, g float64) {
+	c := complex(g, 0)
+	for i := range x {
+		x[i] *= c
+	}
+}
+
+// AddInto accumulates src into dst starting at dst[offset]; samples falling
+// outside dst are ignored, so callers can mix arbitrarily offset signals.
+func AddInto(dst, src []complex128, offset int) {
+	for i, v := range src {
+		j := offset + i
+		if j < 0 || j >= len(dst) {
+			continue
+		}
+		dst[j] += v
+	}
+}
+
+// Conv returns the full linear convolution of x and h (length
+// len(x)+len(h)-1); used by the multipath channel.
+func Conv(x, h []complex128) []complex128 {
+	if len(x) == 0 || len(h) == 0 {
+		return nil
+	}
+	out := make([]complex128, len(x)+len(h)-1)
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		for j, hv := range h {
+			out[i+j] += xv * hv
+		}
+	}
+	return out
+}
+
+// AutoCorr returns Σ_t x[t]·conj(x[t+lag]) over the overlapping range;
+// the building block of Schmidl–Cox style detectors.
+func AutoCorr(x []complex128, lag, length int) complex128 {
+	var acc complex128
+	for t := 0; t < length && t+lag < len(x); t++ {
+		acc += x[t] * cmplx.Conj(x[t+lag])
+	}
+	return acc
+}
+
+// CrossCorr returns Σ_t a[t]·conj(b[t]) over min(len(a), len(b)) samples.
+func CrossCorr(a, b []complex128) complex128 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var acc complex128
+	for t := 0; t < n; t++ {
+		acc += a[t] * cmplx.Conj(b[t])
+	}
+	return acc
+}
+
+// Mean returns the arithmetic mean of a real sample set; zero if empty.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// Variance returns the unbiased sample variance of x; zero if len(x) < 2.
+func Variance(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	m := Mean(x)
+	var s float64
+	for _, v := range x {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(len(x)-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of x.
+func StdDev(x []float64) float64 { return math.Sqrt(Variance(x)) }
+
+// Centroid returns the arithmetic mean of a set of complex points; zero for
+// an empty set. CPRecycle centres its decoding sphere on this value.
+func Centroid(pts []complex128) complex128 {
+	if len(pts) == 0 {
+		return 0
+	}
+	var acc complex128
+	for _, p := range pts {
+		acc += p
+	}
+	return acc / complex(float64(len(pts)), 0)
+}
+
+// MaxAbsDiff returns the largest |a[i]-b[i]|; slices must be equally long.
+func MaxAbsDiff(a, b []complex128) float64 {
+	if len(a) != len(b) {
+		panic("dsp: MaxAbsDiff length mismatch")
+	}
+	var m float64
+	for i := range a {
+		d := cmplx.Abs(a[i] - b[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// WrapPhase maps an angle in radians to (-π, π].
+func WrapPhase(theta float64) float64 {
+	for theta > math.Pi {
+		theta -= 2 * math.Pi
+	}
+	for theta <= -math.Pi {
+		theta += 2 * math.Pi
+	}
+	return theta
+}

@@ -1,0 +1,60 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Rand wraps math/rand with the complex-valued helpers the simulator needs.
+// Every experiment in the repository threads an explicit *Rand so runs are
+// reproducible from a seed.
+type Rand struct {
+	*rand.Rand
+}
+
+// NewRand returns a deterministic generator seeded with seed.
+func NewRand(seed int64) *Rand {
+	return &Rand{rand.New(rand.NewSource(seed))}
+}
+
+// CN returns a sample of circularly-symmetric complex Gaussian noise with
+// the given total variance (power): real and imaginary parts are each
+// N(0, variance/2).
+func (r *Rand) CN(variance float64) complex128 {
+	s := sqrtHalf(variance)
+	return complex(r.NormFloat64()*s, r.NormFloat64()*s)
+}
+
+// CNVector fills a fresh slice of n circularly-symmetric complex Gaussian
+// samples with the given total variance.
+func (r *Rand) CNVector(n int, variance float64) []complex128 {
+	out := make([]complex128, n)
+	s := sqrtHalf(variance)
+	for i := range out {
+		out[i] = complex(r.NormFloat64()*s, r.NormFloat64()*s)
+	}
+	return out
+}
+
+// Bits returns n uniformly random bits as a byte slice of 0/1 values.
+func (r *Rand) Bits(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(r.Intn(2))
+	}
+	return out
+}
+
+// Bytes returns n uniformly random bytes.
+func (r *Rand) Bytes(n int) []byte {
+	out := make([]byte, n)
+	r.Read(out)
+	return out
+}
+
+func sqrtHalf(variance float64) float64 {
+	if variance <= 0 {
+		return 0
+	}
+	return math.Sqrt(variance / 2)
+}

@@ -1,0 +1,355 @@
+// Package experiments contains the workload generators, parameter sweeps
+// and measurement harnesses that regenerate every table and figure of the
+// paper's evaluation (see DESIGN.md §4 for the experiment index). Each
+// experiment returns a Table whose rows mirror the series the paper plots;
+// EXPERIMENTS.md records paper-versus-measured values.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/dsp"
+	"repro/internal/interference"
+	"repro/internal/ofdm"
+	"repro/internal/rx"
+	"repro/internal/wifi"
+)
+
+// ReceiverKind identifies one receiver arm of a comparison.
+type ReceiverKind int
+
+// The receiver arms used across experiments.
+const (
+	Standard ReceiverKind = iota
+	Naive
+	Oracle
+	CPRecycle
+	CPRecycleNoTrack
+	CPRecycleKDE
+	// StandardSoft and CPRecycleSoft use the soft-decision Viterbi
+	// extension (rx.DecodeDataSoft).
+	StandardSoft
+	CPRecycleSoft
+)
+
+// String names the receiver kind.
+func (k ReceiverKind) String() string {
+	switch k {
+	case Standard:
+		return "standard"
+	case Naive:
+		return "naive"
+	case Oracle:
+		return "oracle"
+	case CPRecycle:
+		return "cprecycle"
+	case CPRecycleNoTrack:
+		return "cprecycle-notrack"
+	case CPRecycleKDE:
+		return "cprecycle-kde"
+	case StandardSoft:
+		return "standard-soft"
+	case CPRecycleSoft:
+		return "cprecycle-soft"
+	default:
+		return fmt.Sprintf("ReceiverKind(%d)", int(k))
+	}
+}
+
+// OperatingSNR returns the calibrated operating point for an MCS — the
+// paper picks the SNR at which that MCS "has the highest throughput".
+func OperatingSNR(mcsName string) float64 {
+	switch mcsName {
+	case "BPSK 1/2":
+		return 7
+	case "BPSK 3/4":
+		return 9
+	case "QPSK 1/2":
+		return 10
+	case "QPSK 3/4":
+		return 13
+	case "16-QAM 1/2":
+		return 17
+	case "16-QAM 3/4":
+		return 20
+	case "64-QAM 2/3":
+		return 25
+	case "64-QAM 3/4":
+		return 27
+	default:
+		return 20
+	}
+}
+
+// LinkConfig describes one packet-success-rate measurement point.
+type LinkConfig struct {
+	// Scenario builds the interference layout. It is invoked once; its
+	// Run method draws fresh randomness per packet.
+	Scenario *interference.Scenario
+	// MCS is the victim's modulation and coding scheme.
+	MCS wifi.MCS
+	// PSDUBytes is the victim packet size including FCS (paper: 400).
+	PSDUBytes int
+	// Packets is the number of packets to transmit (paper: 2000).
+	Packets int
+	// Seed makes the measurement reproducible.
+	Seed int64
+	// NumSegments is the paper's P (default 16).
+	NumSegments int
+	// StrideDivisor divides the native-sample segment stride; 2 enables
+	// the §6 oversampling mode (segments every half native sample on an
+	// oversampled composite grid). Default 1.
+	StrideDivisor int
+	// Receivers lists the arms to decode each packet with.
+	Receivers []ReceiverKind
+	// Workers bounds the parallelism (default: GOMAXPROCS).
+	Workers int
+	// CoreTweak, when set, adjusts the CPRecycle configuration of the
+	// CPRecycle* arms (used by the ablation benches to sweep sphere
+	// radius, bandwidth selector, pooling mode, …).
+	CoreTweak func(*core.Config)
+}
+
+// PSRPoint is the packet success rate of one receiver arm.
+type PSRPoint struct {
+	Kind ReceiverKind
+	OK   int
+	N    int
+}
+
+// Rate returns the success fraction.
+func (p PSRPoint) Rate() float64 {
+	if p.N == 0 {
+		return 0
+	}
+	return float64(p.OK) / float64(p.N)
+}
+
+// segmentPlanFor builds the receiver's segment plan for a grid: num
+// segments at native-sample stride (divided by strideDiv for the §6
+// oversampling mode), clear of the channel's delay spread.
+func segmentPlanFor(g ofdm.Grid, num int, ch *channel.Multipath, strideDiv int) ([]int, error) {
+	q := g.NFFT / 64
+	if q < 1 {
+		q = 1
+	}
+	stride := q
+	if strideDiv > 1 {
+		stride = q / strideDiv
+		if stride < 1 {
+			stride = 1
+		}
+	}
+	minOff := q // at least one native sample of ISI margin
+	if ch != nil {
+		minOff = (ch.DelaySpread() + 1) * q
+	}
+	if minOff > g.CP {
+		minOff = g.CP
+	}
+	return ofdm.SegmentPlan(g.CP, stride, num, minOff)
+}
+
+// RunPSR measures the packet success rate of each configured receiver arm
+// over cfg.Packets independent packets. Packets are distributed across
+// workers; each packet uses a deterministic per-index seed so results are
+// independent of scheduling.
+func RunPSR(cfg LinkConfig) ([]PSRPoint, error) {
+	if cfg.Packets <= 0 {
+		return nil, fmt.Errorf("experiments: no packets configured")
+	}
+	if cfg.PSDUBytes < 5 {
+		return nil, fmt.Errorf("experiments: PSDU too small")
+	}
+	if len(cfg.Receivers) == 0 {
+		return nil, fmt.Errorf("experiments: no receivers configured")
+	}
+	if cfg.NumSegments == 0 {
+		cfg.NumSegments = 16
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Packets {
+		workers = cfg.Packets
+	}
+
+	type tally struct {
+		ok map[ReceiverKind]int
+		n  int
+	}
+	results := make([]tally, workers)
+	var firstErr error
+	var errMu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			t := tally{ok: make(map[ReceiverKind]int)}
+			for pkt := w; pkt < cfg.Packets; pkt += workers {
+				okSet, err := runOnePacket(cfg, pkt)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				t.n++
+				for k, ok := range okSet {
+					if ok {
+						t.ok[k]++
+					}
+				}
+			}
+			results[w] = t
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	out := make([]PSRPoint, 0, len(cfg.Receivers))
+	for _, k := range cfg.Receivers {
+		p := PSRPoint{Kind: k}
+		for _, t := range results {
+			p.OK += t.ok[k]
+			p.N += t.n
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// runOnePacket transmits one packet through the scenario and decodes it
+// with every configured arm.
+func runOnePacket(cfg LinkConfig, pkt int) (map[ReceiverKind]bool, error) {
+	r := dsp.NewRand(cfg.Seed*1_000_003 + int64(pkt))
+	psdu := wifi.BuildPSDU(r.Bytes(cfg.PSDUBytes - 4))
+	c, err := cfg.Scenario.Run(r, psdu, cfg.MCS)
+	if err != nil {
+		return nil, err
+	}
+	f, err := rx.NewFrame(c.Grid, c.Samples, c.FrameStart)
+	if err != nil {
+		return nil, err
+	}
+	segs, err := segmentPlanFor(c.Grid, cfg.NumSegments, cfg.Scenario.Channel, cfg.StrideDivisor)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make(map[ReceiverKind]bool, len(cfg.Receivers))
+	for _, k := range cfg.Receivers {
+		var decider rx.SymbolDecider
+		soft := false
+		switch k {
+		case Standard:
+			decider = rx.StandardDecider{}
+		case StandardSoft:
+			decider = rx.StandardDecider{}
+			soft = true
+		case Naive:
+			decider = core.NaiveDecider{Segments: segs}
+		case Oracle:
+			decider = &core.OracleDecider{InterferenceOnly: c.InterferenceOnly, Segments: segs}
+		case CPRecycle, CPRecycleNoTrack, CPRecycleKDE, CPRecycleSoft:
+			conf := core.Config{Segments: segs}
+			if k == CPRecycleNoTrack {
+				conf.NoPilotTracking = true
+			}
+			if k == CPRecycleKDE {
+				conf.Decision = core.DecisionSphereKDE
+			}
+			if cfg.CoreTweak != nil {
+				cfg.CoreTweak(&conf)
+			}
+			cpr, err := core.NewReceiver(f, conf)
+			if err != nil {
+				return nil, err
+			}
+			decider = cpr
+			soft = k == CPRecycleSoft
+		default:
+			return nil, fmt.Errorf("experiments: unknown receiver kind %d", int(k))
+		}
+		var res rx.Result
+		var err error
+		if soft {
+			res, err = rx.DecodeDataSoft(f, cfg.MCS, len(psdu), decider)
+		} else {
+			res, err = rx.DecodeData(f, cfg.MCS, len(psdu), decider)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out[k] = res.FCSOK && string(res.PSDU) == string(psdu)
+	}
+	return out, nil
+}
+
+// ACIScenario builds the canonical single adjacent-channel-interferer
+// layout: 4× composite band, victim centred at bin 64, interferer offset
+// by the given subcarrier count at the given SIR.
+func ACIScenario(sirDB float64, offsetSC int, snrDB float64) *interference.Scenario {
+	return &interference.Scenario{
+		Q:            4,
+		VictimCenter: 64,
+		SNRdB:        snrDB,
+		Channel:      channel.Indoor2Tap(),
+		Interferers: []interference.Interferer{
+			{CenterOffset: offsetSC, SIRdB: sirDB, Channel: channel.Indoor2Tap()},
+		},
+	}
+}
+
+// ACIScenarioDouble places interferers on both sides (Fig. 9: the victim on
+// channel 10 with interferers on channels 7 and 13, ±48 subcarriers). Each
+// interferer carries the full SIR power, as in the paper's experiment.
+func ACIScenarioDouble(sirDB float64, offsetSC int, snrDB float64) *interference.Scenario {
+	return &interference.Scenario{
+		Q:            4,
+		VictimCenter: 128,
+		SNRdB:        snrDB,
+		Channel:      channel.Indoor2Tap(),
+		Interferers: []interference.Interferer{
+			{CenterOffset: offsetSC, SIRdB: sirDB, Channel: channel.Indoor2Tap()},
+			{CenterOffset: -offsetSC, SIRdB: sirDB, Channel: channel.Indoor2Tap()},
+		},
+	}
+}
+
+// CCIScenario builds the co-channel layout (native band, zero offset).
+func CCIScenario(sirDB, snrDB float64) *interference.Scenario {
+	return &interference.Scenario{
+		Q:       1,
+		SNRdB:   snrDB,
+		Channel: channel.Indoor2Tap(),
+		Interferers: []interference.Interferer{
+			{CenterOffset: 0, SIRdB: sirDB, Channel: channel.Indoor2Tap()},
+		},
+	}
+}
+
+// CCIScenarioDouble is Fig. 12's layout: two equal co-channel interferers,
+// each at sirDB+3 so their sum keeps the configured total SIR ("the total
+// power of the interference remains the same").
+func CCIScenarioDouble(sirDB, snrDB float64) *interference.Scenario {
+	return &interference.Scenario{
+		Q:       1,
+		SNRdB:   snrDB,
+		Channel: channel.Indoor2Tap(),
+		Interferers: []interference.Interferer{
+			{CenterOffset: 0, SIRdB: sirDB + 3, Channel: channel.Indoor2Tap()},
+			{CenterOffset: 0, SIRdB: sirDB + 3, Channel: channel.Indoor2Tap()},
+		},
+	}
+}

@@ -1,0 +1,399 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dsp"
+	"repro/internal/interference"
+	"repro/internal/kde"
+	"repro/internal/modem"
+	"repro/internal/netsim"
+	"repro/internal/ofdm"
+	"repro/internal/rx"
+	"repro/internal/wifi"
+)
+
+// analysisScenario realises one ACI composite for the signal-analysis
+// figures and returns the frame, the composite and the victim MCS.
+func analysisScenario(seed int64, sirDB float64, psduBytes int) (*rx.Frame, *interference.Composite, wifi.MCS, error) {
+	s := ACIScenario(sirDB, 57, 1000) // noise off: isolate interference
+	r := dsp.NewRand(seed)
+	m, err := wifi.MCSByName("QPSK 1/2")
+	if err != nil {
+		return nil, nil, m, err
+	}
+	psdu := wifi.BuildPSDU(r.Bytes(psduBytes - 4))
+	c, err := s.Run(r, psdu, m)
+	if err != nil {
+		return nil, nil, m, err
+	}
+	f, err := rx.NewFrame(c.Grid, c.Samples, c.FrameStart)
+	if err != nil {
+		return nil, nil, m, err
+	}
+	return f, c, m, nil
+}
+
+// Table1 renders the paper's Table 1 (cyclic prefix across 802.11
+// standards) plus the LTE figures quoted in §2.2.
+func Table1() *Table {
+	t := &Table{
+		Title:  "Table 1: Cyclic Prefix in 802.11 standards",
+		Header: []string{"Standard", "Bandwidth", "FFT", "CP", "CP(short)", "Duration(us)"},
+	}
+	for _, s := range ofdm.Table1() {
+		short := "-"
+		if s.CPShort > 0 {
+			short = fmt.Sprintf("%d", s.CPShort)
+		}
+		t.AddRow(s.Standard, fmt.Sprintf("%.0f MHz", s.BandwidthHz/1e6),
+			fmt.Sprintf("%d", s.FFTSize), fmt.Sprintf("%d", s.CPSize), short,
+			fmt.Sprintf("%.1f", s.DurationUs))
+	}
+	for _, l := range ofdm.LTETable() {
+		t.AddRow("LTE ("+l.Kind+")", "-", "-", "-", "-", fmt.Sprintf("%.1f", l.DurationUs))
+	}
+	return t
+}
+
+// Fig4a measures the interference power spectrum seen by the standard
+// window and by the per-subcarrier best segment (Oracle), averaged over
+// data symbols, for a single ACI interferer at −20 dB SIR with a
+// 4-subcarrier guard. Powers are in dB relative to the victim's mean
+// occupied-subcarrier signal power, mirroring Fig. 4a's normalised axis.
+func Fig4a(seed int64) (*Table, error) {
+	f, c, _, err := analysisScenario(seed, -20, 400)
+	if err != nil {
+		return nil, err
+	}
+	segs, err := segmentPlanFor(c.Grid, 16, nil, 1)
+	if err != nil {
+		return nil, err
+	}
+	const nSym = 20
+	oracle, std, err := core.OracleSpectrum(c.InterferenceOnly, c.Grid, f.DataSymbolStart(0), nSym, segs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Victim signal power per occupied bin, from the interference-free part.
+	vict := make([]complex128, len(c.Samples))
+	for i := range vict {
+		vict[i] = c.Samples[i] - c.InterferenceOnly[i]
+	}
+	d, err := ofdm.NewDemodulator(c.Grid)
+	if err != nil {
+		return nil, err
+	}
+	var sigP float64
+	var nBins int
+	for k := 0; k < nSym; k++ {
+		bins, err := d.Standard(vict, f.DataSymbolStart(k))
+		if err != nil {
+			return nil, err
+		}
+		for sc := -26; sc <= 26; sc++ {
+			if sc == 0 {
+				continue
+			}
+			v := bins[c.Grid.Bin(sc)]
+			sigP += real(v)*real(v) + imag(v)*imag(v)
+			nBins++
+		}
+	}
+	sigP /= float64(nBins)
+
+	t := &Table{
+		Title:  "Fig 4a: interference power per subcarrier, Standard vs Oracle",
+		Note:   "ACI at SIR -20 dB, 4-subcarrier guard; dB relative to victim signal power",
+		Header: []string{"subcarrier", "standard(dB)", "oracle(dB)"},
+	}
+	var inStd, inOra float64
+	for sc := -26; sc <= 100; sc++ {
+		bin := c.Grid.Bin(sc)
+		sdb := dsp.DB(std[bin] / sigP)
+		odb := dsp.DB(oracle[bin] / sigP)
+		t.AddRow(fmt.Sprintf("%d", sc), fmt.Sprintf("%.1f", sdb), fmt.Sprintf("%.1f", odb))
+		if sc >= -26 && sc <= 26 && sc != 0 {
+			inStd += std[bin]
+			inOra += oracle[bin]
+		}
+	}
+	t.Note += fmt.Sprintf("; in-band oracle reduction %.1f dB", dsp.DB(inStd/inOra))
+	return t, nil
+}
+
+// Fig4b measures the interference power at the victim's band-edge data
+// subcarrier (+26) across the 16 FFT segments of a single OFDM symbol for
+// SIR −10/−20/−30 dB (the paper plots one symbol: the per-symbol nulls are
+// exactly what the Oracle exploits and averaging would smooth them away).
+// Powers are in dB relative to the strongest curve's maximum, so both the
+// SIR spacing and the per-segment variation are visible.
+func Fig4b(seed int64) (*Table, error) {
+	sirs := []float64{-10, -20, -30}
+	series := make([][]float64, len(sirs))
+	var segsLen int
+	for si, sir := range sirs {
+		f, c, _, err := analysisScenario(seed+int64(si)*17, sir, 200)
+		if err != nil {
+			return nil, err
+		}
+		segs, err := segmentPlanFor(c.Grid, 16, nil, 1)
+		if err != nil {
+			return nil, err
+		}
+		segsLen = len(segs)
+		pw, err := core.SegmentInterferencePower(c.InterferenceOnly, c.Grid, f.DataSymbolStart(0), segs)
+		if err != nil {
+			return nil, err
+		}
+		acc := make([]float64, len(segs))
+		bin := c.Grid.Bin(26)
+		for j := range segs {
+			acc[j] = pw[j][bin]
+		}
+		series[si] = acc
+	}
+	t := &Table{
+		Title:  "Fig 4b: interference power vs FFT segment (subcarrier +26, one OFDM symbol)",
+		Note:   "dB relative to the global maximum across curves",
+		Header: []string{"segment", "SIR-10dB", "SIR-20dB", "SIR-30dB"},
+	}
+	var globalMax float64
+	for si := range series {
+		for _, v := range series[si] {
+			if v > globalMax {
+				globalMax = v
+			}
+		}
+	}
+	for j := 0; j < segsLen; j++ {
+		cells := []string{fmt.Sprintf("%d", j+1)}
+		for si := range series {
+			cells = append(cells, fmt.Sprintf("%.1f", dsp.DB(series[si][j]/globalMax)))
+		}
+		t.AddRow(cells...)
+	}
+	return t, nil
+}
+
+// Fig4c reproduces the constellation illustration: the two BPSK lattice
+// points and the received signal of one band-edge subcarrier across five
+// FFT segments under strong ACI, showing the outlier that defeats simple
+// averaging.
+func Fig4c(seed int64) (*Table, error) {
+	f, c, _, err := analysisScenario(seed, -20, 100)
+	if err != nil {
+		return nil, err
+	}
+	_ = c
+	segs, err := segmentPlanFor(c.Grid, 5, nil, 1)
+	if err != nil {
+		return nil, err
+	}
+	obs, err := f.ObserveSegments(0, segs)
+	if err != nil {
+		return nil, err
+	}
+	bpsk := modem.New(modem.BPSK)
+	t := &Table{
+		Title:  "Fig 4c: received signal in 5 FFT segments vs BPSK lattice",
+		Header: []string{"point", "re", "im"},
+	}
+	for i, p := range bpsk.Points() {
+		t.AddRow(fmt.Sprintf("lattice-%d", i), fmt.Sprintf("%.3f", real(p)), fmt.Sprintf("%.3f", imag(p)))
+	}
+	scs := ofdm.DataSubcarriers()
+	idx := 0
+	for i, sc := range scs {
+		if sc == 26 {
+			idx = i
+		}
+	}
+	for j := range obs {
+		v := obs[j].Data[idx]
+		t.AddRow(fmt.Sprintf("segment-%d", j+1), fmt.Sprintf("%.3f", real(v)), fmt.Sprintf("%.3f", imag(v)))
+	}
+	return t, nil
+}
+
+// Fig6a evaluates a univariate Gaussian KDE over an illustrative sample set
+// at three bandwidths, reproducing the over/under-smoothing picture.
+func Fig6a() (*Table, error) {
+	samples := []float64{-4.5, -4.2, -3.8, -1.1, -0.7, 0.2, 0.5, 0.9, 1.3, 4.8, 5.5, 9.4}
+	t := &Table{
+		Title:  "Fig 6a: kernel density estimation with varying bandwidth",
+		Header: []string{"x", "bw=1", "bw=2", "bw=3"},
+	}
+	var us []*kde.Univariate
+	for _, bw := range []float64{1, 2, 3} {
+		u, err := kde.NewUnivariate(samples, bw)
+		if err != nil {
+			return nil, err
+		}
+		us = append(us, u)
+	}
+	for x := -10.0; x <= 15.0; x += 0.5 {
+		cells := []string{fmt.Sprintf("%.1f", x)}
+		for _, u := range us {
+			cells = append(cells, fmt.Sprintf("%.4f", u.Density(x)))
+		}
+		t.AddRow(cells...)
+	}
+	return t, nil
+}
+
+// Fig6b compares, for SIR −10/−20/−30 dB, the CDF of the amplitude
+// deviations observed on data symbols against the CDF predicted by the
+// preamble-trained density — the model-accuracy check of Fig. 6b.
+// Deviations are reported as interference power in dB.
+func Fig6b(seed int64) (*Table, error) {
+	sirs := []float64{-10, -20, -30}
+	type curve struct {
+		sample *kde.Univariate // empirical via KDE for a smooth CDF
+		model  *kde.Univariate
+	}
+	curves := make([]curve, len(sirs))
+	for si, sir := range sirs {
+		f, c, mcsV, err := analysisScenario(seed+int64(si), sir, 400)
+		if err != nil {
+			return nil, err
+		}
+		segs, err := segmentPlanFor(c.Grid, 16, nil, 1)
+		if err != nil {
+			return nil, err
+		}
+		// Preamble model samples: deviation amplitudes at band-edge
+		// subcarriers pooled over segments.
+		var trainAmps []float64
+		scs := ofdm.DataSubcarriers()
+		for _, off := range segs {
+			pre, err := f.ObservePreamble(off)
+			if err != nil {
+				return nil, err
+			}
+			for i, sc := range scs {
+				if sc < 15 {
+					continue
+				}
+				for s := 0; s < 2; s++ {
+					d := pre[s][i] - ofdm.LTFValue(sc)
+					trainAmps = append(trainAmps, powDB(d))
+				}
+			}
+		}
+		// Data-symbol deviations from the known transmitted points (via
+		// the interference-free stream).
+		vict := make([]complex128, len(c.Samples))
+		for i := range vict {
+			vict[i] = c.Samples[i] - c.InterferenceOnly[i]
+		}
+		fClean, err := rx.NewFrame(c.Grid, vict, c.FrameStart)
+		if err != nil {
+			return nil, err
+		}
+		cons := modem.New(mcsV.Scheme)
+		var dataAmps []float64
+		for k := 0; k < 10; k++ {
+			truth, err := (rx.StandardDecider{}).DecideSymbol(fClean, k, cons)
+			if err != nil {
+				return nil, err
+			}
+			obs, err := f.ObserveSegments(k, segs)
+			if err != nil {
+				return nil, err
+			}
+			for i, sc := range scs {
+				if sc < 15 {
+					continue
+				}
+				for j := range obs {
+					dataAmps = append(dataAmps, powDB(obs[j].Data[i]-cons.Point(truth[i])))
+				}
+			}
+		}
+		sm, err := kde.NewUnivariate(dataAmps, kde.Silverman(dataAmps))
+		if err != nil {
+			return nil, err
+		}
+		md, err := kde.NewUnivariate(trainAmps, kde.Silverman(trainAmps))
+		if err != nil {
+			return nil, err
+		}
+		curves[si] = curve{sample: sm, model: md}
+	}
+	t := &Table{
+		Title:  "Fig 6b: CDF of interference power — data samples vs preamble density estimate",
+		Header: []string{"power(dB)", "samp-10", "model-10", "samp-20", "model-20", "samp-30", "model-30"},
+	}
+	for p := -70.0; p <= 30.0; p += 2.5 {
+		cells := []string{fmt.Sprintf("%.1f", p)}
+		for _, cv := range curves {
+			cells = append(cells, fmt.Sprintf("%.3f", cv.sample.CDF(p)), fmt.Sprintf("%.3f", cv.model.CDF(p)))
+		}
+		t.AddRow(cells...)
+	}
+	return t, nil
+}
+
+// powDB converts a complex deviation to its power in dB (floored).
+func powDB(d complex128) float64 {
+	p := real(d)*real(d) + imag(d)*imag(d)
+	if p < 1e-9 {
+		p = 1e-9
+	}
+	return 10 * math.Log10(p)
+}
+
+// Fig13 reproduces the interfering-neighbour CDF of the office deployment.
+// The detection threshold is calibrated so the standard receiver's density
+// matches the paper's (>80 % of APs with at least 12 interfering
+// neighbours); CPRecycle tolerates gainDB more interference.
+func Fig13(seed int64, gainDB float64) (*Table, error) {
+	b := netsim.PaperBuilding()
+	// Calibrate the threshold to the paper's standard-receiver density.
+	threshold := -70.0
+	for th := -95.0; th <= -50; th += 0.5 {
+		res, err := netsim.Fig13(b, seed, th, gainDB)
+		if err != nil {
+			return nil, err
+		}
+		atLeast12 := 0
+		for _, n := range res.StandardCounts {
+			if n >= 12 {
+				atLeast12++
+			}
+		}
+		if float64(atLeast12) <= 0.85*float64(len(res.StandardCounts)) {
+			threshold = th
+			break
+		}
+	}
+	res, err := netsim.Fig13(b, seed, threshold, gainDB)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: "Fig 13: CDF of interfering neighbours (40-AP office)",
+		Note: fmt.Sprintf("threshold %.1f dBm, CPRecycle gain %.0f dB; medians std=%d cpr=%d",
+			threshold, gainDB, netsim.MedianNeighbors(res.StandardCounts), netsim.MedianNeighbors(res.CPRecycleCounts)),
+		Header: []string{"neighbours", "CDF-standard", "CDF-cprecycle"},
+	}
+	cdfAt := func(counts []int, x int) float64 {
+		n := 0
+		for _, c := range counts {
+			if c <= x {
+				n++
+			}
+		}
+		return float64(n) / float64(len(counts))
+	}
+	for x := 0; x <= 25; x++ {
+		t.AddRow(fmt.Sprintf("%d", x),
+			fmt.Sprintf("%.3f", cdfAt(res.StandardCounts, x)),
+			fmt.Sprintf("%.3f", cdfAt(res.CPRecycleCounts, x)))
+	}
+	return t, nil
+}

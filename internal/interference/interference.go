@@ -1,0 +1,248 @@
+// Package interference composes the experiment waveforms: a victim 802.11
+// transmission plus one or more independently-timed interfering OFDM
+// transmitters on a shared sampled band, at calibrated SIR and SNR.
+//
+// The composite band reproduces the paper's controlled USRP setup (§3.2):
+// "contiguous subcarriers are assigned to the sender and interferer with
+// [a] guardband in between. The interferer transmits the signal with a
+// temporal offset that is greater than … the duration of the cyclic prefix"
+// — the misalignment makes the interferer's energy smear across the
+// victim's subcarriers differently in every FFT segment, which is exactly
+// the structure CPRecycle exploits. Co-channel interference uses a zero
+// subcarrier offset on the same band.
+//
+// Subcarrier spacing is 312.5 kHz on every grid (the composite band is an
+// oversampled view), so subcarrier offsets translate directly to MHz.
+package interference
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/dsp"
+	"repro/internal/ofdm"
+	"repro/internal/wifi"
+)
+
+// SubcarrierSpacingMHz is the 802.11a/g subcarrier spacing.
+const SubcarrierSpacingMHz = 0.3125
+
+// Interferer describes one interfering transmitter.
+type Interferer struct {
+	// CenterOffset is the interferer's DC subcarrier offset from the
+	// victim's DC, in subcarriers (= composite bins). 0 means co-channel.
+	CenterOffset int
+	// SIRdB is the victim-signal-to-this-interferer power ratio.
+	SIRdB float64
+	// BoundaryOffset places the interferer's symbol boundaries at this
+	// many samples past each victim symbol's start (victim and interferer
+	// share the 4 µs symbol period, so the relative offset is constant
+	// across a frame). The paper requires a temporal offset "greater than
+	// … the duration of the cyclic prefix", i.e. a boundary inside the
+	// victim's standard FFT window — otherwise the interferer stays
+	// orthogonal and harmless. Zero draws the offset uniformly from
+	// (CP, symbol length) afresh for every Run, like the free-running
+	// transmitters of the testbed.
+	BoundaryOffset int
+	// MCS is the interferer's own modulation; zero value selects 16-QAM 1/2.
+	MCS wifi.MCS
+	// Channel is the interferer→receiver channel; nil means ideal.
+	Channel *channel.Multipath
+	// CFO is the interferer's carrier frequency offset relative to the
+	// receiver, in subcarrier spacings (0.1 ≈ 31 kHz ≈ 13 ppm at 2.4 GHz).
+	// Real transmitters are never frequency-locked to the victim's
+	// receiver — the paper (§1, [46]) notes orthogonality only holds "in
+	// perfectly synchronized systems, which rarely occurs" — and this
+	// offset is what makes the interference leakage rotate differently in
+	// every FFT segment. Zero draws ±[0.05, 0.2) afresh per Run.
+	CFO float64
+}
+
+// Scenario describes one experiment configuration.
+type Scenario struct {
+	// Q is the composite band oversampling factor (1 = native 20 MHz band;
+	// 4 = 80 MHz composite for adjacent-channel layouts).
+	Q int
+	// VictimCenter is the victim's DC bin on the composite grid.
+	VictimCenter int
+	// SNRdB is the AWGN level relative to the victim's received power.
+	// Values ≥ 1000 disable noise.
+	SNRdB float64
+	// Channel is the victim→receiver channel; nil means ideal.
+	Channel *channel.Multipath
+	// Interferers lists the interfering transmitters (may be empty).
+	Interferers []Interferer
+	// Pad is the number of idle samples before the victim frame; zero
+	// selects 100·Q.
+	Pad int
+}
+
+// Composite is one realised scenario: the received stream and ground truth.
+type Composite struct {
+	// Samples is the received waveform: victim + interference + noise.
+	Samples []complex128
+	// InterferenceOnly is the summed interference with the sender muted
+	// and no noise — the Oracle's perfect knowledge.
+	InterferenceOnly []complex128
+	// Victim is the transmitted victim PPDU.
+	Victim *wifi.PPDU
+	// Grid is the victim's grid on the composite band.
+	Grid ofdm.Grid
+	// FrameStart is the sample index of the victim preamble.
+	FrameStart int
+	// PSDU is the transmitted victim PSDU.
+	PSDU []byte
+}
+
+// VictimGrid returns the victim's grid for the scenario.
+func (s *Scenario) VictimGrid() ofdm.Grid {
+	q := s.Q
+	if q < 1 {
+		q = 1
+	}
+	return ofdm.WideGrid(64, 16, q, s.VictimCenter)
+}
+
+// InterfererGrid returns interferer i's grid.
+func (s *Scenario) InterfererGrid(i int) ofdm.Grid {
+	q := s.Q
+	if q < 1 {
+		q = 1
+	}
+	return ofdm.WideGrid(64, 16, q, s.VictimCenter+s.Interferers[i].CenterOffset)
+}
+
+// Run realises the scenario for one victim PSDU, drawing interferer
+// payloads, victim data and noise from r.
+func (s *Scenario) Run(r *dsp.Rand, psdu []byte, mcs wifi.MCS) (*Composite, error) {
+	q := s.Q
+	if q < 1 {
+		q = 1
+	}
+	g := s.VictimGrid()
+	pad := s.Pad
+	if pad == 0 {
+		pad = 100 * q
+	}
+
+	vcfg := wifi.TxConfig{Grid: g, MCS: mcs, ScramblerSeed: uint8(1 + r.Intn(127))}
+	victim, err := wifi.BuildPPDU(vcfg, psdu)
+	if err != nil {
+		return nil, fmt.Errorf("interference: victim: %w", err)
+	}
+	vWave := victim.Samples
+	if s.Channel != nil {
+		vWave = s.Channel.Apply(vWave)
+	}
+	streamLen := pad + len(vWave) + pad
+	stream := make([]complex128, streamLen)
+	dsp.AddInto(stream, vWave, pad)
+	victimPower := dsp.Power(vWave)
+
+	interfOnly := make([]complex128, streamLen)
+	victimDataStart := pad + victim.DataStart
+	for i := range s.Interferers {
+		wave, err := s.interfererWave(r, i, streamLen, victimDataStart)
+		if err != nil {
+			return nil, err
+		}
+		gain := channel.GainForSIR(victimPower, dsp.Power(wave), s.Interferers[i].SIRdB)
+		dsp.Scale(wave, gain)
+		dsp.AddInto(interfOnly, wave, 0)
+	}
+	for i := range interfOnly {
+		stream[i] += interfOnly[i]
+	}
+	if s.SNRdB < 1000 {
+		channel.AWGN(r, stream, channel.NoisePowerForSNR(victimPower, s.SNRdB))
+	}
+
+	return &Composite{
+		Samples:          stream,
+		InterferenceOnly: interfOnly,
+		Victim:           victim,
+		Grid:             g,
+		FrameStart:       pad,
+		PSDU:             psdu,
+	}, nil
+}
+
+// interfererWave builds a continuous stream of back-to-back PPDUs from
+// interferer i covering [0, streamLen), tiled so that the interferer's
+// symbol boundaries fall BoundaryOffset samples past each victim data
+// symbol start. PPDU lengths are whole multiples of the symbol length, so
+// the relative boundary position persists across tiles.
+func (s *Scenario) interfererWave(r *dsp.Rand, i int, streamLen, victimDataStart int) ([]complex128, error) {
+	itf := s.Interferers[i]
+	g := s.InterfererGrid(i)
+	mcs := itf.MCS
+	if mcs.Name == "" {
+		m, err := wifi.MCSByName("16-QAM 1/2")
+		if err != nil {
+			return nil, err
+		}
+		mcs = m
+	}
+	symLen := g.SymLen()
+	boundary := itf.BoundaryOffset
+	if boundary == 0 {
+		// Free-running transmitter: any offset beyond the CP, fresh per Run.
+		boundary = g.CP + 1 + r.Intn(symLen-g.CP-1)
+	}
+
+	out := make([]complex128, streamLen)
+	cfg := wifi.TxConfig{Grid: g, MCS: mcs, ScramblerSeed: uint8(1 + r.Intn(127))}
+	probe, err := wifi.BuildPPDU(cfg, wifi.BuildPSDU(r.Bytes(396)))
+	if err != nil {
+		return nil, fmt.Errorf("interference: interferer %d: %w", i, err)
+	}
+	ppduLen := len(probe.Samples) // a multiple of symLen by construction
+	// Choose the first tile position ≡ victimDataStart+boundary (mod symLen)
+	// and at or before sample 0.
+	pos := (victimDataStart+boundary)%symLen - ppduLen
+	wave := probe.Samples
+	for ; pos < streamLen; pos += ppduLen {
+		w := wave
+		if itf.Channel != nil {
+			w = itf.Channel.Apply(w)
+		}
+		dsp.AddInto(out, w, pos)
+		// Fresh payload for the next tile.
+		next, err := wifi.BuildPPDU(cfg, wifi.BuildPSDU(r.Bytes(396)))
+		if err != nil {
+			return nil, err
+		}
+		wave = next.Samples
+	}
+	cfo := itf.CFO
+	if cfo == 0 {
+		mag := 0.05 + 0.15*r.Float64()
+		if r.Intn(2) == 0 {
+			mag = -mag
+		}
+		cfo = mag
+	}
+	dsp.FreqShift(out, cfo, g.NFFT, 0)
+	return out, nil
+}
+
+// OffsetForGuardMHz returns the interferer center offset (in subcarriers)
+// that leaves the given edge-to-edge guard band, in MHz, between the
+// victim's highest used subcarrier (+26) and the interferer's lowest
+// (−26). A guard of 0 MHz packs the bands back to back.
+func OffsetForGuardMHz(guardMHz float64) int {
+	guardSC := int(guardMHz/SubcarrierSpacingMHz + 0.5)
+	return 53 + guardSC
+}
+
+// GuardMHzForOffset is the inverse of OffsetForGuardMHz.
+func GuardMHzForOffset(offset int) float64 {
+	return float64(offset-53) * SubcarrierSpacingMHz
+}
+
+// Channel80211Offset returns the subcarrier offset corresponding to n
+// 802.11 channel numbers of separation (5 MHz each): the paper's ch 8 vs
+// ch 11 scenario is Channel80211Offset(3) = 48 subcarriers = 15 MHz.
+func Channel80211Offset(channels int) int {
+	return channels * 16 // 5 MHz / 312.5 kHz
+}

@@ -1,0 +1,231 @@
+package interference
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/dsp"
+	"repro/internal/ofdm"
+	"repro/internal/rx"
+	"repro/internal/wifi"
+)
+
+func qpsk(t testing.TB) wifi.MCS {
+	t.Helper()
+	m, err := wifi.MCSByName("QPSK 1/2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestGuardBandConversions(t *testing.T) {
+	if OffsetForGuardMHz(0) != 53 {
+		t.Fatalf("0 MHz guard offset = %d", OffsetForGuardMHz(0))
+	}
+	// 4 subcarriers of guard (paper §3.2) is 1.25 MHz.
+	if OffsetForGuardMHz(1.25) != 57 {
+		t.Fatalf("1.25 MHz guard offset = %d", OffsetForGuardMHz(1.25))
+	}
+	for _, off := range []int{53, 57, 101, 149} {
+		if got := OffsetForGuardMHz(GuardMHzForOffset(off)); got != off {
+			t.Fatalf("round trip offset %d → %d", off, got)
+		}
+	}
+	// Paper's ch8 vs ch11: 3 channels = 15 MHz = 48 subcarriers.
+	if Channel80211Offset(3) != 48 {
+		t.Fatalf("3-channel offset = %d", Channel80211Offset(3))
+	}
+}
+
+func TestScenarioNoInterference(t *testing.T) {
+	s := &Scenario{Q: 1, SNRdB: 10000}
+	r := dsp.NewRand(1)
+	psdu := wifi.BuildPSDU(r.Bytes(46))
+	c, err := s.Run(r, psdu, qpsk(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dsp.Power(c.InterferenceOnly) != 0 {
+		t.Fatal("no interferers configured but interference present")
+	}
+	// The victim decodes perfectly.
+	f, err := rx.NewFrame(c.Grid, c.Samples, c.FrameStart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rx.DecodeData(f, qpsk(t), len(psdu), rx.StandardDecider{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FCSOK {
+		t.Fatal("clean scenario should decode")
+	}
+}
+
+func TestScenarioSIRCalibration(t *testing.T) {
+	for _, sir := range []float64{-20, -10, 0, 10} {
+		s := &Scenario{
+			Q:            4,
+			VictimCenter: 64,
+			SNRdB:        10000,
+			Interferers:  []Interferer{{CenterOffset: 57, SIRdB: sir}},
+		}
+		r := dsp.NewRand(2)
+		psdu := wifi.BuildPSDU(r.Bytes(96))
+		c, err := s.Run(r, psdu, qpsk(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Measure achieved SIR over the victim frame extent.
+		lo, hi := c.FrameStart, c.FrameStart+len(c.Victim.Samples)
+		sig := make([]complex128, hi-lo)
+		for i := range sig {
+			sig[i] = c.Samples[lo+i] - c.InterferenceOnly[lo+i]
+		}
+		got := dsp.DB(dsp.Power(sig) / dsp.Power(c.InterferenceOnly[lo:hi]))
+		// The interferer power is calibrated over the whole stream; over
+		// the frame window it fluctuates by a little.
+		if math.Abs(got-sir) > 1.5 {
+			t.Fatalf("SIR %v dB: achieved %.2f dB", sir, got)
+		}
+	}
+}
+
+func TestInterfererCoversWholeFrame(t *testing.T) {
+	s := &Scenario{
+		Q:           1,
+		SNRdB:       10000,
+		Interferers: []Interferer{{CenterOffset: 0, SIRdB: 0}},
+	}
+	r := dsp.NewRand(3)
+	psdu := wifi.BuildPSDU(r.Bytes(200))
+	c, err := s.Run(r, psdu, qpsk(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every victim symbol period must contain interference energy.
+	g := c.Grid
+	for pos := c.FrameStart; pos+g.SymLen() <= c.FrameStart+len(c.Victim.Samples); pos += g.SymLen() {
+		if dsp.Power(c.InterferenceOnly[pos:pos+g.SymLen()]) <= 0 {
+			t.Fatalf("no interference during symbol at %d", pos)
+		}
+	}
+}
+
+func TestACISpectralPlacement(t *testing.T) {
+	// The interferer's in-band bins must carry far more power than the
+	// victim's in-band bins when the victim is muted.
+	s := &Scenario{
+		Q:            4,
+		VictimCenter: 64,
+		SNRdB:        10000,
+		Interferers:  []Interferer{{CenterOffset: 57, SIRdB: 0}},
+	}
+	r := dsp.NewRand(4)
+	psdu := wifi.BuildPSDU(r.Bytes(96))
+	c, err := s.Run(r, psdu, qpsk(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ofdm.MustDemodulator(c.Grid)
+	var inVictim, inInterf float64
+	const count = 10
+	for k := 0; k < count; k++ {
+		start := c.FrameStart + k*c.Grid.SymLen()
+		bins, err := d.Standard(c.InterferenceOnly, start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for sc := -26; sc <= 26; sc++ {
+			v := bins[c.Grid.Bin(sc)]
+			inVictim += real(v)*real(v) + imag(v)*imag(v)
+			w := bins[c.Grid.Bin(sc+57)]
+			inInterf += real(w)*real(w) + imag(w)*imag(w)
+		}
+	}
+	if ratio := dsp.DB(inInterf / inVictim); ratio < 10 {
+		t.Fatalf("interferer band only %.1f dB above victim band leakage", ratio)
+	}
+	if inVictim <= 0 {
+		t.Fatal("expected nonzero adjacent-channel leakage into the victim band")
+	}
+}
+
+func TestCCIWithMultipathChannels(t *testing.T) {
+	s := &Scenario{
+		Q:       1,
+		SNRdB:   20,
+		Channel: channel.Indoor2Tap(),
+		Interferers: []Interferer{
+			{CenterOffset: 0, SIRdB: 20, Channel: channel.Indoor2Tap()},
+		},
+	}
+	r := dsp.NewRand(5)
+	psdu := wifi.BuildPSDU(r.Bytes(46))
+	c, err := s.Run(r, psdu, qpsk(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At SIR 20 dB the standard receiver still decodes.
+	f, err := rx.NewFrame(c.Grid, c.Samples, c.FrameStart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rx.DecodeData(f, qpsk(t), len(psdu), rx.StandardDecider{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FCSOK {
+		t.Fatal("mild CCI should not break the standard receiver")
+	}
+}
+
+func TestTwoInterferers(t *testing.T) {
+	s := &Scenario{
+		Q:            4,
+		VictimCenter: 128,
+		SNRdB:        10000,
+		Interferers: []Interferer{
+			{CenterOffset: 57, SIRdB: 0},
+			{CenterOffset: -57, SIRdB: 0},
+		},
+	}
+	r := dsp.NewRand(6)
+	psdu := wifi.BuildPSDU(r.Bytes(46))
+	c, err := s.Run(r, psdu, qpsk(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := c.FrameStart, c.FrameStart+len(c.Victim.Samples)
+	sig := make([]complex128, hi-lo)
+	for i := range sig {
+		sig[i] = c.Samples[lo+i] - c.InterferenceOnly[lo+i]
+	}
+	// Total interference is the sum of two 0 dB interferers → SIR ≈ −3 dB.
+	got := dsp.DB(dsp.Power(sig) / dsp.Power(c.InterferenceOnly[lo:hi]))
+	if math.Abs(got-(-3)) > 1.5 {
+		t.Fatalf("two-interferer SIR = %.2f dB, want ≈ -3", got)
+	}
+}
+
+func TestVictimGridPlacement(t *testing.T) {
+	s := &Scenario{Q: 4, VictimCenter: 96}
+	g := s.VictimGrid()
+	if g.NFFT != 256 || g.CP != 64 || g.Center != 96 {
+		t.Fatalf("victim grid %+v", g)
+	}
+	s.Interferers = []Interferer{{CenterOffset: -40}}
+	ig := s.InterfererGrid(0)
+	if ig.Center != 56 {
+		t.Fatalf("interferer center %d", ig.Center)
+	}
+}
+
+func TestRunRejectsBadPSDU(t *testing.T) {
+	s := &Scenario{Q: 1}
+	if _, err := s.Run(dsp.NewRand(1), nil, qpsk(t)); err == nil {
+		t.Fatal("empty PSDU should fail")
+	}
+}

@@ -1,0 +1,385 @@
+package kde
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dsp"
+)
+
+func TestNewBivariateValidation(t *testing.T) {
+	if _, err := NewBivariate(nil, nil, 1, 1); err == nil {
+		t.Fatal("empty samples should fail")
+	}
+	if _, err := NewBivariate([]float64{1}, []float64{1, 2}, 1, 1); err == nil {
+		t.Fatal("mismatched lengths should fail")
+	}
+	b, err := NewBivariate([]float64{1}, []float64{0}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, bp := b.Bandwidths()
+	if ba != MinBandwidth || bp != MinBandwidth {
+		t.Fatal("zero bandwidths must be floored")
+	}
+}
+
+func TestBivariateCopiesSamples(t *testing.T) {
+	amp := []float64{1, 2}
+	ph := []float64{0, 0.5}
+	b, _ := NewBivariate(amp, ph, 1, 1)
+	before := b.Density(1, 0)
+	amp[0] = 100
+	if b.Density(1, 0) != before {
+		t.Fatal("estimator must copy its samples")
+	}
+	if b.NumSamples() != 2 {
+		t.Fatal("NumSamples")
+	}
+}
+
+func TestBivariateIntegratesToOne(t *testing.T) {
+	r := dsp.NewRand(1)
+	amp := make([]float64, 20)
+	ph := make([]float64, 20)
+	for i := range amp {
+		amp[i] = math.Abs(r.NormFloat64())
+		ph[i] = r.NormFloat64() * 0.5
+	}
+	b, err := NewBivariate(amp, ph, 0.3, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Numerically integrate over a generous rectangle.
+	const da, dp = 0.02, 0.02
+	var integral float64
+	for a := -4.0; a < 6.0; a += da {
+		for p := -3.0; p < 3.0; p += dp {
+			integral += b.Density(a, p) * da * dp
+		}
+	}
+	if math.Abs(integral-1) > 0.03 {
+		t.Fatalf("density integrates to %v, want ~1", integral)
+	}
+}
+
+func TestBivariatePeaksAtSamples(t *testing.T) {
+	b, _ := NewBivariate([]float64{1.0}, []float64{0.5}, 0.1, 0.1)
+	at := b.Density(1.0, 0.5)
+	off := b.Density(1.5, 0.5)
+	if at <= off {
+		t.Fatal("density should peak at the sample")
+	}
+	far := b.Density(10, 3)
+	if far >= off {
+		t.Fatal("density should decay with distance")
+	}
+}
+
+func TestBivariatePhaseWrapping(t *testing.T) {
+	// A sample at phase π−0.01 must give nearly the same density at
+	// −π+0.01 (circular distance 0.02), not treat it as ~2π away.
+	b, _ := NewBivariate([]float64{1}, []float64{math.Pi - 0.01}, 0.2, 0.2)
+	near := b.Density(1, -math.Pi+0.01)
+	at := b.Density(1, math.Pi-0.01)
+	if near < at*0.9 {
+		t.Fatalf("phase wrapping broken: at=%v near=%v", at, near)
+	}
+}
+
+func TestBivariateSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := dsp.NewRand(seed)
+		n := 5 + r.Intn(20)
+		amp := make([]float64, n)
+		ph := make([]float64, n)
+		for i := range amp {
+			amp[i] = r.NormFloat64()
+			ph[i] = dsp.WrapPhase(r.NormFloat64())
+		}
+		b, err := NewBivariate(amp, ph, 0.5, 0.5)
+		if err != nil {
+			return false
+		}
+		// Density must be non-negative everywhere and finite.
+		for trial := 0; trial < 10; trial++ {
+			d := b.Density(r.NormFloat64()*3, dsp.WrapPhase(r.NormFloat64()*3))
+			if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogDensityFloor(t *testing.T) {
+	b, _ := NewBivariate([]float64{0}, []float64{0}, 0.01, 0.01)
+	ld := b.LogDensity(1e6, 0)
+	if math.IsInf(ld, -1) || ld > -100 {
+		t.Fatalf("LogDensity far away = %v, want large negative finite", ld)
+	}
+	near := b.LogDensity(0, 0)
+	if near <= ld {
+		t.Fatal("LogDensity ordering broken")
+	}
+}
+
+func TestSilvermanScaling(t *testing.T) {
+	r := dsp.NewRand(2)
+	x := make([]float64, 100)
+	for i := range x {
+		x[i] = r.NormFloat64() * 2 // σ = 2
+	}
+	h := Silverman(x)
+	spread := dsp.StdDev(x)
+	if iqr := IQR(x) / 1.349; iqr < spread {
+		spread = iqr
+	}
+	want := 0.9 * spread * math.Pow(100, -0.2)
+	if math.Abs(h-want) > 1e-12 {
+		t.Fatalf("Silverman = %v, want %v", h, want)
+	}
+	if Silverman([]float64{1}) != MinBandwidth {
+		t.Fatal("single sample should floor")
+	}
+	if Silverman([]float64{3, 3, 3}) != MinBandwidth {
+		t.Fatal("zero-variance samples should floor")
+	}
+}
+
+func TestSilvermanRobustToOutliers(t *testing.T) {
+	// A handful of extreme outliers (interfered-segment deviations pooled
+	// with clean ones) must not inflate the bandwidth.
+	clean := make([]float64, 26)
+	r := dsp.NewRand(21)
+	for i := range clean {
+		clean[i] = r.NormFloat64() * 0.05
+	}
+	withOutliers := append(append([]float64{}, clean...), 10, 11, 9.5, 10.5, 9.8, 10.2)
+	hc := Silverman(clean)
+	ho := Silverman(withOutliers)
+	if ho > 4*hc {
+		t.Fatalf("outliers inflated bandwidth %vx", ho/hc)
+	}
+}
+
+func TestIQR(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if got := IQR(x); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("IQR = %v, want 4", got)
+	}
+	if IQR([]float64{5}) != 0 {
+		t.Fatal("single-sample IQR should be 0")
+	}
+}
+
+func TestAdaptiveBivariate(t *testing.T) {
+	// Mixture of a tight cluster and distant outliers: the adaptive
+	// estimator must keep a sharp peak at the cluster while the fixed one
+	// over-smooths (or, with robust bandwidth, under-covers the outliers).
+	r := dsp.NewRand(22)
+	amp := make([]float64, 0, 32)
+	ph := make([]float64, 0, 32)
+	for i := 0; i < 26; i++ {
+		amp = append(amp, math.Abs(r.NormFloat64())*0.05)
+		ph = append(ph, r.NormFloat64()*0.3)
+	}
+	for i := 0; i < 6; i++ {
+		amp = append(amp, 10+r.NormFloat64()*0.1)
+		ph = append(ph, r.NormFloat64())
+	}
+	adap, err := NewBivariateAdaptive(amp, ph, Silverman)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adap.Adaptive() {
+		t.Fatal("adaptive flag not set")
+	}
+	fixed, err := NewBivariateAuto(amp, ph, Silverman)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.Adaptive() {
+		t.Fatal("fixed estimator should not be adaptive")
+	}
+	// Sharp discrimination near the cluster for both.
+	if adap.Density(0.05, 0) <= adap.Density(1.5, 0) {
+		t.Fatal("adaptive density should peak at the cluster")
+	}
+	// The outlier region keeps meaningful mass under the adaptive kernel.
+	if adap.Density(10, 0) <= 0 {
+		t.Fatal("adaptive density should cover the outliers")
+	}
+	// Integrates to ~1.
+	var integral float64
+	const da, dp = 0.05, 0.05
+	for a := -2.0; a < 13.0; a += da {
+		for p := -3.1; p < 3.1; p += dp {
+			integral += adap.Density(a, p) * da * dp
+		}
+	}
+	if math.Abs(integral-1) > 0.08 {
+		t.Fatalf("adaptive density integrates to %v", integral)
+	}
+}
+
+func TestLSCVPicksReasonableBandwidth(t *testing.T) {
+	r := dsp.NewRand(3)
+	x := make([]float64, 60)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	h := LSCV(x)
+	s := Silverman(x)
+	if h < s/5 || h > s*5 {
+		t.Fatalf("LSCV = %v far from Silverman %v", h, s)
+	}
+	if LSCV([]float64{1}) != MinBandwidth {
+		t.Fatal("degenerate LSCV should floor")
+	}
+}
+
+func TestLSCVAdaptsToBimodal(t *testing.T) {
+	// For well-separated bimodal data the CV bandwidth should be smaller
+	// than what the (variance-inflated) Silverman rule suggests.
+	r := dsp.NewRand(4)
+	x := make([]float64, 80)
+	for i := range x {
+		x[i] = r.NormFloat64() * 0.1
+		if i%2 == 0 {
+			x[i] += 10
+		}
+	}
+	if h, s := LSCV(x), Silverman(x); h >= s {
+		t.Fatalf("LSCV %v should undercut Silverman %v on bimodal data", h, s)
+	}
+}
+
+func TestFixedBandwidth(t *testing.T) {
+	sel := FixedBandwidth(2.5)
+	if sel(nil) != 2.5 || sel([]float64{1, 2, 3}) != 2.5 {
+		t.Fatal("FixedBandwidth should ignore data")
+	}
+}
+
+func TestNewBivariateAuto(t *testing.T) {
+	r := dsp.NewRand(5)
+	amp := make([]float64, 32)
+	ph := make([]float64, 32)
+	for i := range amp {
+		amp[i] = r.NormFloat64()
+		ph[i] = r.NormFloat64() * 0.3
+	}
+	b, err := NewBivariateAuto(amp, ph, Silverman)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, bp := b.Bandwidths()
+	if math.Abs(ba-Silverman(amp)) > 1e-12 || math.Abs(bp-Silverman(ph)) > 1e-12 {
+		t.Fatal("auto bandwidths should match selector output")
+	}
+}
+
+func TestUnivariateDensityAndCDF(t *testing.T) {
+	u, err := NewUnivariate([]float64{0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single standard-normal kernel: density at 0 is 1/√(2π).
+	if d := u.Density(0); math.Abs(d-invSqrt2Pi) > 1e-12 {
+		t.Fatalf("Density(0) = %v", d)
+	}
+	if c := u.CDF(0); math.Abs(c-0.5) > 1e-12 {
+		t.Fatalf("CDF(0) = %v", c)
+	}
+	if c := u.CDF(10); math.Abs(c-1) > 1e-9 {
+		t.Fatalf("CDF(10) = %v", c)
+	}
+	if c := u.CDF(-10); c > 1e-9 {
+		t.Fatalf("CDF(-10) = %v", c)
+	}
+	if _, err := NewUnivariate(nil, 1); err == nil {
+		t.Fatal("empty samples should fail")
+	}
+	if u.Bandwidth() != 1 {
+		t.Fatal("Bandwidth accessor")
+	}
+}
+
+func TestUnivariateCDFMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := dsp.NewRand(seed)
+		x := make([]float64, 10+r.Intn(30))
+		for i := range x {
+			x[i] = r.NormFloat64() * 3
+		}
+		u, err := NewUnivariate(x, Silverman(x))
+		if err != nil {
+			return false
+		}
+		prev := -1.0
+		for q := -10.0; q <= 10.0; q += 0.5 {
+			c := u.CDF(q)
+			if c < prev-1e-12 || c < 0 || c > 1 {
+				return false
+			}
+			prev = c
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnivariateRecoversGaussianCDF(t *testing.T) {
+	// With many samples from N(0,1), the KDE CDF approximates Φ.
+	r := dsp.NewRand(6)
+	x := make([]float64, 2000)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	u, _ := NewUnivariate(x, Silverman(x))
+	for _, q := range []float64{-2, -1, 0, 1, 2} {
+		want := phi(q)
+		if got := u.CDF(q); math.Abs(got-want) > 0.03 {
+			t.Fatalf("CDF(%v) = %v, want ~%v", q, got, want)
+		}
+	}
+}
+
+func TestBandwidthSensitivitySmoothing(t *testing.T) {
+	// Fig. 6a's message: larger bandwidths over-smooth. Quantify as lower
+	// peak density at the modes.
+	samples := []float64{-3, -2.8, -2.6, 2.6, 2.8, 3}
+	u1, _ := NewUnivariate(samples, 0.3)
+	u3, _ := NewUnivariate(samples, 3)
+	if u1.Density(2.8) <= u3.Density(2.8) {
+		t.Fatal("small bandwidth should have sharper peak at mode")
+	}
+	if u1.Density(0) >= u3.Density(0) {
+		t.Fatal("large bandwidth should fill the valley")
+	}
+}
+
+func BenchmarkBivariateDensity32Samples(b *testing.B) {
+	r := dsp.NewRand(1)
+	amp := make([]float64, 32)
+	ph := make([]float64, 32)
+	for i := range amp {
+		amp[i] = r.NormFloat64()
+		ph[i] = r.NormFloat64()
+	}
+	kd, err := NewBivariate(amp, ph, 0.3, 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		kd.Density(0.5, 0.2)
+	}
+}

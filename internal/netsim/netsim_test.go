@@ -1,0 +1,174 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dsp"
+)
+
+func TestDeployPaperBuilding(t *testing.T) {
+	b := PaperBuilding()
+	d, err := Deploy(b, dsp.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.APs) != 40 {
+		t.Fatalf("AP count = %d, want 40", len(d.APs))
+	}
+	// Same-floor pattern repeats across floors.
+	for i := 0; i < b.APsPerFloor; i++ {
+		a0 := d.APs[i]
+		a1 := d.APs[b.APsPerFloor+i]
+		if a0.X != a1.X || a0.Y != a1.Y {
+			t.Fatal("AP placement should repeat per floor")
+		}
+		if a1.Z-a0.Z != b.FloorHeight {
+			t.Fatal("floor height wrong")
+		}
+	}
+	// Positions inside the building footprint.
+	for _, ap := range d.APs {
+		if ap.X < 0 || ap.X > b.Width || ap.Y < 0 || ap.Y > b.Depth {
+			t.Fatalf("AP outside footprint: %+v", ap)
+		}
+	}
+}
+
+func TestDeployRejectsEmpty(t *testing.T) {
+	if _, err := Deploy(Building{}, dsp.NewRand(1)); err == nil {
+		t.Fatal("empty building should fail")
+	}
+}
+
+func TestRSSISymmetryAndMonotonicity(t *testing.T) {
+	b := PaperBuilding()
+	b.ShadowSigmaDB = 0 // deterministic for this test
+	d, err := Deploy(b, dsp.NewRand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(d.APs)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && d.RSSI[i][j] != d.RSSI[j][i] {
+				t.Fatal("RSSI must be reciprocal")
+			}
+		}
+	}
+	// A same-floor nearby AP must be received more strongly than one four
+	// floors away at the same (x, y).
+	near := d.RSSI[0][1]
+	far := d.RSSI[0][4*b.APsPerFloor]
+	if near <= far {
+		t.Fatalf("near %f dBm should exceed far %f dBm", near, far)
+	}
+}
+
+func TestPathLossFloors(t *testing.T) {
+	b := PaperBuilding()
+	a := AP{X: 10, Y: 10, Z: 0, Floor: 0}
+	c := AP{X: 10, Y: 10, Z: 2 * b.FloorHeight, Floor: 2}
+	pl := pathLoss(b, a, c)
+	noFloorPenalty := b.RefLossDB + 10*b.PathLossExp*math.Log10(2*b.FloorHeight)
+	if math.Abs(pl-noFloorPenalty-2*b.FloorLossDB) > 1e-9 {
+		t.Fatalf("floor penalty wrong: %v", pl)
+	}
+	// Sub-metre distances clamp to the reference distance.
+	d := AP{X: 10.1, Y: 10, Z: 0, Floor: 0}
+	if got := pathLoss(b, a, d); got != b.RefLossDB {
+		t.Fatalf("short-range path loss = %v", got)
+	}
+}
+
+func TestNeighborCountsThresholdMonotone(t *testing.T) {
+	b := PaperBuilding()
+	d, err := Deploy(b, dsp.NewRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := d.NeighborCounts(-90)
+	hi := d.NeighborCounts(-60)
+	for i := range lo {
+		if hi[i] > lo[i] {
+			t.Fatal("raising the threshold must not add neighbours")
+		}
+	}
+}
+
+func TestCDF(t *testing.T) {
+	values, frac := CDF([]int{3, 1, 3, 2})
+	wantV := []int{1, 2, 3}
+	wantF := []float64{0.25, 0.5, 1.0}
+	if len(values) != 3 {
+		t.Fatalf("CDF values = %v", values)
+	}
+	for i := range wantV {
+		if values[i] != wantV[i] || math.Abs(frac[i]-wantF[i]) > 1e-12 {
+			t.Fatalf("CDF = %v %v", values, frac)
+		}
+	}
+	if v, f := CDF(nil); v != nil || f != nil {
+		t.Fatal("empty CDF should be nil")
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := dsp.NewRand(seed)
+		counts := make([]int, 5+r.Intn(50))
+		for i := range counts {
+			counts[i] = r.Intn(20)
+		}
+		vs, fs := CDF(counts)
+		prevV, prevF := -1, 0.0
+		for i := range vs {
+			if vs[i] <= prevV || fs[i] < prevF || fs[i] > 1 {
+				return false
+			}
+			prevV, prevF = vs[i], fs[i]
+		}
+		return len(fs) > 0 && math.Abs(fs[len(fs)-1]-1) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig13ShiftsCDFLeft(t *testing.T) {
+	// The paper's headline: with a standard receiver >80 % of APs have ≥12
+	// interfering neighbours; with CPRecycle >80 % have ≤6. We check the
+	// qualitative shift: the CPRecycle median is well below the standard
+	// median, and no AP gains neighbours.
+	res, err := Fig13(PaperBuilding(), 7, -82, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := MedianNeighbors(res.StandardCounts)
+	mc := MedianNeighbors(res.CPRecycleCounts)
+	t.Logf("median neighbours: standard %d, CPRecycle %d", ms, mc)
+	if mc >= ms {
+		t.Fatalf("CPRecycle median %d should be below standard %d", mc, ms)
+	}
+	if ms < 8 {
+		t.Fatalf("standard deployment should be dense (median %d)", ms)
+	}
+	if mc > ms/2+1 {
+		t.Fatalf("expected a strong reduction, got %d → %d", ms, mc)
+	}
+	for i := range res.StandardCounts {
+		if res.CPRecycleCounts[i] > res.StandardCounts[i] {
+			t.Fatal("no AP may gain neighbours from a higher threshold")
+		}
+	}
+}
+
+func TestMedianNeighbors(t *testing.T) {
+	if MedianNeighbors([]int{5, 1, 9}) != 5 {
+		t.Fatal("median wrong")
+	}
+	if MedianNeighbors(nil) != 0 {
+		t.Fatal("empty median should be 0")
+	}
+}

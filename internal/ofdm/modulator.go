@@ -1,0 +1,213 @@
+package ofdm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dsp"
+)
+
+// Modulator synthesises cyclic-prefixed OFDM symbols on a Grid. It caches
+// the FFT plan for the grid size. Not safe for concurrent use.
+type Modulator struct {
+	grid Grid
+	plan *dsp.FFTPlan
+	freq []complex128 // scratch frequency-domain buffer
+}
+
+// NewModulator returns a modulator for the grid.
+func NewModulator(g Grid) (*Modulator, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	p, err := dsp.NewFFTPlan(g.NFFT)
+	if err != nil {
+		return nil, err
+	}
+	return &Modulator{grid: g, plan: p, freq: make([]complex128, g.NFFT)}, nil
+}
+
+// MustModulator is NewModulator but panics on error.
+func MustModulator(g Grid) *Modulator {
+	m, err := NewModulator(g)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Grid returns the modulator's grid.
+func (m *Modulator) Grid() Grid { return m.grid }
+
+// Symbol synthesises one OFDM symbol with cyclic prefix from a map of
+// signed subcarrier index to complex value. The output has length SymLen
+// and unit average power per occupied subcarrier scaled so the time-domain
+// signal has average power len(values)/NFFT × gain²; use GainForUnitPower
+// to normalise.
+func (m *Modulator) Symbol(values map[int]complex128) []complex128 {
+	for i := range m.freq {
+		m.freq[i] = 0
+	}
+	for sc, v := range values {
+		m.freq[m.grid.Bin(sc)] = v
+	}
+	return m.timeSymbol()
+}
+
+// SymbolFromBins synthesises one OFDM symbol directly from a full
+// frequency-domain vector of length NFFT (bin order, not subcarrier order).
+func (m *Modulator) SymbolFromBins(bins []complex128) []complex128 {
+	if len(bins) != m.grid.NFFT {
+		panic(fmt.Sprintf("ofdm: SymbolFromBins got %d bins, want %d", len(bins), m.grid.NFFT))
+	}
+	copy(m.freq, bins)
+	return m.timeSymbol()
+}
+
+func (m *Modulator) timeSymbol() []complex128 {
+	n := m.grid.NFFT
+	body := make([]complex128, n)
+	copy(body, m.freq)
+	m.plan.Inverse(body)
+	// The IFFT's 1/N scaling makes occupied-bin amplitudes tiny in the time
+	// domain; scale by N so that a single occupied unit bin produces a unit
+	// amplitude complex exponential, keeping powers comparable across grid
+	// sizes (an oversampled embedding then has identical sample power).
+	dsp.Scale(body, float64(n))
+	out := make([]complex128, m.grid.SymLen())
+	copy(out, body[n-m.grid.CP:])
+	copy(out[m.grid.CP:], body)
+	return out
+}
+
+// GainForUnitPower returns the gain that makes a stream of symbols with
+// nOccupied unit-power subcarriers have unit average time-domain power.
+func (m *Modulator) GainForUnitPower(nOccupied int) float64 {
+	if nOccupied <= 0 {
+		return 0
+	}
+	// With the N scaling above, E|x|² = nOccupied.
+	return 1 / math.Sqrt(float64(nOccupied))
+}
+
+// Demodulator computes FFT windows over a received stream on a Grid,
+// including the multi-segment windows CPRecycle uses. Not safe for
+// concurrent use.
+type Demodulator struct {
+	grid Grid
+	plan *dsp.FFTPlan
+	buf  []complex128
+}
+
+// NewDemodulator returns a demodulator for the grid.
+func NewDemodulator(g Grid) (*Demodulator, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	p, err := dsp.NewFFTPlan(g.NFFT)
+	if err != nil {
+		return nil, err
+	}
+	return &Demodulator{grid: g, plan: p, buf: make([]complex128, g.NFFT)}, nil
+}
+
+// MustDemodulator is NewDemodulator but panics on error.
+func MustDemodulator(g Grid) *Demodulator {
+	d, err := NewDemodulator(g)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Grid returns the demodulator's grid.
+func (d *Demodulator) Grid() Grid { return d.grid }
+
+// WindowAt FFTs the NFFT samples of rx starting at sample index start and
+// returns a fresh frequency-domain vector (bin order). The 1/N scaling
+// mirrors the modulator's N scaling so a loopback returns the original
+// subcarrier values.
+func (d *Demodulator) WindowAt(rx []complex128, start int) ([]complex128, error) {
+	n := d.grid.NFFT
+	if start < 0 || start+n > len(rx) {
+		return nil, fmt.Errorf("ofdm: window [%d,%d) outside rx of %d samples", start, start+n, len(rx))
+	}
+	out := make([]complex128, n)
+	copy(out, rx[start:start+n])
+	d.plan.Forward(out)
+	dsp.Scale(out, 1/float64(n))
+	return out, nil
+}
+
+// Standard demodulates the standard receiver's window for the OFDM symbol
+// whose cyclic prefix starts at symStart: the window that skips the entire
+// CP (the paper's "16th segment").
+func (d *Demodulator) Standard(rx []complex128, symStart int) ([]complex128, error) {
+	return d.WindowAt(rx, symStart+d.grid.CP)
+}
+
+// Segment demodulates the FFT window starting at cpOffset samples into the
+// cyclic prefix (cpOffset ∈ [0, CP]) of the symbol whose CP starts at
+// symStart, and corrects the deterministic phase ramp of Proposition 3.1 so
+// the signal component equals the standard window's. cpOffset = CP yields
+// the standard window unchanged.
+func (d *Demodulator) Segment(rx []complex128, symStart, cpOffset int) ([]complex128, error) {
+	if cpOffset < 0 || cpOffset > d.grid.CP {
+		return nil, fmt.Errorf("ofdm: cpOffset %d outside [0,%d]", cpOffset, d.grid.CP)
+	}
+	out, err := d.WindowAt(rx, symStart+cpOffset)
+	if err != nil {
+		return nil, err
+	}
+	CorrectSegmentPhase(out, d.grid.CP-cpOffset)
+	return out, nil
+}
+
+// CorrectSegmentPhase removes the phase ramp caused by starting the FFT
+// window delta samples early (relative to the standard CP-skipping window):
+// bin k is multiplied by e^{+i 2π k delta / N}. This is Eq. 2 of the paper.
+func CorrectSegmentPhase(bins []complex128, delta int) {
+	n := len(bins)
+	if delta == 0 || n == 0 {
+		return
+	}
+	w := 2 * math.Pi * float64(delta) / float64(n)
+	for k := range bins {
+		s, c := math.Sincos(w * float64(k))
+		bins[k] *= complex(c, s)
+	}
+}
+
+// SegmentPlan enumerates the FFT segment start offsets used by a CPRecycle
+// receiver: numSegments windows ending at the standard position, spaced
+// stride samples apart, all within the ISI-free region [minOffset, CP].
+// Offsets are returned in increasing order; the last is always CP (the
+// standard window), mirroring the paper where "the scheme gracefully
+// degrades to a standard OFDM receiver with one FFT segment".
+func SegmentPlan(cp, stride, numSegments, minOffset int) ([]int, error) {
+	if stride <= 0 {
+		return nil, fmt.Errorf("ofdm: stride %d must be positive", stride)
+	}
+	if numSegments <= 0 {
+		return nil, fmt.Errorf("ofdm: numSegments %d must be positive", numSegments)
+	}
+	if minOffset < 0 || minOffset > cp {
+		return nil, fmt.Errorf("ofdm: minOffset %d outside [0,%d]", minOffset, cp)
+	}
+	var offs []int
+	for i := 0; i < numSegments; i++ {
+		o := cp - i*stride
+		if o < minOffset {
+			break
+		}
+		offs = append(offs, o)
+	}
+	// reverse to increasing order
+	for i, j := 0, len(offs)-1; i < j; i, j = i+1, j-1 {
+		offs[i], offs[j] = offs[j], offs[i]
+	}
+	if len(offs) == 0 {
+		return nil, fmt.Errorf("ofdm: no segments fit (cp=%d stride=%d min=%d)", cp, stride, minOffset)
+	}
+	return offs, nil
+}

@@ -1,0 +1,156 @@
+package rx
+
+import (
+	"fmt"
+
+	"repro/internal/coding"
+	"repro/internal/modem"
+	"repro/internal/wifi"
+)
+
+// SymbolDecider turns one data OFDM symbol's observations into hard
+// constellation decisions, one lattice index per data subcarrier. This is
+// the plug point shared by the standard slicer, the paper's Naive and
+// Oracle reference decoders, and CPRecycle's fixed-sphere ML decoder.
+type SymbolDecider interface {
+	// DecideSymbol returns the decided lattice indices for data symbol
+	// symIdx of the frame, in ofdm.DataSubcarriers order.
+	DecideSymbol(f *Frame, symIdx int, cons *modem.Constellation) ([]int, error)
+}
+
+// StandardDecider is the conventional receiver: it discards the cyclic
+// prefix (uses the standard FFT window only) and slices each subcarrier to
+// the nearest lattice point.
+type StandardDecider struct{}
+
+// DecideSymbol implements SymbolDecider.
+func (StandardDecider) DecideSymbol(f *Frame, symIdx int, cons *modem.Constellation) ([]int, error) {
+	obs, err := f.ObserveSymbol(symIdx, f.Grid().CP)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(obs.Data))
+	for i, v := range obs.Data {
+		out[i] = cons.Nearest(v)
+	}
+	return out, nil
+}
+
+// Result reports the outcome of decoding one frame's DATA field.
+type Result struct {
+	// PSDU is the recovered service-data unit (before FCS removal).
+	PSDU []byte
+	// FCSOK reports whether the frame check sequence verified.
+	FCSOK bool
+	// ScramblerSeed is the recovered 7-bit scrambler initial state.
+	ScramblerSeed uint8
+}
+
+// DecodeData runs the full 802.11 DATA pipeline for a frame with known MCS
+// and PSDU length (the experiment harness's genie-aided path — both
+// receiver arms get identical framing so packet success isolates the
+// decision stage): per-symbol decisions via the decider, deinterleave,
+// depuncture, Viterbi, descramble with seed recovery, FCS check.
+func DecodeData(f *Frame, mcs wifi.MCS, psduLen int, decider SymbolDecider) (Result, error) {
+	nSyms := mcs.SymbolsForPSDU(psduLen)
+	cons := modem.New(mcs.Scheme)
+	il := coding.MustInterleaver(mcs.Ncbps, mcs.Nbpsc)
+	nb := cons.BitsPerSymbol()
+
+	coded := make([]byte, 0, nSyms*mcs.Ncbps)
+	bitBuf := make([]byte, nb)
+	for k := 0; k < nSyms; k++ {
+		idxs, err := decider.DecideSymbol(f, k, cons)
+		if err != nil {
+			return Result{}, fmt.Errorf("rx: symbol %d: %w", k, err)
+		}
+		if len(idxs) != f.DataSubcarrierCount() {
+			return Result{}, fmt.Errorf("rx: decider returned %d decisions", len(idxs))
+		}
+		blk := make([]byte, 0, mcs.Ncbps)
+		for _, idx := range idxs {
+			cons.BitsOf(idx, bitBuf)
+			blk = append(blk, bitBuf...)
+		}
+		coded = append(coded, il.Deinterleave(blk)...)
+	}
+
+	nInfo := nSyms * mcs.Ndbps
+	vit := coding.NewViterbi()
+	// The DATA stream's scrambled pad bits follow the six tail bits, so the
+	// encoder does not end in the zero state; trace back from the best
+	// final state instead. Any resulting uncertainty affects only pad bits.
+	vit.Terminated = false
+	bits, err := vit.DecodePunctured(coding.HardToLLR(coded), mcs.Rate, nInfo)
+	if err != nil {
+		return Result{}, err
+	}
+	return finishData(bits, psduLen)
+}
+
+// finishData descrambles decoded DATA bits (recovering the scrambler seed
+// from the seven zero SERVICE bits), extracts the PSDU and checks its FCS.
+func finishData(bits []byte, psduLen int) (Result, error) {
+	if len(bits) < 16+8*psduLen {
+		return Result{}, fmt.Errorf("rx: %d decoded bits for %d-octet PSDU", len(bits), psduLen)
+	}
+	seed := RecoverScramblerSeed(bits)
+	coding.NewScrambler(seed).Apply(bits)
+	psdu := coding.BitsToBytes(bits[16 : 16+8*psduLen])
+	_, ok := coding.CheckFCS(psdu)
+	return Result{PSDU: psdu, FCSOK: ok, ScramblerSeed: seed}, nil
+}
+
+// RecoverScramblerSeed derives the transmitter's scrambler initial state
+// from the first seven scrambled SERVICE bits, which the standard defines
+// as zeros: the received bits therefore equal the scrambling sequence, and
+// because the LFSR feeds its output back, pushing those seven bits through
+// the register reconstructs the state at step 7. Rewinding seven steps
+// yields the initial seed; equivalently, descrambling with the state built
+// directly from the 7 bits and treating positions 0-6 as known zeros.
+// This function returns the seed whose full sequence starts with bits[0:7].
+func RecoverScramblerSeed(scrambled []byte) uint8 {
+	if len(scrambled) < 7 {
+		return coding.DefaultScramblerSeed
+	}
+	// Search the 127 possible seeds for the one reproducing the first 7
+	// observed scrambling bits. The space is tiny and this is robust to the
+	// feedback-register algebra.
+	for seed := uint8(1); seed < 128; seed++ {
+		s := coding.NewScrambler(seed)
+		match := true
+		for i := 0; i < 7; i++ {
+			if s.NextBit() != scrambled[i]&1 {
+				match = false
+				break
+			}
+		}
+		if match {
+			return seed
+		}
+	}
+	return coding.DefaultScramblerSeed
+}
+
+// DecodeSignal decodes the SIGNAL symbol of a frame using the standard FFT
+// window and returns the advertised MCS and PSDU length.
+func DecodeSignal(f *Frame) (wifi.MCS, int, error) {
+	obs, err := f.ObserveSymbol(-1, f.Grid().CP)
+	if err != nil {
+		return wifi.MCS{}, 0, err
+	}
+	bpsk := modem.New(modem.BPSK)
+	llrs := bpsk.LLR(obs.Data, 1, nil)
+	return wifi.DecodeSignalSymbolLLRs(llrs, coding.NewViterbi())
+}
+
+// DecodeFrame is the fully self-contained receive path used by the
+// examples: decode SIGNAL, then DATA with the given decider.
+func DecodeFrame(f *Frame, decider SymbolDecider) (Result, wifi.MCS, error) {
+	mcs, psduLen, err := DecodeSignal(f)
+	if err != nil {
+		return Result{}, wifi.MCS{}, fmt.Errorf("rx: SIGNAL: %w", err)
+	}
+	res, err := DecodeData(f, mcs, psduLen, decider)
+	return res, mcs, err
+}

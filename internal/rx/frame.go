@@ -1,0 +1,320 @@
+package rx
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"repro/internal/ofdm"
+)
+
+// Frame binds a received sample stream to one PPDU whose preamble starts at
+// a known sample index, and provides channel-equalised subcarrier
+// observations for any OFDM symbol and any cyclic-prefix FFT segment.
+// It is the common substrate of every receiver variant in the repository.
+type Frame struct {
+	grid    ofdm.Grid
+	samples []complex128
+	start   int
+	demod   *ofdm.Demodulator
+	h       []complex128 // per-bin channel estimate
+	scs     []int        // data subcarriers
+	pilots  []int
+}
+
+// NewFrame creates a frame view and estimates the channel from the two LTF
+// symbols using the standard (CP-skipping) FFT window.
+func NewFrame(g ofdm.Grid, samples []complex128, preambleStart int) (*Frame, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	d, err := ofdm.NewDemodulator(g)
+	if err != nil {
+		return nil, err
+	}
+	f := &Frame{
+		grid:    g,
+		samples: samples,
+		start:   preambleStart,
+		demod:   d,
+		scs:     ofdm.DataSubcarriers(),
+		pilots:  ofdm.PilotSubcarriers(),
+	}
+	if err := f.estimateChannel(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// estimateChannel averages the LTF observations over both training symbols
+// and over several ISI-free FFT segments of each (interference components
+// rotate across segments while the signal component is constant, so the
+// average suppresses them), then smooths Ĥ across neighbouring subcarriers
+// (the physical channel has a delay spread of a couple of samples, so its
+// frequency response is smooth, whereas interference leakage is bursty in
+// frequency). Every receiver variant shares this estimate.
+func (f *Frame) estimateChannel() error {
+	starts := ofdm.LTFSymbolStarts(f.grid)
+	// Segment stride of one native sample; use the upper half of the CP,
+	// which is ISI-free for any delay spread up to CP/2.
+	stride := f.grid.NFFT / 64
+	if stride < 1 {
+		stride = 1
+	}
+	var offsets []int
+	for o := f.grid.CP / 2; o <= f.grid.CP; o += stride {
+		offsets = append(offsets, o)
+	}
+	sum := make([]complex128, f.grid.NFFT)
+	n := 0
+	for _, s := range starts {
+		for _, o := range offsets {
+			bins, err := f.demod.Segment(f.samples, f.start+s, o)
+			if err != nil {
+				return fmt.Errorf("rx: channel estimation: %w", err)
+			}
+			for i, v := range bins {
+				sum[i] += v
+			}
+			n++
+		}
+	}
+	raw := make([]complex128, 53) // indexed by sc+26
+	for sc := -26; sc <= 26; sc++ {
+		l := ofdm.LTFValue(sc)
+		if l == 0 {
+			continue
+		}
+		raw[sc+26] = sum[f.grid.Bin(sc)] / (complex(float64(n), 0) * l)
+	}
+	// Frequency smoothing: 5-wide moving average over used subcarriers.
+	f.h = make([]complex128, f.grid.NFFT)
+	for sc := -26; sc <= 26; sc++ {
+		if ofdm.LTFValue(sc) == 0 {
+			continue
+		}
+		var acc complex128
+		var cnt int
+		for d := -2; d <= 2; d++ {
+			j := sc + d
+			if j < -26 || j > 26 || ofdm.LTFValue(j) == 0 {
+				continue
+			}
+			acc += raw[j+26]
+			cnt++
+		}
+		f.h[f.grid.Bin(sc)] = acc / complex(float64(cnt), 0)
+	}
+	return nil
+}
+
+// Grid returns the frame's grid.
+func (f *Frame) Grid() ofdm.Grid { return f.grid }
+
+// Samples returns the underlying sample stream (not a copy).
+func (f *Frame) Samples() []complex128 { return f.samples }
+
+// Start returns the preamble start sample index.
+func (f *Frame) Start() int { return f.start }
+
+// ChannelEstimate returns the per-bin channel estimate Ĥ (zero on unused
+// bins). The returned slice must not be modified.
+func (f *Frame) ChannelEstimate() []complex128 { return f.h }
+
+// ChannelAt returns Ĥ at a signed subcarrier index.
+func (f *Frame) ChannelAt(sc int) complex128 { return f.h[f.grid.Bin(sc)] }
+
+// SignalStart returns the sample index of the SIGNAL symbol's CP start.
+func (f *Frame) SignalStart() int {
+	return f.start + ofdm.PreambleLen(f.grid)
+}
+
+// DataSymbolStart returns the sample index of DATA symbol k's CP start.
+func (f *Frame) DataSymbolStart(k int) int {
+	return f.SignalStart() + (k+1)*f.grid.SymLen()
+}
+
+// Observation holds one OFDM symbol's equalised data-subcarrier values for
+// one FFT segment, in ofdm.DataSubcarriers order.
+type Observation struct {
+	// Data holds X̂[f] for the 48 data subcarriers.
+	Data []complex128
+	// CPE is the common phase error removed using the pilots (radians).
+	CPE float64
+	// PilotDev is the mean absolute deviation of this window's four
+	// equalised pilots from their expected values — a per-symbol,
+	// per-segment interference probe (only set by ObserveSegments).
+	PilotDev float64
+}
+
+// symbolCounter maps a symbol index (-1 = SIGNAL, 0.. = data) to the pilot
+// polarity counter.
+func symbolCounter(symIdx int) int { return symIdx + 1 }
+
+// ObserveSymbol demodulates the FFT segment starting cpOffset samples into
+// the CP of symbol symIdx (-1 for SIGNAL, ≥0 for data), corrects the
+// segment phase ramp (Eq. 2), equalises by Ĥ, and removes the common phase
+// error estimated from the four pilots of the same window.
+func (f *Frame) ObserveSymbol(symIdx, cpOffset int) (Observation, error) {
+	symStart := f.DataSymbolStart(symIdx) // DataSymbolStart(-1) is the SIGNAL symbol
+	bins, err := f.demod.Segment(f.samples, symStart, cpOffset)
+	if err != nil {
+		return Observation{}, err
+	}
+	return f.observationFromBins(bins, symIdx)
+}
+
+func (f *Frame) observationFromBins(bins []complex128, symIdx int) (Observation, error) {
+	// Equalise pilots and estimate common phase error.
+	var acc complex128
+	pv := ofdm.PilotValues(symbolCounter(symIdx))
+	for _, sc := range f.pilots {
+		h := f.h[f.grid.Bin(sc)]
+		if h == 0 {
+			continue
+		}
+		acc += (bins[f.grid.Bin(sc)] / h) * cmplx.Conj(pv[sc])
+	}
+	cpe := cmplx.Phase(acc)
+	rot := cmplx.Exp(complex(0, -cpe))
+
+	obs := Observation{Data: make([]complex128, len(f.scs)), CPE: cpe}
+	for i, sc := range f.scs {
+		h := f.h[f.grid.Bin(sc)]
+		if h == 0 {
+			return Observation{}, fmt.Errorf("rx: no channel estimate at subcarrier %d", sc)
+		}
+		obs.Data[i] = bins[f.grid.Bin(sc)] / h * rot
+	}
+	return obs, nil
+}
+
+// ObservePreamble returns the equalised LTF observations for one FFT
+// segment: for each of the two preamble training symbols, the received
+// value divided by Ĥ at every data subcarrier, in DataSubcarriers order.
+// These are CPRecycle's interference-model training inputs — the known
+// transmitted value at each subcarrier is ofdm.LTFValue(sc).
+//
+// No pilot CPE correction is applied (the LTF has no pilots); the channel
+// estimate itself absorbs the preamble's phase reference.
+func (f *Frame) ObservePreamble(cpOffset int) ([2][]complex128, error) {
+	var out [2][]complex128
+	starts := ofdm.LTFSymbolStarts(f.grid)
+	for i, s := range starts {
+		bins, err := f.demod.Segment(f.samples, f.start+s, cpOffset)
+		if err != nil {
+			return out, err
+		}
+		vals := make([]complex128, len(f.scs))
+		for j, sc := range f.scs {
+			h := f.h[f.grid.Bin(sc)]
+			if h == 0 {
+				return out, fmt.Errorf("rx: no channel estimate at subcarrier %d", sc)
+			}
+			vals[j] = bins[f.grid.Bin(sc)] / h
+		}
+		out[i] = vals
+	}
+	return out, nil
+}
+
+// DataSubcarrierCount returns the number of data subcarriers (48).
+func (f *Frame) DataSubcarrierCount() int { return len(f.scs) }
+
+// ObserveSegments returns observations of symbol symIdx for every CP offset
+// in segments, in order. Unlike repeated ObserveSymbol calls, the common
+// phase error is estimated ONCE from the pilots pooled across all segments:
+// the signal's CPE is identical in every (phase-corrected) segment while
+// interference on the pilots rotates from segment to segment, so pooling
+// suppresses it — the multi-window receivers get the full benefit of the
+// recycled prefix on their phase tracking too.
+func (f *Frame) ObserveSegments(symIdx int, segments []int) ([]Observation, error) {
+	symStart := f.DataSymbolStart(symIdx)
+	binsPerSeg := make([][]complex128, len(segments))
+	pv := ofdm.PilotValues(symbolCounter(symIdx))
+	var acc complex128
+	for i, off := range segments {
+		bins, err := f.demod.Segment(f.samples, symStart, off)
+		if err != nil {
+			return nil, err
+		}
+		binsPerSeg[i] = bins
+		for _, sc := range f.pilots {
+			h := f.h[f.grid.Bin(sc)]
+			if h == 0 {
+				continue
+			}
+			acc += (bins[f.grid.Bin(sc)] / h) * cmplx.Conj(pv[sc])
+		}
+	}
+	cpe := cmplx.Phase(acc)
+	rot := cmplx.Exp(complex(0, -cpe))
+	out := make([]Observation, len(segments))
+	for i, bins := range binsPerSeg {
+		obs := Observation{Data: make([]complex128, len(f.scs)), CPE: cpe}
+		for j, sc := range f.scs {
+			h := f.h[f.grid.Bin(sc)]
+			if h == 0 {
+				return nil, fmt.Errorf("rx: no channel estimate at subcarrier %d", sc)
+			}
+			obs.Data[j] = bins[f.grid.Bin(sc)] / h * rot
+		}
+		var pdev float64
+		var np int
+		for _, sc := range f.pilots {
+			h := f.h[f.grid.Bin(sc)]
+			if h == 0 {
+				continue
+			}
+			pdev += cmplx.Abs(bins[f.grid.Bin(sc)]/h*rot - pv[sc])
+			np++
+		}
+		if np > 0 {
+			obs.PilotDev = pdev / float64(np)
+		}
+		out[i] = obs
+	}
+	return out, nil
+}
+
+// NoiseEstimate returns the mean squared deviation of the equalised LTF
+// observations from the known LTF values — an SNR-cum-interference power
+// estimate receivers use for soft demapping.
+func (f *Frame) NoiseEstimate() (float64, error) {
+	obs, err := f.ObservePreamble(f.grid.CP)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	var n int
+	for _, vals := range obs {
+		for j, sc := range f.scs {
+			d := vals[j] - ofdm.LTFValue(sc)
+			sum += real(d)*real(d) + imag(d)*imag(d)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("rx: no observations for noise estimate")
+	}
+	return sum / float64(n), nil
+}
+
+// SubcarrierPower returns the received power spectrum averaged over count
+// standard-window symbols starting at symbol index first (useful for the
+// Fig. 4a interference-spectrum analyses): the mean |Y[bin]|² per bin.
+func (f *Frame) SubcarrierPower(first, count int) ([]float64, error) {
+	out := make([]float64, f.grid.NFFT)
+	for k := first; k < first+count; k++ {
+		bins, err := f.demod.Standard(f.samples, f.DataSymbolStart(k))
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range bins {
+			out[i] += real(v)*real(v) + imag(v)*imag(v)
+		}
+	}
+	for i := range out {
+		out[i] /= float64(count)
+	}
+	return out, nil
+}

@@ -1,0 +1,107 @@
+package rx
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/modem"
+	"repro/internal/wifi"
+)
+
+func TestStandardSoftMatchesHardDecisions(t *testing.T) {
+	f, p, _ := buildFrame(t, 30, "16-QAM 1/2", 80, channel.Indoor2Tap(), 20, 5)
+	cons := modem.New(p.Cfg.MCS.Scheme)
+	for k := 0; k < 3; k++ {
+		hard, err := (StandardDecider{}).DecideSymbol(f, k, cons)
+		if err != nil {
+			t.Fatal(err)
+		}
+		soft, conf, err := (StandardDecider{}).DecideSymbolSoft(f, k, cons)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range hard {
+			if hard[i] != soft[i] {
+				t.Fatalf("symbol %d sc %d: hard %d vs soft %d", k, i, hard[i], soft[i])
+			}
+			if conf[i] < 0 {
+				t.Fatalf("negative confidence %v", conf[i])
+			}
+		}
+	}
+}
+
+func TestDecodeDataSoftCleanChannel(t *testing.T) {
+	for _, name := range []string{"QPSK 1/2", "64-QAM 2/3"} {
+		f, _, psdu := buildFrame(t, 31, name, 100, channel.Indoor2Tap(), 10000, 5)
+		mcs, _ := wifi.MCSByName(name)
+		res, err := DecodeDataSoft(f, mcs, len(psdu), StandardDecider{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.FCSOK || !bytes.Equal(res.PSDU, psdu) {
+			t.Fatalf("%s: clean soft decode failed", name)
+		}
+	}
+}
+
+func TestDecodeDataSoftAtLeastAsGoodAsHard(t *testing.T) {
+	// Over noisy packets near the MCS cliff, soft decoding must not lose
+	// to hard decoding.
+	mcs, _ := wifi.MCSByName("16-QAM 1/2")
+	hardOK, softOK := 0, 0
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		f, _, psdu := buildFrame(t, int64(200+i), "16-QAM 1/2", 150, channel.Indoor2Tap(), 14.5, 5)
+		rh, err := DecodeData(f, mcs, len(psdu), StandardDecider{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rh.FCSOK {
+			hardOK++
+		}
+		rs, err := DecodeDataSoft(f, mcs, len(psdu), StandardDecider{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs.FCSOK {
+			softOK++
+		}
+	}
+	t.Logf("near-cliff 16-QAM at 14.5 dB: hard %d/%d, soft %d/%d", hardOK, trials, softOK, trials)
+	if softOK < hardOK {
+		t.Fatalf("soft (%d) must not lose to hard (%d)", softOK, hardOK)
+	}
+}
+
+func TestDecodeDataSoftFallsBackForHardDecider(t *testing.T) {
+	// A decider without the soft interface silently uses the hard path.
+	f, _, psdu := buildFrame(t, 32, "QPSK 1/2", 60, channel.Indoor2Tap(), 25, 5)
+	mcs, _ := wifi.MCSByName("QPSK 1/2")
+	type hardOnly struct{ SymbolDecider }
+	res, err := DecodeDataSoft(f, mcs, len(psdu), hardOnly{StandardDecider{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FCSOK || !bytes.Equal(res.PSDU, psdu) {
+		t.Fatal("fallback decode failed")
+	}
+}
+
+func TestNormalizeConfidences(t *testing.T) {
+	w := normalizeConfidences([]float64{0, 1, 2, 100})
+	if w[0] != 0 {
+		t.Fatal("zero stays zero")
+	}
+	if w[3] != 4 {
+		t.Fatalf("clipping failed: %v", w[3])
+	}
+	// All-zero input must not divide by zero.
+	z := normalizeConfidences([]float64{0, 0, 0})
+	for _, v := range z {
+		if v != 0 {
+			t.Fatal("all-zero confidences should stay zero")
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package wifi
+
+import (
+	"fmt"
+
+	"repro/internal/coding"
+	"repro/internal/dsp"
+	"repro/internal/modem"
+	"repro/internal/ofdm"
+)
+
+// TxConfig configures a PPDU transmitter.
+type TxConfig struct {
+	// Grid is the OFDM numerology/placement (native or wide-band embedded).
+	Grid ofdm.Grid
+	// MCS selects modulation and code rate for the DATA field.
+	MCS MCS
+	// ScramblerSeed is the 7-bit scrambler initial state; 0 selects the
+	// default seed.
+	ScramblerSeed uint8
+	// Gain scales the output waveform; 0 selects the gain that gives unit
+	// average transmit power.
+	Gain float64
+}
+
+// PPDU is an encoded 802.11a/g frame: baseband samples plus the layout
+// metadata receivers and experiments need.
+type PPDU struct {
+	Samples []complex128
+	Cfg     TxConfig
+	PSDULen int
+	// NumDataSymbols counts DATA OFDM symbols (excluding SIGNAL).
+	NumDataSymbols int
+	// PreambleLen is the STF+LTF length in samples.
+	PreambleLen int
+	// SignalStart is the sample index of the SIGNAL symbol's CP start.
+	SignalStart int
+	// DataStart is the sample index of the first DATA symbol's CP start.
+	DataStart int
+}
+
+// DataSymbolStart returns the sample index of DATA symbol k's CP start.
+func (p *PPDU) DataSymbolStart(k int) int {
+	return p.DataStart + k*p.Cfg.Grid.SymLen()
+}
+
+// BuildPSDU appends the CRC-32 FCS to a payload, forming the PSDU whose
+// success/failure defines the paper's packet success rate.
+func BuildPSDU(payload []byte) []byte { return coding.AppendFCS(payload) }
+
+// BuildPPDU encodes a PSDU into a complete PPDU waveform.
+func BuildPPDU(cfg TxConfig, psdu []byte) (*PPDU, error) {
+	if err := cfg.Grid.Validate(); err != nil {
+		return nil, err
+	}
+	if len(psdu) < 1 || len(psdu) > MaxPSDULen {
+		return nil, fmt.Errorf("wifi: PSDU length %d outside [1,%d]", len(psdu), MaxPSDULen)
+	}
+	mod, err := ofdm.NewModulator(cfg.Grid)
+	if err != nil {
+		return nil, err
+	}
+	gain := cfg.Gain
+	if gain == 0 {
+		gain = mod.GainForUnitPower(52)
+	}
+
+	p := &PPDU{Cfg: cfg, PSDULen: len(psdu)}
+	p.NumDataSymbols = cfg.MCS.SymbolsForPSDU(len(psdu))
+	p.PreambleLen = ofdm.PreambleLen(cfg.Grid)
+	p.SignalStart = p.PreambleLen
+	p.DataStart = p.SignalStart + cfg.Grid.SymLen()
+
+	total := p.DataStart + p.NumDataSymbols*cfg.Grid.SymLen()
+	p.Samples = make([]complex128, 0, total)
+
+	// Preamble.
+	pre := ofdm.Preamble(mod)
+	dsp.Scale(pre, gain)
+	p.Samples = append(p.Samples, pre...)
+
+	// SIGNAL symbol: BPSK, pilot polarity p₀.
+	sigBits, err := EncodeSignalSymbolBits(cfg.MCS, len(psdu))
+	if err != nil {
+		return nil, err
+	}
+	bpsk := modem.New(modem.BPSK)
+	sigSym := assembleSymbol(mod, bpsk, sigBits, 0, gain)
+	p.Samples = append(p.Samples, sigSym...)
+
+	// DATA field bit pipeline (§18.3.5.4-7).
+	nBits := p.NumDataSymbols * cfg.MCS.Ndbps
+	bits := make([]byte, nBits) // SERVICE(16 zeros) + PSDU + tail + pad
+	copy(bits[16:], coding.BytesToBits(psdu))
+	tailPos := 16 + 8*len(psdu)
+	coding.NewScrambler(cfg.ScramblerSeed).Apply(bits)
+	for i := 0; i < 6; i++ { // tail bits are forced to zero after scrambling
+		bits[tailPos+i] = 0
+	}
+	coded := coding.Puncture(coding.ConvEncode(bits), cfg.MCS.Rate)
+	il := coding.MustInterleaver(cfg.MCS.Ncbps, cfg.MCS.Nbpsc)
+	cons := modem.New(cfg.MCS.Scheme)
+
+	for k := 0; k < p.NumDataSymbols; k++ {
+		blk := il.Interleave(coded[k*cfg.MCS.Ncbps : (k+1)*cfg.MCS.Ncbps])
+		sym := assembleSymbol(mod, cons, blk, k+1, gain)
+		p.Samples = append(p.Samples, sym...)
+	}
+	if len(p.Samples) != total {
+		return nil, fmt.Errorf("wifi: internal layout error: %d samples, want %d", len(p.Samples), total)
+	}
+	return p, nil
+}
+
+// assembleSymbol maps one symbol's interleaved coded bits onto the 48 data
+// subcarriers, adds the four pilots for symbol counter n, modulates and
+// scales.
+func assembleSymbol(mod *ofdm.Modulator, cons *modem.Constellation, bits []byte, n int, gain float64) []complex128 {
+	scs := ofdm.DataSubcarriers()
+	nb := cons.BitsPerSymbol()
+	if len(bits) != len(scs)*nb {
+		panic(fmt.Sprintf("wifi: %d bits for %d subcarriers at %d bpsc", len(bits), len(scs), nb))
+	}
+	values := ofdm.PilotValues(n)
+	for i, sc := range scs {
+		values[sc] = cons.Map(bits[i*nb : (i+1)*nb])
+	}
+	sym := mod.Symbol(values)
+	dsp.Scale(sym, gain)
+	return sym
+}
+
+// SymbolBitsToSubcarriers returns, for a constellation, the subcarrier order
+// used by assembleSymbol so receivers can invert the mapping.
+func SymbolBitsToSubcarriers() []int { return ofdm.DataSubcarriers() }
