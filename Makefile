@@ -1,0 +1,35 @@
+# Tier-1 verification: everything CI runs, runnable locally with `make`.
+
+GO ?= go
+
+.PHONY: all verify build vet test bench bench-hotpath fmt-check
+
+all: verify
+
+verify: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full benchmark suite (regenerates every paper table/figure at reduced
+# fidelity; slow).
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Hot-path micro-benchmarks with allocation reporting: segment
+# demodulation (old FFT-per-window vs sliding-DFT batch), multi-segment
+# observation, Viterbi, sliding kernels.
+bench-hotpath:
+	$(GO) test -bench 'BenchmarkSegment' -benchtime 2000x -run '^$$' ./internal/ofdm/
+	$(GO) test -bench 'BenchmarkObserve' -benchtime 2000x -run '^$$' ./internal/rx/
+	$(GO) test -bench 'BenchmarkViterbiDecode' -benchtime 500x -run '^$$' ./internal/coding/
+	$(GO) test -bench 'BenchmarkSliding|BenchmarkForward|BenchmarkFreqShift' -run '^$$' ./internal/dsp/
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi

@@ -12,4 +12,14 @@
 // results. The benchmarks in bench_test.go regenerate every table and
 // figure of the paper's evaluation at reduced fidelity;
 // cmd/cprecycle-bench runs them at full fidelity.
+//
+// The receiver hot path is incremental and allocation-free: the paper's P
+// FFT windows per OFDM symbol — the scheme's main compute overhead — are
+// produced by one seed FFT plus O(N·stride) sliding-DFT updates
+// (dsp.SlidingDFT, ofdm.Demodulator.Segments), updated sparsely at the 52
+// used subcarrier bins, with cached Eq. 2 phase-ramp tables and
+// process-wide FFT plans (dsp.PlanFor), and per-frame/per-receiver scratch
+// buffers throughout (rx.Frame.ObserveSegments, core.Receiver). A
+// same-seed regression test (internal/experiments) pins every receiver
+// arm's packet decisions to the pre-optimisation implementation.
 package repro

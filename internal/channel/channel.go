@@ -82,10 +82,25 @@ func (m *Multipath) DelaySpread() int {
 
 // Apply convolves x with the channel taps, returning len(x) samples (the
 // tail beyond the input length is truncated, matching a continuously
-// running receiver's view).
+// running receiver's view). The direct form writes each output sample
+// once, accumulating taps in the same order as dsp.Conv (identical
+// floating-point results), and is much faster for the few-tap channels the
+// experiments use than materialising the full convolution.
 func (m *Multipath) Apply(x []complex128) []complex128 {
-	full := dsp.Conv(x, m.Taps)
-	return full[:len(x)]
+	taps := m.Taps
+	out := make([]complex128, len(x))
+	for p := range out {
+		kmax := len(taps) - 1
+		if kmax > p {
+			kmax = p
+		}
+		var acc complex128
+		for k := kmax; k >= 0; k-- {
+			acc += x[p-k] * taps[k]
+		}
+		out[p] = acc
+	}
+	return out
 }
 
 // FrequencyResponse returns the channel's frequency response on an n-point
@@ -96,7 +111,7 @@ func (m *Multipath) FrequencyResponse(n int) []complex128 {
 	if len(m.Taps) > n {
 		panic(fmt.Sprintf("channel: %d taps exceed FFT size %d", len(m.Taps), n))
 	}
-	p := dsp.MustFFTPlan(n)
+	p := dsp.MustPlanFor(n)
 	p.Forward(h)
 	return h
 }

@@ -62,6 +62,17 @@ func (il *Interleaver) Interleave(bits []byte) []byte {
 	return out
 }
 
+// InterleaveInto is Interleave into a caller-provided block of Ncbps
+// bytes, avoiding the allocation.
+func (il *Interleaver) InterleaveInto(dst, bits []byte) {
+	if len(bits) != il.ncbps || len(dst) != il.ncbps {
+		panic(fmt.Sprintf("coding: interleave block sizes %d/%d, want %d", len(dst), len(bits), il.ncbps))
+	}
+	for k, b := range bits {
+		dst[il.perm[k]] = b
+	}
+}
+
 // Deinterleave inverts Interleave for one block of bits.
 func (il *Interleaver) Deinterleave(bits []byte) []byte {
 	if len(bits) != il.ncbps {
@@ -72,6 +83,17 @@ func (il *Interleaver) Deinterleave(bits []byte) []byte {
 		out[il.inv[j]] = b
 	}
 	return out
+}
+
+// DeinterleaveInto is Deinterleave into a caller-provided block of Ncbps
+// bytes, avoiding the allocation.
+func (il *Interleaver) DeinterleaveInto(dst, bits []byte) {
+	if len(bits) != il.ncbps || len(dst) != il.ncbps {
+		panic(fmt.Sprintf("coding: deinterleave block sizes %d/%d, want %d", len(dst), len(bits), il.ncbps))
+	}
+	for j, b := range bits {
+		dst[il.inv[j]] = b
+	}
 }
 
 // DeinterleaveLLR inverts the permutation on a block of per-bit LLRs.

@@ -20,6 +20,9 @@ type Viterbi struct {
 	// branch output bits for transition (state, input): outA|outB<<1
 	outs [numStates][2]byte
 	next [numStates][2]int
+	// outsIn[in][s] is outs[s][in] flattened per input bit, the layout the
+	// destination-state ACS loop walks sequentially.
+	outsIn [2][numStates]byte
 }
 
 // NewViterbi returns a decoder with precomputed trellis transitions.
@@ -32,6 +35,7 @@ func NewViterbi() *Viterbi {
 			b := parity(reg & polyB)
 			v.outs[s][in] = a | b<<1
 			v.next[s][in] = int(reg >> 1)
+			v.outsIn[in][s] = a | b<<1
 		}
 	}
 	return v
@@ -40,6 +44,16 @@ func NewViterbi() *Viterbi {
 // Decode recovers the information bits (including any tail bits the encoder
 // appended) from mother-code LLRs. len(llrs) must be even; nInfo =
 // len(llrs)/2 bits are returned.
+//
+// The add-compare-select loop iterates over destination states: state ns
+// has exactly the two predecessors s = 2·(ns mod 32) and s+1 with input
+// bit ns>>5 (from next = (in<<6|s)>>1), so each trellis column is a flat
+// pass of two adds and one compare per state with no infinity screening,
+// and the winning predecessor is recorded in a single flat decision array
+// (the input bit is implied by the state). Branch costs and tie-breaking
+// (lowest predecessor wins) are arithmetically identical to the reference
+// per-source-state formulation, so decoded output is bit-for-bit
+// unchanged.
 func (v *Viterbi) Decode(llrs []float64) ([]byte, error) {
 	if len(llrs)%2 != 0 {
 		return nil, fmt.Errorf("coding: Viterbi needs an even LLR count, got %d", len(llrs))
@@ -49,55 +63,9 @@ func (v *Viterbi) Decode(llrs []float64) ([]byte, error) {
 		return nil, nil
 	}
 
-	const inf = math.MaxFloat64 / 4
-	metric := make([]float64, numStates)
-	nextMetric := make([]float64, numStates)
-	for s := 1; s < numStates; s++ {
-		metric[s] = inf
-	}
-	// decisions[t][s] = input bit that won at state s, step t, plus the
-	// predecessor packed as pred<<1|bit would cost memory; store winning
-	// predecessor state and bit separately in two compact arrays.
-	predecessor := make([][]uint8, n) // predecessor state is 6 bits
-	inputBit := make([][]uint8, n)
-	for t := range predecessor {
-		predecessor[t] = make([]uint8, numStates)
-		inputBit[t] = make([]uint8, numStates)
-	}
+	decisions, metric := v.forwardPass(llrs, n)
 
-	for t := 0; t < n; t++ {
-		la, lb := llrs[2*t], llrs[2*t+1]
-		for s := range nextMetric {
-			nextMetric[s] = inf
-		}
-		for s := 0; s < numStates; s++ {
-			m := metric[s]
-			if m >= inf {
-				continue
-			}
-			for in := 0; in < 2; in++ {
-				out := v.outs[s][in]
-				// cost: add llr when the hypothesised bit is 1
-				// (constant offsets per step cancel between branches)
-				cost := m
-				if out&1 != 0 {
-					cost += la
-				}
-				if out&2 != 0 {
-					cost += lb
-				}
-				ns := v.next[s][in]
-				if cost < nextMetric[ns] {
-					nextMetric[ns] = cost
-					predecessor[t][ns] = uint8(s)
-					inputBit[t][ns] = uint8(in)
-				}
-			}
-		}
-		metric, nextMetric = nextMetric, metric
-	}
-
-	// Traceback.
+	// Traceback; the input bit that led into each state is its top bit.
 	state := 0
 	if !v.Terminated {
 		best := math.Inf(1)
@@ -108,11 +76,124 @@ func (v *Viterbi) Decode(llrs []float64) ([]byte, error) {
 		}
 	}
 	bits := make([]byte, n)
-	for t := n - 1; t >= 0; t-- {
-		bits[t] = inputBit[t][state]
-		state = int(predecessor[t][state])
-	}
+	traceback(decisions, bits, n, state)
 	return bits, nil
+}
+
+// forwardPass runs the add-compare-select recursion over n trellis steps,
+// returning the flat decision array (winning predecessor of each state at
+// each step) and the final path metrics.
+func (v *Viterbi) forwardPass(llrs []float64, n int) ([]uint8, *[numStates]float64) {
+	const inf = math.MaxFloat64 / 4
+	var metricA, metricB [numStates]float64
+	metric, nextMetric := &metricA, &metricB
+	for s := 1; s < numStates; s++ {
+		metric[s] = inf
+	}
+	// decisions[t*numStates+ns] = winning predecessor state of ns at step t.
+	decisions := make([]uint8, n*numStates)
+
+	// Per-step branch costs indexed by the branch output pair outA|outB<<1:
+	// cost[o] = (la if o&1) + (lb if o&2). For o = 3 the two LLRs are
+	// summed before the path metric, reassociating the reference
+	// implementation's conditional adds — exact for hard (±1) LLRs and
+	// within an ulp for soft ones.
+	var cost [4]float64
+	for t := 0; t < n; t++ {
+		la, lb := llrs[2*t], llrs[2*t+1]
+		cost[1] = la
+		cost[2] = lb
+		cost[3] = la + lb
+		dec := decisions[t*numStates : (t+1)*numStates : (t+1)*numStates]
+		// Destination states split by their implied input bit (the top
+		// bit); each half walks the source metrics sequentially in pairs.
+		for in := 0; in < 2; in++ {
+			outs := &v.outsIn[in]
+			base := in << 5
+			half := dec[base : base+numStates/2 : base+numStates/2]
+			nm := nextMetric[base : base+numStates/2]
+			for k := 0; k < numStates/2; k++ {
+				s0 := 2 * k
+				s1 := s0 + 1
+				c0 := metric[s0] + cost[outs[s0]&3]
+				c1 := metric[s1] + cost[outs[s1]&3]
+				if c0 <= c1 {
+					nm[k] = c0
+					half[k] = uint8(s0)
+				} else {
+					nm[k] = c1
+					half[k] = uint8(s1)
+				}
+			}
+		}
+		metric, nextMetric = nextMetric, metric
+	}
+	return decisions, metric
+}
+
+// traceback walks the survivor path that ends in state at step upto,
+// filling bits[0:upto].
+func traceback(decisions []uint8, bits []byte, upto, state int) {
+	for t := upto - 1; t >= 0; t-- {
+		bits[t] = byte(state >> 5)
+		state = int(decisions[t*numStates+state])
+	}
+}
+
+// DecodeAnchored is Decode for streams whose encoder register is known to
+// return to the all-zero state after anchorBit information bits, with
+// further (uninformative) bits after it — the 802.11 DATA field, where
+// SERVICE+PSDU+tail end in state zero and only scrambled pad bits follow.
+// Bits [0, anchorBit) are traced back from that known zero state, so
+// channel errors on the trailing pad can never corrupt payload bits (with
+// best-final-state traceback they can when the pad is shorter than the
+// survivor-merge depth). The trailing bits are traced from the best final
+// state as in unterminated decoding.
+func (v *Viterbi) DecodeAnchored(llrs []float64, anchorBit int) ([]byte, error) {
+	n := len(llrs) / 2
+	if anchorBit < 0 || anchorBit > n {
+		return nil, fmt.Errorf("coding: anchor %d outside [0,%d]", anchorBit, n)
+	}
+	if anchorBit == n {
+		sav := v.Terminated
+		v.Terminated = true
+		bits, err := v.Decode(llrs)
+		v.Terminated = sav
+		return bits, err
+	}
+	if len(llrs)%2 != 0 {
+		return nil, fmt.Errorf("coding: Viterbi needs an even LLR count, got %d", len(llrs))
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	decisions, finalMetric := v.forwardPass(llrs, n)
+	bits := make([]byte, n)
+	// Trailing (pad) region: unterminated traceback from the best final
+	// state, but only the bits after the anchor are kept from it.
+	state, best := 0, math.Inf(1)
+	for s, m := range finalMetric {
+		if m < best {
+			best, state = m, s
+		}
+	}
+	for t := n - 1; t >= anchorBit; t-- {
+		bits[t] = byte(state >> 5)
+		state = int(decisions[t*numStates+state])
+	}
+	// Payload region: traceback anchored at the known zero state.
+	traceback(decisions, bits, anchorBit, 0)
+	return bits, nil
+}
+
+// DecodePuncturedAnchored depunctures llrs for rate r (nInfo information
+// bits) and decodes with the zero-state anchor after anchorBit bits.
+func (v *Viterbi) DecodePuncturedAnchored(llrs []float64, r CodeRate, nInfo, anchorBit int) ([]byte, error) {
+	mother, err := Depuncture(llrs, r, 2*nInfo)
+	if err != nil {
+		return nil, err
+	}
+	return v.DecodeAnchored(mother, anchorBit)
 }
 
 // DecodeHard is a convenience wrapper that decodes hard-decision

@@ -1,0 +1,32 @@
+package coding
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkViterbiDecode measures the hard-decision decode of one 1200-bit
+// DATA field (the dominant per-packet receiver kernel).
+func BenchmarkViterbiDecode(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	bits := make([]byte, 1200)
+	for i := range bits {
+		bits[i] = byte(r.Intn(2))
+	}
+	coded := ConvEncode(bits)
+	// Flip a few percent of the coded bits.
+	for i := range coded {
+		if r.Intn(25) == 0 {
+			coded[i] ^= 1
+		}
+	}
+	llrs := HardToLLR(coded)
+	v := NewViterbi()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.Decode(llrs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

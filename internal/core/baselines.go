@@ -3,8 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
-	"math/cmplx"
 
+	"repro/internal/dsp"
 	"repro/internal/modem"
 	"repro/internal/ofdm"
 	"repro/internal/rx"
@@ -37,7 +37,7 @@ func (n NaiveDecider) DecideSymbol(f *rx.Frame, symIdx int, cons *modem.Constell
 		for li, l := range cons.Points() {
 			sum := 0.0
 			for j := range obs {
-				sum += cmplx.Abs(obs[j].Data[i] - l)
+				sum += dsp.Abs(obs[j].Data[i] - l)
 			}
 			if sum < bestSum {
 				bestSum, best = sum, li
@@ -61,6 +61,9 @@ type OracleDecider struct {
 	Segments []int
 
 	demod *ofdm.Demodulator
+	ip    [][]complex128 // reused interference window buffers
+	sel   []int          // data-subcarrier bins, for sparse slides
+	out   []int
 }
 
 // DecideSymbol implements rx.SymbolDecider.
@@ -74,6 +77,10 @@ func (o *OracleDecider) DecideSymbol(f *rx.Frame, symIdx int, cons *modem.Conste
 			return nil, err
 		}
 		o.demod = d
+		o.sel = o.sel[:0]
+		for _, sc := range ofdm.DataSubcarriers() {
+			o.sel = append(o.sel, f.Grid().Bin(sc))
+		}
 	}
 	obs, err := f.ObserveSegments(symIdx, o.Segments)
 	if err != nil {
@@ -82,18 +89,19 @@ func (o *OracleDecider) DecideSymbol(f *rx.Frame, symIdx int, cons *modem.Conste
 	symStart := f.DataSymbolStart(symIdx)
 	// Interference power per (segment, bin). Equalisation scales every
 	// segment of a subcarrier identically, so raw bin power preserves the
-	// per-subcarrier ordering the oracle needs.
-	ip := make([][]complex128, len(o.Segments))
-	for j, off := range o.Segments {
-		bins, err := o.demod.Segment(o.InterferenceOnly, symStart, off)
-		if err != nil {
-			return nil, fmt.Errorf("core: oracle interference window: %w", err)
-		}
-		ip[j] = bins
+	// per-subcarrier ordering the oracle needs. The windows come from the
+	// batch sliding-DFT path, reusing the decider's buffers.
+	ip, err := o.demod.SegmentsOn(o.InterferenceOnly, symStart, o.Segments, o.sel, o.ip)
+	if err != nil {
+		return nil, fmt.Errorf("core: oracle interference window: %w", err)
 	}
+	o.ip = ip
 	g := f.Grid()
 	scs := ofdm.DataSubcarriers()
-	out := make([]int, len(scs))
+	if len(o.out) != len(scs) {
+		o.out = make([]int, len(scs))
+	}
+	out := o.out
 	for i, sc := range scs {
 		bin := g.Bin(sc)
 		bestJ, bestP := 0, math.Inf(1)

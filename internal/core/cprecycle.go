@@ -131,13 +131,20 @@ func (c Config) Validate(g ofdm.Grid) error {
 const scaleFloor = 0.02
 
 // Receiver is a trained CPRecycle decoder for one frame. It implements
-// rx.SymbolDecider.
+// rx.SymbolDecider. A Receiver is not safe for concurrent use: the
+// decision methods reuse per-receiver scratch buffers, and the lattice
+// index slice returned by DecideSymbol is overwritten by the next call.
 type Receiver struct {
 	cfg Config
 	// pooled[i] is the Eq. 4 density for data subcarrier i; in PerSegment
-	// mode perSeg[j][i] holds segment j's density instead.
+	// mode perSeg[j][i] holds segment j's density instead. In
+	// model-weighted mode the densities are never consulted by the
+	// decision rule, so they are fitted lazily on first use (ModelFor).
 	pooled []*kde.Bivariate
 	perSeg [][]*kde.Bivariate
+	// fitPooled builds pooled from the retained training deviations; nil
+	// once fitted (or when eager fitting already ran).
+	fitPooled func() ([]*kde.Bivariate, error)
 	// scale[j][i] is the model's expected interference level (mean
 	// preamble deviation amplitude) at segment j, subcarrier i.
 	scale [][]float64
@@ -148,6 +155,15 @@ type Receiver struct {
 	// NoModelUpdate); it tracks the persistent per-packet interference
 	// structure from decoded symbols' residuals.
 	live [][]float64
+
+	// Decision scratch, reused across symbols (no per-symbol allocation).
+	out      []int
+	cands    []int
+	w        []float64
+	ratio    []float64
+	liveMean []float64
+	pts      []complex128
+	conf     []float64
 }
 
 // emaAlpha weights the running residual average: high enough to smooth
@@ -193,15 +209,19 @@ func NewReceiver(f *rx.Frame, cfg Config) (*Receiver, error) {
 	nSC := len(scs)
 	P := len(cfg.Segments)
 
+	// One batched pass over the preamble: every (segment, training symbol)
+	// window via the sliding-DFT path instead of P independent
+	// ObservePreamble calls (2·P full FFTs).
+	pre, err := f.ObservePreambleAll(cfg.Segments)
+	if err != nil {
+		return nil, fmt.Errorf("core: preamble training: %w", err)
+	}
 	type dev struct{ amp, ph float64 }
 	devs := make([][][2]dev, P)
 	r.scale = make([][]float64, P)
 	r.segMean = make([]float64, P)
-	for j, off := range cfg.Segments {
-		obs, err := f.ObservePreamble(off)
-		if err != nil {
-			return nil, fmt.Errorf("core: preamble segment %d: %w", off, err)
-		}
+	for j := range cfg.Segments {
+		obs := pre[j]
 		devs[j] = make([][2]dev, nSC)
 		r.scale[j] = make([]float64, nSC)
 		var tot float64
@@ -225,6 +245,10 @@ func NewReceiver(f *rx.Frame, cfg Config) (*Receiver, error) {
 			r.live[j] = append([]float64(nil), r.scale[j]...)
 		}
 	}
+	r.out = make([]int, nSC)
+	r.w = make([]float64, P)
+	r.ratio = make([]float64, P)
+	r.pts = make([]complex128, P)
 	if cfg.PerSegment {
 		r.perSeg = make([][]*kde.Bivariate, P)
 		for j := 0; j < P; j++ {
@@ -242,23 +266,50 @@ func NewReceiver(f *rx.Frame, cfg Config) (*Receiver, error) {
 		return r, nil
 	}
 
-	r.pooled = make([]*kde.Bivariate, nSC)
-	for i := 0; i < nSC; i++ {
-		amps := make([]float64, 0, 2*P)
-		phs := make([]float64, 0, 2*P)
-		for j := 0; j < P; j++ {
-			for s := 0; s < 2; s++ {
-				amps = append(amps, devs[j][i][s].amp)
-				phs = append(phs, devs[j][i][s].ph)
+	fitPooled := func() ([]*kde.Bivariate, error) {
+		pooled := make([]*kde.Bivariate, nSC)
+		for i := 0; i < nSC; i++ {
+			amps := make([]float64, 0, 2*P)
+			phs := make([]float64, 0, 2*P)
+			for j := 0; j < P; j++ {
+				for s := 0; s < 2; s++ {
+					amps = append(amps, devs[j][i][s].amp)
+					phs = append(phs, devs[j][i][s].ph)
+				}
 			}
+			m, err := fit(amps, phs)
+			if err != nil {
+				return nil, err
+			}
+			pooled[i] = m
 		}
-		m, err := fit(amps, phs)
-		if err != nil {
-			return nil, err
-		}
-		r.pooled[i] = m
+		return pooled, nil
+	}
+	if cfg.Decision == DecisionModelWeighted {
+		// The weighted-L1 rule never evaluates the Eq. 4 densities, so
+		// defer the (adaptive-bandwidth) fits until something asks for
+		// them — analyses via ModelFor still see the same models.
+		r.fitPooled = fitPooled
+		return r, nil
+	}
+	if r.pooled, err = fitPooled(); err != nil {
+		return nil, err
 	}
 	return r, nil
+}
+
+// ensurePooled fits the deferred pooled densities, if any.
+func (r *Receiver) ensurePooled() error {
+	if r.pooled != nil || r.fitPooled == nil {
+		return nil
+	}
+	pooled, err := r.fitPooled()
+	if err != nil {
+		return err
+	}
+	r.pooled = pooled
+	r.fitPooled = nil
+	return nil
 }
 
 // NumSegments returns P, the number of FFT segments in use.
@@ -266,8 +317,14 @@ func (r *Receiver) NumSegments() int { return len(r.cfg.Segments) }
 
 // ModelFor returns the trained pooled density of data subcarrier i
 // (by DataSubcarriers order); nil in per-segment mode. Exposed for the
-// Fig. 6b density-accuracy analysis.
+// Fig. 6b density-accuracy analysis. In model-weighted mode the densities
+// are fitted on the first call (the decision rule does not need them);
+// should that deferred fit fail — the errors NewReceiver reports eagerly
+// in the KDE decision modes — ModelFor also returns nil.
 func (r *Receiver) ModelFor(i int) *kde.Bivariate {
+	if err := r.ensurePooled(); err != nil {
+		return nil
+	}
 	if r.pooled == nil {
 		return nil
 	}
@@ -307,7 +364,10 @@ func (r *Receiver) decideModelWeighted(f *rx.Frame, obs []rx.Observation, cons *
 	segMean := r.segMean
 	if r.live != nil {
 		base = r.live
-		segMean = make([]float64, P)
+		if len(r.liveMean) != P {
+			r.liveMean = make([]float64, P)
+		}
+		segMean = r.liveMean
 		for j := range base {
 			var tot float64
 			for _, v := range base[j] {
@@ -317,7 +377,7 @@ func (r *Receiver) decideModelWeighted(f *rx.Frame, obs []rx.Observation, cons *
 		}
 	}
 	// Per-symbol pilot rescaling of each segment's expected interference.
-	ratio := make([]float64, P)
+	ratio := r.ratio[:P]
 	for j := range obs {
 		ratio[j] = 1
 		if !r.cfg.NoPilotTracking && obs[j].PilotDev > 0 {
@@ -325,9 +385,9 @@ func (r *Receiver) decideModelWeighted(f *rx.Frame, obs []rx.Observation, cons *
 		}
 	}
 
-	out := make([]int, nSC)
-	var cands []int
-	w := make([]float64, P)
+	out := r.out[:nSC]
+	cands := r.cands
+	w := r.w[:P]
 	for i := 0; i < nSC; i++ {
 		var centroid complex128
 		var wsum float64
@@ -350,7 +410,7 @@ func (r *Receiver) decideModelWeighted(f *rx.Frame, obs []rx.Observation, cons *
 				l := cons.Point(li)
 				score := 0.0
 				for j := range obs {
-					score += cmplx.Abs(obs[j].Data[i]-l) * w[j]
+					score += dsp.Abs(obs[j].Data[i]-l) * w[j]
 				}
 				if score < bestScore {
 					bestScore, best = score, li
@@ -365,11 +425,12 @@ func (r *Receiver) decideModelWeighted(f *rx.Frame, obs []rx.Observation, cons *
 			// spacing, so heavily interfered segments still stand out.
 			p := cons.Point(out[i])
 			for j := range obs {
-				res := cmplx.Abs(obs[j].Data[i] - p)
+				res := dsp.Abs(obs[j].Data[i] - p)
 				r.live[j][i] = emaAlpha*r.live[j][i] + (1-emaAlpha)*(res+scaleFloor)
 			}
 		}
 	}
+	r.cands = cands
 	return out, nil
 }
 
@@ -377,14 +438,19 @@ func (r *Receiver) decideModelWeighted(f *rx.Frame, obs []rx.Observation, cons *
 // observations, fixed sphere of radius R, argmax of the product of Eq. 4
 // densities over segments.
 func (r *Receiver) decideSphereKDE(f *rx.Frame, obs []rx.Observation, cons *modem.Constellation) ([]int, error) {
+	if r.perSeg == nil {
+		if err := r.ensurePooled(); err != nil {
+			return nil, err
+		}
+	}
 	radius := r.cfg.Radius
 	if radius == 0 {
 		radius = 1.5 * cons.MinDistance()
 	}
 	nSC := f.DataSubcarrierCount()
-	out := make([]int, nSC)
-	var cands []int
-	pts := make([]complex128, len(obs))
+	out := r.out[:nSC]
+	cands := r.cands
+	pts := r.pts[:len(obs)]
 	for i := 0; i < nSC; i++ {
 		for j := range obs {
 			pts[j] = obs[j].Data[i]
@@ -417,5 +483,6 @@ func (r *Receiver) decideSphereKDE(f *rx.Frame, obs []rx.Observation, cons *mode
 		}
 		out[i] = best
 	}
+	r.cands = cands
 	return out, nil
 }

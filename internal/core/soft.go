@@ -2,8 +2,8 @@ package core
 
 import (
 	"math"
-	"math/cmplx"
 
+	"repro/internal/dsp"
 	"repro/internal/modem"
 	"repro/internal/rx"
 )
@@ -51,7 +51,10 @@ func (r *Receiver) decideModelWeightedSoft(f *rx.Frame, obs []rx.Observation, co
 	segMean := r.segMean
 	if r.live != nil {
 		base = r.live
-		segMean = make([]float64, P)
+		if len(r.liveMean) != P {
+			r.liveMean = make([]float64, P)
+		}
+		segMean = r.liveMean
 		for j := range base {
 			var tot float64
 			for _, v := range base[j] {
@@ -60,7 +63,7 @@ func (r *Receiver) decideModelWeightedSoft(f *rx.Frame, obs []rx.Observation, co
 			segMean[j] = tot / float64(len(base[j]))
 		}
 	}
-	ratio := make([]float64, P)
+	ratio := r.ratio[:P]
 	for j := range obs {
 		ratio[j] = 1
 		if !r.cfg.NoPilotTracking && obs[j].PilotDev > 0 {
@@ -68,10 +71,13 @@ func (r *Receiver) decideModelWeightedSoft(f *rx.Frame, obs []rx.Observation, co
 		}
 	}
 
-	out := make([]int, nSC)
-	conf := make([]float64, nSC)
-	var cands []int
-	w := make([]float64, P)
+	out := r.out[:nSC]
+	if len(r.conf) != nSC {
+		r.conf = make([]float64, nSC)
+	}
+	conf := r.conf
+	cands := r.cands
+	w := r.w[:P]
 	for i := 0; i < nSC; i++ {
 		var centroid complex128
 		var wsum float64
@@ -101,7 +107,7 @@ func (r *Receiver) decideModelWeightedSoft(f *rx.Frame, obs []rx.Observation, co
 				l := cons.Point(li)
 				score := 0.0
 				for j := range obs {
-					score += cmplx.Abs(obs[j].Data[i]-l) * w[j]
+					score += dsp.Abs(obs[j].Data[i]-l) * w[j]
 				}
 				if score < best {
 					second = best
@@ -118,10 +124,11 @@ func (r *Receiver) decideModelWeightedSoft(f *rx.Frame, obs []rx.Observation, co
 		if r.live != nil {
 			p := cons.Point(out[i])
 			for j := range obs {
-				res := cmplx.Abs(obs[j].Data[i] - p)
+				res := dsp.Abs(obs[j].Data[i] - p)
 				r.live[j][i] = emaAlpha*r.live[j][i] + (1-emaAlpha)*(res+scaleFloor)
 			}
 		}
 	}
+	r.cands = cands
 	return out, conf, nil
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"sync"
 )
 
 // IsPow2 reports whether n is a positive power of two.
@@ -87,6 +88,46 @@ func MustFFTPlan(n int) *FFTPlan {
 	return p
 }
 
+// planCache holds one immutable FFTPlan per transform size for the whole
+// process, so hot paths that construct transforms per packet (receivers,
+// channels, modulators) never rebuild twiddle and bit-reversal tables.
+var planCache sync.Map // int -> *FFTPlan
+
+// PlanFor returns the process-wide shared plan for power-of-two size n,
+// creating and caching it on first use. Plans are immutable after
+// construction, so the returned plan is safe for concurrent use.
+func PlanFor(n int) (*FFTPlan, error) {
+	if v, ok := planCache.Load(n); ok {
+		return v.(*FFTPlan), nil
+	}
+	p, err := NewFFTPlan(n)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := planCache.LoadOrStore(n, p)
+	return v.(*FFTPlan), nil
+}
+
+// MustPlanFor is PlanFor but panics on error.
+func MustPlanFor(n int) *FFTPlan {
+	p, err := PlanFor(n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// twiddleTable returns the full-resolution forward twiddle table
+// w[r] = e^{-i 2π r / n} for r in [0, n).
+func twiddleTable(n int) []complex128 {
+	w := make([]complex128, n)
+	for r := 0; r < n; r++ {
+		s, c := math.Sincos(2 * math.Pi * float64(r) / float64(n))
+		w[r] = complex(c, -s)
+	}
+	return w
+}
+
 // Size returns the transform length the plan was built for.
 func (p *FFTPlan) Size() int { return p.n }
 
@@ -135,9 +176,9 @@ func (p *FFTPlan) Inverse(x []complex128) {
 }
 
 // FFT returns the forward DFT of x in a fresh slice. The length of x must be
-// a power of two.
+// a power of two. The plan is taken from the process-wide cache.
 func FFT(x []complex128) []complex128 {
-	p := MustFFTPlan(len(x))
+	p := MustPlanFor(len(x))
 	out := make([]complex128, len(x))
 	copy(out, x)
 	p.Forward(out)
@@ -145,8 +186,9 @@ func FFT(x []complex128) []complex128 {
 }
 
 // IFFT returns the inverse DFT (with 1/N scaling) of x in a fresh slice.
+// The plan is taken from the process-wide cache.
 func IFFT(x []complex128) []complex128 {
-	p := MustFFTPlan(len(x))
+	p := MustPlanFor(len(x))
 	out := make([]complex128, len(x))
 	copy(out, x)
 	p.Inverse(out)
@@ -170,15 +212,30 @@ func DFTNaive(x []complex128) []complex128 {
 	return out
 }
 
+// freqShiftResync bounds the phasor recurrence error in FreqShift: the
+// rotator is recomputed exactly every freqShiftResync samples, so the
+// accumulated error stays within a few machine epsilons.
+const freqShiftResync = 64
+
 // FreqShift multiplies x in place by e^{+i 2π (shift/n) t}, translating the
 // spectrum up by shift FFT bins (of an n-point grid). startSample offsets the
 // phase ramp so that consecutive blocks of one stream stay phase-continuous.
+//
+// The rotation uses a phasor recurrence (one complex multiply per sample)
+// instead of a per-sample Sincos, resynchronised to the exact angle every
+// freqShiftResync samples to keep the drift below ~1e-14 radians.
 func FreqShift(x []complex128, shiftBins float64, n int, startSample int) {
 	w := 2 * math.Pi * shiftBins / float64(n)
+	ss, cs := math.Sincos(w)
+	step := complex(cs, ss)
+	var rot complex128
 	for t := range x {
-		theta := w * float64(startSample+t)
-		s, c := math.Sincos(theta)
-		x[t] *= complex(c, s)
+		if t%freqShiftResync == 0 {
+			s, c := math.Sincos(w * float64(startSample+t))
+			rot = complex(c, s)
+		}
+		x[t] *= rot
+		rot *= step
 	}
 }
 
@@ -195,6 +252,15 @@ func CyclicShift(x []complex128, k int) []complex128 {
 		out[i] = x[(i+k)%n]
 	}
 	return out
+}
+
+// Abs returns |v| via a plain sqrt. Unlike cmplx.Abs (math.Hypot) it does
+// no overflow/underflow guarding, which is fine for the O(1)-magnitude
+// baseband samples and constellation distances this repository works
+// with, and several times faster — receivers evaluate it per (candidate,
+// segment, subcarrier).
+func Abs(v complex128) float64 {
+	return math.Sqrt(real(v)*real(v) + imag(v)*imag(v))
 }
 
 // Power returns the mean squared magnitude of x; zero for an empty slice.
@@ -346,13 +412,22 @@ func MaxAbsDiff(a, b []complex128) float64 {
 	return m
 }
 
-// WrapPhase maps an angle in radians to (-π, π].
+// WrapPhase maps an angle in radians to (-π, π] in constant time. Angles
+// within one turn of the target interval (the overwhelmingly common case —
+// e.g. differences of two wrapped phases) are corrected by a single exact
+// add/subtract; anything farther out is reduced with math.Mod.
 func WrapPhase(theta float64) float64 {
-	for theta > math.Pi {
-		theta -= 2 * math.Pi
+	switch {
+	case theta > -math.Pi && theta <= math.Pi:
+		return theta
+	case theta > math.Pi && theta <= 3*math.Pi:
+		return theta - 2*math.Pi
+	case theta <= -math.Pi && theta > -3*math.Pi:
+		return theta + 2*math.Pi
 	}
-	for theta <= -math.Pi {
+	theta = math.Mod(theta+math.Pi, 2*math.Pi)
+	if theta <= 0 {
 		theta += 2 * math.Pi
 	}
-	return theta
+	return theta - math.Pi
 }

@@ -179,8 +179,11 @@ func RunPSR(cfg LinkConfig) ([]PSRPoint, error) {
 		workers = cfg.Packets
 	}
 
+	// tally holds one worker's counts: ok is indexed like cfg.Receivers.
+	// Plain slices instead of a per-packet map keep the accounting off the
+	// hot path's allocation profile.
 	type tally struct {
-		ok map[ReceiverKind]int
+		ok []int
 		n  int
 	}
 	results := make([]tally, workers)
@@ -191,10 +194,10 @@ func RunPSR(cfg LinkConfig) ([]PSRPoint, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			t := tally{ok: make(map[ReceiverKind]int)}
+			t := tally{ok: make([]int, len(cfg.Receivers))}
+			okBuf := make([]bool, len(cfg.Receivers))
 			for pkt := w; pkt < cfg.Packets; pkt += workers {
-				okSet, err := runOnePacket(cfg, pkt)
-				if err != nil {
+				if err := runOnePacket(cfg, pkt, okBuf); err != nil {
 					errMu.Lock()
 					if firstErr == nil {
 						firstErr = err
@@ -203,9 +206,9 @@ func RunPSR(cfg LinkConfig) ([]PSRPoint, error) {
 					return
 				}
 				t.n++
-				for k, ok := range okSet {
+				for i, ok := range okBuf {
 					if ok {
-						t.ok[k]++
+						t.ok[i]++
 					}
 				}
 			}
@@ -218,10 +221,12 @@ func RunPSR(cfg LinkConfig) ([]PSRPoint, error) {
 	}
 
 	out := make([]PSRPoint, 0, len(cfg.Receivers))
-	for _, k := range cfg.Receivers {
+	for i, k := range cfg.Receivers {
 		p := PSRPoint{Kind: k}
 		for _, t := range results {
-			p.OK += t.ok[k]
+			if t.ok != nil {
+				p.OK += t.ok[i]
+			}
 			p.N += t.n
 		}
 		out = append(out, p)
@@ -230,25 +235,25 @@ func RunPSR(cfg LinkConfig) ([]PSRPoint, error) {
 }
 
 // runOnePacket transmits one packet through the scenario and decodes it
-// with every configured arm.
-func runOnePacket(cfg LinkConfig, pkt int) (map[ReceiverKind]bool, error) {
+// with every configured arm, writing each arm's packet success into ok
+// (indexed like cfg.Receivers).
+func runOnePacket(cfg LinkConfig, pkt int, ok []bool) error {
 	r := dsp.NewRand(cfg.Seed*1_000_003 + int64(pkt))
 	psdu := wifi.BuildPSDU(r.Bytes(cfg.PSDUBytes - 4))
 	c, err := cfg.Scenario.Run(r, psdu, cfg.MCS)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	f, err := rx.NewFrame(c.Grid, c.Samples, c.FrameStart)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	segs, err := segmentPlanFor(c.Grid, cfg.NumSegments, cfg.Scenario.Channel, cfg.StrideDivisor)
 	if err != nil {
-		return nil, err
+		return err
 	}
 
-	out := make(map[ReceiverKind]bool, len(cfg.Receivers))
-	for _, k := range cfg.Receivers {
+	for ai, k := range cfg.Receivers {
 		var decider rx.SymbolDecider
 		soft := false
 		switch k {
@@ -274,12 +279,12 @@ func runOnePacket(cfg LinkConfig, pkt int) (map[ReceiverKind]bool, error) {
 			}
 			cpr, err := core.NewReceiver(f, conf)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			decider = cpr
 			soft = k == CPRecycleSoft
 		default:
-			return nil, fmt.Errorf("experiments: unknown receiver kind %d", int(k))
+			return fmt.Errorf("experiments: unknown receiver kind %d", int(k))
 		}
 		var res rx.Result
 		var err error
@@ -289,11 +294,11 @@ func runOnePacket(cfg LinkConfig, pkt int) (map[ReceiverKind]bool, error) {
 			res, err = rx.DecodeData(f, cfg.MCS, len(psdu), decider)
 		}
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out[k] = res.FCSOK && string(res.PSDU) == string(psdu)
+		ok[ai] = res.FCSOK && string(res.PSDU) == string(psdu)
 	}
-	return out, nil
+	return nil
 }
 
 // ACIScenario builds the canonical single adjacent-channel-interferer

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+
+	"repro/internal/dsp"
 )
 
 // Scheme identifies a modulation scheme.
@@ -309,5 +311,5 @@ type Deviation struct {
 // from lattice point ref.
 func DeviationOf(rx, ref complex128) Deviation {
 	d := rx - ref
-	return Deviation{Amp: cmplx.Abs(d), Phase: cmplx.Phase(d)}
+	return Deviation{Amp: dsp.Abs(d), Phase: cmplx.Phase(d)}
 }

@@ -10,6 +10,12 @@
 // band (the wide grid used to simulate adjacent-channel scenarios; the
 // composite band is simply an oversampled view, so all signal properties are
 // preserved).
+//
+// Segment extraction has two forms: the one-window Demodulator.Segment
+// (an independent FFT per call) and the batch Demodulator.Segments /
+// SegmentsOn, which compute all P windows of a symbol with one seed FFT
+// plus sliding-DFT updates (optionally restricted to a fixed bin subset)
+// and cached phase-ramp tables — the form every receiver hot path uses.
 package ofdm
 
 import (

@@ -3,6 +3,7 @@ package ofdm
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/dsp"
 )
@@ -13,18 +14,25 @@ type Modulator struct {
 	grid Grid
 	plan *dsp.FFTPlan
 	freq []complex128 // scratch frequency-domain buffer
+	body []complex128 // scratch time-domain buffer for SymbolInto
 }
 
-// NewModulator returns a modulator for the grid.
+// NewModulator returns a modulator for the grid. The FFT plan comes from
+// the process-wide cache, so constructing modulators per packet is cheap.
 func NewModulator(g Grid) (*Modulator, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
-	p, err := dsp.NewFFTPlan(g.NFFT)
+	p, err := dsp.PlanFor(g.NFFT)
 	if err != nil {
 		return nil, err
 	}
-	return &Modulator{grid: g, plan: p, freq: make([]complex128, g.NFFT)}, nil
+	return &Modulator{
+		grid: g,
+		plan: p,
+		freq: make([]complex128, g.NFFT),
+		body: make([]complex128, g.NFFT),
+	}, nil
 }
 
 // MustModulator is NewModulator but panics on error.
@@ -65,8 +73,16 @@ func (m *Modulator) SymbolFromBins(bins []complex128) []complex128 {
 }
 
 func (m *Modulator) timeSymbol() []complex128 {
+	out := make([]complex128, m.grid.SymLen())
+	m.timeSymbolInto(out)
+	return out
+}
+
+// timeSymbolInto synthesises the symbol for the current m.freq contents
+// into out (length SymLen), without allocating.
+func (m *Modulator) timeSymbolInto(out []complex128) {
 	n := m.grid.NFFT
-	body := make([]complex128, n)
+	body := m.body
 	copy(body, m.freq)
 	m.plan.Inverse(body)
 	// The IFFT's 1/N scaling makes occupied-bin amplitudes tiny in the time
@@ -74,10 +90,23 @@ func (m *Modulator) timeSymbol() []complex128 {
 	// amplitude complex exponential, keeping powers comparable across grid
 	// sizes (an oversampled embedding then has identical sample power).
 	dsp.Scale(body, float64(n))
-	out := make([]complex128, m.grid.SymLen())
 	copy(out, body[n-m.grid.CP:])
 	copy(out[m.grid.CP:], body)
-	return out
+}
+
+// SymbolFromBinsInto synthesises one OFDM symbol from a full
+// frequency-domain vector directly into out, which must have length
+// SymLen. It is the allocation-free form of SymbolFromBins, used by the
+// transmitter's per-symbol hot path.
+func (m *Modulator) SymbolFromBinsInto(out, bins []complex128) {
+	if len(bins) != m.grid.NFFT {
+		panic(fmt.Sprintf("ofdm: SymbolFromBinsInto got %d bins, want %d", len(bins), m.grid.NFFT))
+	}
+	if len(out) != m.grid.SymLen() {
+		panic(fmt.Sprintf("ofdm: SymbolFromBinsInto got %d output samples, want %d", len(out), m.grid.SymLen()))
+	}
+	copy(m.freq, bins)
+	m.timeSymbolInto(out)
 }
 
 // GainForUnitPower returns the gain that makes a stream of symbols with
@@ -91,24 +120,40 @@ func (m *Modulator) GainForUnitPower(nOccupied int) float64 {
 }
 
 // Demodulator computes FFT windows over a received stream on a Grid,
-// including the multi-segment windows CPRecycle uses. Not safe for
-// concurrent use.
+// including the multi-segment windows CPRecycle uses. The batch Segments
+// method computes all P windows of a symbol with one seed FFT plus
+// incremental sliding-DFT updates, and per-delta phase-ramp tables are
+// cached so the Eq. 2 correction costs one table multiply per bin instead
+// of a Sincos. Not safe for concurrent use.
 type Demodulator struct {
-	grid Grid
-	plan *dsp.FFTPlan
-	buf  []complex128
+	grid  Grid
+	plan  *dsp.FFTPlan
+	sdft  *dsp.SlidingDFT
+	diffs []complex128         // scaled sample-difference scratch for slides
+	ramps map[int][]complex128 // delta -> e^{+i 2π k delta / N} table
 }
 
-// NewDemodulator returns a demodulator for the grid.
+// NewDemodulator returns a demodulator for the grid. The FFT plan comes
+// from the process-wide cache, so constructing demodulators per frame is
+// cheap.
 func NewDemodulator(g Grid) (*Demodulator, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
-	p, err := dsp.NewFFTPlan(g.NFFT)
+	p, err := dsp.PlanFor(g.NFFT)
 	if err != nil {
 		return nil, err
 	}
-	return &Demodulator{grid: g, plan: p, buf: make([]complex128, g.NFFT)}, nil
+	sd, err := dsp.SlidingFor(g.NFFT)
+	if err != nil {
+		return nil, err
+	}
+	return &Demodulator{
+		grid:  g,
+		plan:  p,
+		sdft:  sd,
+		ramps: make(map[int][]complex128),
+	}, nil
 }
 
 // MustDemodulator is NewDemodulator but panics on error.
@@ -128,15 +173,27 @@ func (d *Demodulator) Grid() Grid { return d.grid }
 // mirrors the modulator's N scaling so a loopback returns the original
 // subcarrier values.
 func (d *Demodulator) WindowAt(rx []complex128, start int) ([]complex128, error) {
-	n := d.grid.NFFT
-	if start < 0 || start+n > len(rx) {
-		return nil, fmt.Errorf("ofdm: window [%d,%d) outside rx of %d samples", start, start+n, len(rx))
+	out := make([]complex128, d.grid.NFFT)
+	if err := d.WindowInto(out, rx, start); err != nil {
+		return nil, err
 	}
-	out := make([]complex128, n)
-	copy(out, rx[start:start+n])
-	d.plan.Forward(out)
-	dsp.Scale(out, 1/float64(n))
 	return out, nil
+}
+
+// WindowInto is WindowAt into a caller-provided buffer of length NFFT,
+// avoiding the allocation.
+func (d *Demodulator) WindowInto(dst, rx []complex128, start int) error {
+	n := d.grid.NFFT
+	if len(dst) != n {
+		return fmt.Errorf("ofdm: WindowInto dst length %d, want %d", len(dst), n)
+	}
+	if start < 0 || start+n > len(rx) {
+		return fmt.Errorf("ofdm: window [%d,%d) outside rx of %d samples", start, start+n, len(rx))
+	}
+	copy(dst, rx[start:start+n])
+	d.plan.Forward(dst)
+	dsp.Scale(dst, 1/float64(n))
+	return nil
 }
 
 // Standard demodulates the standard receiver's window for the OFDM symbol
@@ -159,22 +216,159 @@ func (d *Demodulator) Segment(rx []complex128, symStart, cpOffset int) ([]comple
 	if err != nil {
 		return nil, err
 	}
-	CorrectSegmentPhase(out, d.grid.CP-cpOffset)
+	d.correctSegmentPhase(out, d.grid.CP-cpOffset)
 	return out, nil
+}
+
+// Segments demodulates the phase-corrected FFT windows for every CP offset
+// in offsets (strictly increasing, each in [0, CP]) of the symbol whose CP
+// starts at symStart — the paper's P segment windows — using one seed FFT
+// at the earliest offset plus an O(N·stride) sliding-DFT update per
+// further window, instead of P independent O(N log N) transforms.
+//
+// The windows are written into dst, whose slices are reused when they have
+// the right length and allocated otherwise; the (possibly grown) slice of
+// windows is returned. Each window matches Segment's output: 1/N scaled
+// and Eq. 2 phase-corrected, in bin order. Passing dst from a previous
+// call makes the batch allocation-free.
+func (d *Demodulator) Segments(rx []complex128, symStart int, offsets []int, dst [][]complex128) ([][]complex128, error) {
+	return d.segments(rx, symStart, offsets, dst, nil)
+}
+
+// SegmentsOn is Segments restricted to a fixed set of FFT bins: the first
+// (seed) window is always complete, but the slid windows are only updated
+// at the listed bins — in arithmetic identical to Segments — and hold
+// stale values elsewhere. Receivers that consume a fixed subcarrier set
+// (e.g. the 52 used 802.11 subcarriers out of a 256-bin composite grid)
+// skip most of the per-slide work this way.
+func (d *Demodulator) SegmentsOn(rx []complex128, symStart int, offsets, sel []int, dst [][]complex128) ([][]complex128, error) {
+	if sel == nil {
+		return nil, fmt.Errorf("ofdm: SegmentsOn needs a bin selection")
+	}
+	for _, k := range sel {
+		if k < 0 || k >= d.grid.NFFT {
+			return nil, fmt.Errorf("ofdm: selected bin %d outside [0,%d)", k, d.grid.NFFT)
+		}
+	}
+	return d.segments(rx, symStart, offsets, dst, sel)
+}
+
+func (d *Demodulator) segments(rx []complex128, symStart int, offsets []int, dst [][]complex128, sel []int) ([][]complex128, error) {
+	if len(offsets) == 0 {
+		return nil, fmt.Errorf("ofdm: Segments needs at least one offset")
+	}
+	n := d.grid.NFFT
+	prev := -1
+	for _, o := range offsets {
+		if o < 0 || o > d.grid.CP {
+			return nil, fmt.Errorf("ofdm: cpOffset %d outside [0,%d]", o, d.grid.CP)
+		}
+		if o <= prev {
+			return nil, fmt.Errorf("ofdm: Segments offsets must be strictly increasing")
+		}
+		prev = o
+	}
+	first, last := symStart+offsets[0], symStart+offsets[len(offsets)-1]
+	if first < 0 || last+n > len(rx) {
+		return nil, fmt.Errorf("ofdm: windows [%d,%d) outside rx of %d samples", first, last+n, len(rx))
+	}
+
+	if cap(dst) >= len(offsets) {
+		dst = dst[:len(offsets)] // window buffers beyond the old length are reused below
+	} else {
+		grown := make([][]complex128, len(offsets))
+		copy(grown, dst[:cap(dst)])
+		dst = grown
+	}
+	for i := range dst {
+		if len(dst[i]) != n {
+			dst[i] = make([]complex128, n)
+		}
+	}
+
+	// Seed: full transform of the earliest window, scaled and
+	// phase-corrected exactly like Segment (bit-identical output).
+	seed := dst[0]
+	copy(seed, rx[first:first+n])
+	d.plan.Forward(seed)
+	dsp.Scale(seed, 1/float64(n))
+	d.correctSegmentPhase(seed, d.grid.CP-offsets[0])
+
+	// Each further window advances the previous one in the phase-corrected
+	// domain, where the window shift and the ramp slope decrement cancel:
+	// m scaled multiply-adds per bin and nothing else (dsp.SlideRotated).
+	scale := complex(1/float64(n), 0)
+	for i := 1; i < len(offsets); i++ {
+		m := offsets[i] - offsets[i-1]
+		at := symStart + offsets[i-1]
+		if cap(d.diffs) < m {
+			d.diffs = make([]complex128, m)
+		}
+		diffs := d.diffs[:m]
+		for j := 0; j < m; j++ {
+			diffs[j] = (rx[at+n+j] - rx[at+j]) * scale
+		}
+		out := dst[i]
+		copy(out, dst[i-1])
+		if sel != nil {
+			d.sdft.SlideRotatedBins(out, diffs, d.grid.CP-offsets[i-1], sel)
+		} else {
+			d.sdft.SlideRotated(out, diffs, d.grid.CP-offsets[i-1])
+		}
+	}
+	return dst, nil
+}
+
+// rampKey identifies a cached phase-ramp table.
+type rampKey struct{ n, delta int }
+
+// rampCache holds the Eq. 2 phase-ramp tables process-wide: the tables
+// depend only on (NFFT, delta), and receivers reuse the same handful of
+// deltas for every symbol of every packet.
+var rampCache sync.Map // rampKey -> []complex128
+
+// rampFor returns the cached table e^{+i 2π k delta / N} for k in [0, N).
+// Entries are computed exactly as CorrectSegmentPhase does, so applying
+// the table is bit-identical to the per-call Sincos loop.
+func rampFor(n, delta int) []complex128 {
+	key := rampKey{n, delta}
+	if v, ok := rampCache.Load(key); ok {
+		return v.([]complex128)
+	}
+	w := 2 * math.Pi * float64(delta) / float64(n)
+	t := make([]complex128, n)
+	for k := range t {
+		s, c := math.Sincos(w * float64(k))
+		t[k] = complex(c, s)
+	}
+	v, _ := rampCache.LoadOrStore(key, t)
+	return v.([]complex128)
+}
+
+// correctSegmentPhase applies the cached Eq. 2 ramp for delta to bins.
+func (d *Demodulator) correctSegmentPhase(bins []complex128, delta int) {
+	if delta == 0 || len(bins) == 0 {
+		return
+	}
+	t := d.ramps[delta]
+	if t == nil {
+		t = rampFor(d.grid.NFFT, delta)
+		d.ramps[delta] = t
+	}
+	for k := range bins {
+		bins[k] *= t[k]
+	}
 }
 
 // CorrectSegmentPhase removes the phase ramp caused by starting the FFT
 // window delta samples early (relative to the standard CP-skipping window):
 // bin k is multiplied by e^{+i 2π k delta / N}. This is Eq. 2 of the paper.
 func CorrectSegmentPhase(bins []complex128, delta int) {
-	n := len(bins)
-	if delta == 0 || n == 0 {
+	if delta == 0 || len(bins) == 0 {
 		return
 	}
-	w := 2 * math.Pi * float64(delta) / float64(n)
-	for k := range bins {
-		s, c := math.Sincos(w * float64(k))
-		bins[k] *= complex(c, s)
+	for k, r := range rampFor(len(bins), delta) {
+		bins[k] *= r
 	}
 }
 

@@ -1,6 +1,9 @@
 package ofdm
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // IEEE 802.11a/g §18.3.3 training sequences and §18.3.5.10 pilots,
 // expressed on signed subcarrier indices −26 … +26.
@@ -51,9 +54,8 @@ func STFValues() map[int]complex128 {
 	return out
 }
 
-// DataSubcarriers lists the 48 data-bearing subcarriers of 802.11a/g in
-// the order the standard assigns coded bits to them.
-func DataSubcarriers() []int {
+// dataSCs is the shared DataSubcarriers slice, built once.
+var dataSCs = func() []int {
 	out := make([]int, 0, 48)
 	for sc := -26; sc <= 26; sc++ {
 		switch sc {
@@ -63,10 +65,19 @@ func DataSubcarriers() []int {
 		out = append(out, sc)
 	}
 	return out
-}
+}()
 
-// PilotSubcarriers lists the four pilot subcarriers.
-func PilotSubcarriers() []int { return []int{-21, -7, 7, 21} }
+// pilotSCs is the shared PilotSubcarriers slice.
+var pilotSCs = []int{-21, -7, 7, 21}
+
+// DataSubcarriers lists the 48 data-bearing subcarriers of 802.11a/g in
+// the order the standard assigns coded bits to them. The returned slice is
+// shared and must not be modified.
+func DataSubcarriers() []int { return dataSCs }
+
+// PilotSubcarriers lists the four pilot subcarriers. The returned slice is
+// shared and must not be modified.
+func PilotSubcarriers() []int { return pilotSCs }
 
 // pilotBase holds the per-subcarrier pilot values before polarity.
 var pilotBase = map[int]complex128{-21: 1, -7: 1, 7: 1, 21: -1}
@@ -100,11 +111,42 @@ func PilotValues(n int) map[int]complex128 {
 	return out
 }
 
-// Preamble synthesises the 802.11a/g PLCP preamble (short training field
+// PilotValue returns the pilot value at subcarrier sc for symbol counter n
+// without building a map; sc must be one of PilotSubcarriers. This is the
+// allocation-free form receivers and transmitters use per symbol.
+func PilotValue(n, sc int) complex128 {
+	base := complex128(1)
+	if sc == 21 {
+		base = -1
+	}
+	return base * complex(PilotPolarity(n), 0)
+}
+
+// preambleCache holds the synthesised preamble waveform per grid: the
+// training fields are fixed by the standard, so transmitters built per
+// packet reuse one copy.
+var preambleCache sync.Map // Grid -> []complex128
+
+// Preamble returns the 802.11a/g PLCP preamble (short training field
 // followed by long training field) on the modulator's grid. On a native
 // 64-point grid the result is exactly 320 samples (16 µs); on a q×
 // oversampled grid it is 320·q samples covering the same 16 µs.
+// The waveform is cached per grid; a fresh copy is returned each call.
 func Preamble(m *Modulator) []complex128 {
+	if v, ok := preambleCache.Load(m.Grid()); ok {
+		cached := v.([]complex128)
+		out := make([]complex128, len(cached))
+		copy(out, cached)
+		return out
+	}
+	p := synthesisePreamble(m)
+	cached := make([]complex128, len(p))
+	copy(cached, p)
+	preambleCache.Store(m.Grid(), cached)
+	return p
+}
+
+func synthesisePreamble(m *Modulator) []complex128 {
 	g := m.Grid()
 	n := g.NFFT
 

@@ -78,10 +78,12 @@ func DecodeData(f *Frame, mcs wifi.MCS, psduLen int, decider SymbolDecider) (Res
 	nInfo := nSyms * mcs.Ndbps
 	vit := coding.NewViterbi()
 	// The DATA stream's scrambled pad bits follow the six tail bits, so the
-	// encoder does not end in the zero state; trace back from the best
-	// final state instead. Any resulting uncertainty affects only pad bits.
-	vit.Terminated = false
-	bits, err := vit.DecodePunctured(coding.HardToLLR(coded), mcs.Rate, nInfo)
+	// encoder does not end in the zero state — but it IS in the zero state
+	// right after the tail. Anchor the payload traceback there so pad-bit
+	// channel errors can never corrupt PSDU bits (best-final-state
+	// traceback can reach into the payload when the pad is shorter than
+	// the survivor-merge depth).
+	bits, err := vit.DecodePuncturedAnchored(coding.HardToLLR(coded), mcs.Rate, nInfo, wifi.DataAnchorBit(psduLen, nInfo))
 	if err != nil {
 		return Result{}, err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/cmplx"
 
+	"repro/internal/dsp"
 	"repro/internal/ofdm"
 )
 
@@ -11,6 +12,12 @@ import (
 // a known sample index, and provides channel-equalised subcarrier
 // observations for any OFDM symbol and any cyclic-prefix FFT segment.
 // It is the common substrate of every receiver variant in the repository.
+//
+// Multi-segment observation methods (ObserveSegments, ObservePreambleAll)
+// run on the demodulator's batch sliding-DFT path and return buffers owned
+// by the Frame that are reused by the next call on the same Frame; copy
+// anything that must outlive the next observation. A Frame is not safe for
+// concurrent use.
 type Frame struct {
 	grid    ofdm.Grid
 	samples []complex128
@@ -19,6 +26,13 @@ type Frame struct {
 	h       []complex128 // per-bin channel estimate
 	scs     []int        // data subcarriers
 	pilots  []int
+
+	// Reused observation scratch (see type comment).
+	segBins [][]complex128 // batch demodulation windows
+	obs     []Observation  // equalised observations handed to callers
+	preSeg  [][2][]complex128
+	oneOff  [1]int // single-offset scratch for ObserveSymbol
+	selBins []int  // FFT bins of the 52 used subcarriers, for sparse slides
 }
 
 // NewFrame creates a frame view and estimates the channel from the two LTF
@@ -38,6 +52,15 @@ func NewFrame(g ofdm.Grid, samples []complex128, preambleStart int) (*Frame, err
 		demod:   d,
 		scs:     ofdm.DataSubcarriers(),
 		pilots:  ofdm.PilotSubcarriers(),
+	}
+	// Every observation this frame serves reads only the 52 used
+	// subcarriers, so slid segment windows are updated sparsely at their
+	// bins (the paper's composite grids leave ~80% of bins unused).
+	for sc := -26; sc <= 26; sc++ {
+		if sc == 0 {
+			continue
+		}
+		f.selBins = append(f.selBins, g.Bin(sc))
 	}
 	if err := f.estimateChannel(); err != nil {
 		return nil, err
@@ -67,13 +90,16 @@ func (f *Frame) estimateChannel() error {
 	sum := make([]complex128, f.grid.NFFT)
 	n := 0
 	for _, s := range starts {
-		for _, o := range offsets {
-			bins, err := f.demod.Segment(f.samples, f.start+s, o)
-			if err != nil {
-				return fmt.Errorf("rx: channel estimation: %w", err)
-			}
-			for i, v := range bins {
-				sum[i] += v
+		var err error
+		f.segBins, err = f.demod.SegmentsOn(f.samples, f.start+s, offsets, f.selBins, f.segBins)
+		if err != nil {
+			return fmt.Errorf("rx: channel estimation: %w", err)
+		}
+		for _, bins := range f.segBins[:len(offsets)] {
+			// Only the selected (used-subcarrier) bins are valid in slid
+			// windows — and only they feed the estimate below.
+			for _, i := range f.selBins {
+				sum[i] += bins[i]
 			}
 			n++
 		}
@@ -153,31 +179,35 @@ func symbolCounter(symIdx int) int { return symIdx + 1 }
 // ObserveSymbol demodulates the FFT segment starting cpOffset samples into
 // the CP of symbol symIdx (-1 for SIGNAL, ≥0 for data), corrects the
 // segment phase ramp (Eq. 2), equalises by Ĥ, and removes the common phase
-// error estimated from the four pilots of the same window.
+// error estimated from the four pilots of the same window. The returned
+// observation's Data buffer is Frame-owned scratch, reused by later
+// observations on this Frame.
 func (f *Frame) ObserveSymbol(symIdx, cpOffset int) (Observation, error) {
 	symStart := f.DataSymbolStart(symIdx) // DataSymbolStart(-1) is the SIGNAL symbol
-	bins, err := f.demod.Segment(f.samples, symStart, cpOffset)
+	f.oneOff[0] = cpOffset                // validated by the demodulator
+	var err error
+	f.segBins, err = f.demod.Segments(f.samples, symStart, f.oneOff[:], f.segBins)
 	if err != nil {
 		return Observation{}, err
 	}
-	return f.observationFromBins(bins, symIdx)
+	return f.observationFromBins(f.segBins[0], symIdx)
 }
 
 func (f *Frame) observationFromBins(bins []complex128, symIdx int) (Observation, error) {
 	// Equalise pilots and estimate common phase error.
 	var acc complex128
-	pv := ofdm.PilotValues(symbolCounter(symIdx))
+	ctr := symbolCounter(symIdx)
 	for _, sc := range f.pilots {
 		h := f.h[f.grid.Bin(sc)]
 		if h == 0 {
 			continue
 		}
-		acc += (bins[f.grid.Bin(sc)] / h) * cmplx.Conj(pv[sc])
+		acc += (bins[f.grid.Bin(sc)] / h) * cmplx.Conj(ofdm.PilotValue(ctr, sc))
 	}
 	cpe := cmplx.Phase(acc)
 	rot := cmplx.Exp(complex(0, -cpe))
 
-	obs := Observation{Data: make([]complex128, len(f.scs)), CPE: cpe}
+	obs := Observation{Data: f.observationScratch(1)[0].Data, CPE: cpe}
 	for i, sc := range f.scs {
 		h := f.h[f.grid.Bin(sc)]
 		if h == 0 {
@@ -227,30 +257,37 @@ func (f *Frame) DataSubcarrierCount() int { return len(f.scs) }
 // interference on the pilots rotates from segment to segment, so pooling
 // suppresses it — the multi-window receivers get the full benefit of the
 // recycled prefix on their phase tracking too.
+//
+// The windows are demodulated in one batch (seed FFT + sliding-DFT
+// updates) and the returned observations live in Frame-owned scratch that
+// the next multi-segment observation on this Frame reuses; copy anything
+// that must be retained.
 func (f *Frame) ObserveSegments(symIdx int, segments []int) ([]Observation, error) {
 	symStart := f.DataSymbolStart(symIdx)
-	binsPerSeg := make([][]complex128, len(segments))
-	pv := ofdm.PilotValues(symbolCounter(symIdx))
+	var err error
+	f.segBins, err = f.demod.SegmentsOn(f.samples, symStart, segments, f.selBins, f.segBins)
+	if err != nil {
+		return nil, err
+	}
+	binsPerSeg := f.segBins
+	ctr := symbolCounter(symIdx)
 	var acc complex128
-	for i, off := range segments {
-		bins, err := f.demod.Segment(f.samples, symStart, off)
-		if err != nil {
-			return nil, err
-		}
-		binsPerSeg[i] = bins
+	for _, bins := range binsPerSeg {
 		for _, sc := range f.pilots {
 			h := f.h[f.grid.Bin(sc)]
 			if h == 0 {
 				continue
 			}
-			acc += (bins[f.grid.Bin(sc)] / h) * cmplx.Conj(pv[sc])
+			acc += (bins[f.grid.Bin(sc)] / h) * cmplx.Conj(ofdm.PilotValue(ctr, sc))
 		}
 	}
 	cpe := cmplx.Phase(acc)
 	rot := cmplx.Exp(complex(0, -cpe))
-	out := make([]Observation, len(segments))
+	out := f.observationScratch(len(segments))
 	for i, bins := range binsPerSeg {
-		obs := Observation{Data: make([]complex128, len(f.scs)), CPE: cpe}
+		obs := &out[i]
+		obs.CPE = cpe
+		obs.PilotDev = 0
 		for j, sc := range f.scs {
 			h := f.h[f.grid.Bin(sc)]
 			if h == 0 {
@@ -265,15 +302,75 @@ func (f *Frame) ObserveSegments(symIdx int, segments []int) ([]Observation, erro
 			if h == 0 {
 				continue
 			}
-			pdev += cmplx.Abs(bins[f.grid.Bin(sc)]/h*rot - pv[sc])
+			pdev += dsp.Abs(bins[f.grid.Bin(sc)]/h*rot - ofdm.PilotValue(ctr, sc))
 			np++
 		}
 		if np > 0 {
 			obs.PilotDev = pdev / float64(np)
 		}
-		out[i] = obs
 	}
 	return out, nil
+}
+
+// observationScratch returns n reusable observations with Data buffers
+// sized for the data subcarriers.
+func (f *Frame) observationScratch(n int) []Observation {
+	if cap(f.obs) < n {
+		grown := make([]Observation, n)
+		copy(grown, f.obs[:cap(f.obs)])
+		f.obs = grown
+	}
+	f.obs = f.obs[:n]
+	for i := range f.obs {
+		if len(f.obs[i].Data) != len(f.scs) {
+			f.obs[i].Data = make([]complex128, len(f.scs))
+		}
+	}
+	return f.obs
+}
+
+// ObservePreambleAll returns the equalised LTF observations of every CP
+// offset in segments in one batch: out[i][s][j] is segment i, training
+// symbol s, data subcarrier j (DataSubcarriers order), i.e. the received
+// value divided by Ĥ — CPRecycle's interference-model training inputs (the
+// known transmitted value is ofdm.LTFValue). Each LTF symbol costs one
+// seed FFT plus len(segments)-1 sliding-DFT updates, where the equivalent
+// ObservePreamble loop pays a full FFT per (segment, symbol).
+//
+// Like ObserveSegments, the returned buffers are Frame-owned scratch.
+func (f *Frame) ObservePreambleAll(segments []int) ([][2][]complex128, error) {
+	if cap(f.preSeg) < len(segments) {
+		grown := make([][2][]complex128, len(segments))
+		copy(grown, f.preSeg[:cap(f.preSeg)])
+		f.preSeg = grown
+	}
+	f.preSeg = f.preSeg[:len(segments)]
+	for i := range f.preSeg {
+		for s := 0; s < 2; s++ {
+			if len(f.preSeg[i][s]) != len(f.scs) {
+				f.preSeg[i][s] = make([]complex128, len(f.scs))
+			}
+		}
+	}
+	starts := ofdm.LTFSymbolStarts(f.grid)
+	for s, st := range starts {
+		var err error
+		f.segBins, err = f.demod.SegmentsOn(f.samples, f.start+st, segments, f.selBins, f.segBins)
+		if err != nil {
+			return nil, err
+		}
+		for i, bins := range f.segBins {
+			vals := f.preSeg[i][s]
+			for j, sc := range f.scs {
+				h := f.h[f.grid.Bin(sc)]
+				if h == 0 {
+					return nil, fmt.Errorf("rx: no channel estimate at subcarrier %d", sc)
+				}
+				vals[j] = bins[f.grid.Bin(sc)] / h
+			}
+		}
+	}
+	return f.preSeg, nil
 }
 
 // NoiseEstimate returns the mean squared deviation of the equalised LTF

@@ -1,0 +1,73 @@
+package rx
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/dsp"
+	"repro/internal/ofdm"
+	"repro/internal/wifi"
+)
+
+// benchFrame builds a Fig. 8-style frame: a QPSK packet on the 4×
+// composite grid with mild noise, plus the 16-segment plan.
+func benchFrame(b *testing.B) (*Frame, []int) {
+	b.Helper()
+	g := ofdm.WideGrid(64, 16, 4, 64)
+	m, err := wifi.MCSByName("QPSK 1/2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := dsp.NewRand(3)
+	psdu := wifi.BuildPSDU(r.Bytes(146))
+	p, err := wifi.BuildPPDU(wifi.TxConfig{Grid: g, MCS: m, Gain: 1}, psdu)
+	if err != nil {
+		b.Fatal(err)
+	}
+	samples := make([]complex128, len(p.Samples)+200)
+	copy(samples[100:], p.Samples)
+	channel.AWGN(r, samples, channel.NoisePowerForSNR(dsp.Power(p.Samples), 25))
+	f, err := NewFrame(g, samples, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	segs, err := ofdm.SegmentPlan(g.CP, 4, 16, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f, segs
+}
+
+// BenchmarkObserveSegments measures the batch multi-window observation of
+// one data symbol — the per-symbol hot path of every CPRecycle-family
+// receiver (one seed FFT + 15 sparse sliding-DFT updates, zero
+// allocations after the first call).
+func BenchmarkObserveSegments(b *testing.B) {
+	f, segs := benchFrame(b)
+	if _, err := f.ObserveSegments(0, segs); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.ObserveSegments(0, segs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObserveSymbolPerSegment measures the same 16 windows through
+// repeated single-window observations — the shape of the pre-batch hot
+// path, one full FFT per window (pooled-pilot CPE handling aside).
+func BenchmarkObserveSymbolPerSegment(b *testing.B) {
+	f, segs := benchFrame(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, off := range segs {
+			if _, err := f.ObserveSymbol(0, off); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -98,8 +98,7 @@ func DecodeDataSoft(f *Frame, mcs wifi.MCS, psduLen int, decider SymbolDecider) 
 
 	nInfo := nSyms * mcs.Ndbps
 	vit := coding.NewViterbi()
-	vit.Terminated = false
-	bits, err := vit.DecodePunctured(llrs, mcs.Rate, nInfo)
+	bits, err := vit.DecodePuncturedAnchored(llrs, mcs.Rate, nInfo, wifi.DataAnchorBit(psduLen, nInfo))
 	if err != nil {
 		return Result{}, err
 	}

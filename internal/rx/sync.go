@@ -10,6 +10,12 @@
 // standard minimum-distance slicer, the paper's Naive and Oracle reference
 // decoders, and the CPRecycle maximum-likelihood decoder (internal/core)
 // all share the surrounding chain.
+//
+// Frame's multi-segment observation methods (ObserveSegments,
+// ObservePreambleAll) demodulate all P windows of a symbol in one batch on
+// the sliding-DFT path, sparsely at the 52 used subcarrier bins, and hand
+// out Frame-owned scratch buffers — the per-symbol hot path performs no
+// allocation.
 package rx
 
 import (

@@ -48,6 +48,20 @@ func (p *PPDU) DataSymbolStart(k int) int {
 // success/failure defines the paper's packet success rate.
 func BuildPSDU(payload []byte) []byte { return coding.AppendFCS(payload) }
 
+// DataAnchorBit returns the information-bit position at which the DATA
+// field's convolutional encoder register is back in the all-zero state:
+// after SERVICE(16) + PSDU + the six zero tail bits, clamped to nInfo for
+// degenerate layouts. Decoders anchor their payload traceback there
+// (coding.Viterbi.DecodeAnchored) so errors on the scrambled pad bits
+// cannot corrupt the payload.
+func DataAnchorBit(psduLen, nInfo int) int {
+	a := 16 + 8*psduLen + 6
+	if a > nInfo {
+		a = nInfo
+	}
+	return a
+}
+
 // BuildPPDU encodes a PSDU into a complete PPDU waveform.
 func BuildPPDU(cfg TxConfig, psdu []byte) (*PPDU, error) {
 	if err := cfg.Grid.Validate(); err != nil {
@@ -72,21 +86,23 @@ func BuildPPDU(cfg TxConfig, psdu []byte) (*PPDU, error) {
 	p.DataStart = p.SignalStart + cfg.Grid.SymLen()
 
 	total := p.DataStart + p.NumDataSymbols*cfg.Grid.SymLen()
-	p.Samples = make([]complex128, 0, total)
+	p.Samples = make([]complex128, total)
+	symLen := cfg.Grid.SymLen()
 
-	// Preamble.
-	pre := ofdm.Preamble(mod)
-	dsp.Scale(pre, gain)
-	p.Samples = append(p.Samples, pre...)
+	// Preamble: scale the cached waveform directly into place.
+	gc := complex(gain, 0)
+	for i, v := range ofdm.Preamble(mod) {
+		p.Samples[i] = v * gc
+	}
 
 	// SIGNAL symbol: BPSK, pilot polarity p₀.
 	sigBits, err := EncodeSignalSymbolBits(cfg.MCS, len(psdu))
 	if err != nil {
 		return nil, err
 	}
+	bins := make([]complex128, cfg.Grid.NFFT)
 	bpsk := modem.New(modem.BPSK)
-	sigSym := assembleSymbol(mod, bpsk, sigBits, 0, gain)
-	p.Samples = append(p.Samples, sigSym...)
+	assembleSymbolInto(p.Samples[p.SignalStart:p.SignalStart+symLen], bins, mod, bpsk, sigBits, 0, gain)
 
 	// DATA field bit pipeline (§18.3.5.4-7).
 	nBits := p.NumDataSymbols * cfg.MCS.Ndbps
@@ -101,33 +117,37 @@ func BuildPPDU(cfg TxConfig, psdu []byte) (*PPDU, error) {
 	il := coding.MustInterleaver(cfg.MCS.Ncbps, cfg.MCS.Nbpsc)
 	cons := modem.New(cfg.MCS.Scheme)
 
+	blk := make([]byte, cfg.MCS.Ncbps)
 	for k := 0; k < p.NumDataSymbols; k++ {
-		blk := il.Interleave(coded[k*cfg.MCS.Ncbps : (k+1)*cfg.MCS.Ncbps])
-		sym := assembleSymbol(mod, cons, blk, k+1, gain)
-		p.Samples = append(p.Samples, sym...)
-	}
-	if len(p.Samples) != total {
-		return nil, fmt.Errorf("wifi: internal layout error: %d samples, want %d", len(p.Samples), total)
+		il.InterleaveInto(blk, coded[k*cfg.MCS.Ncbps:(k+1)*cfg.MCS.Ncbps])
+		start := p.DataStart + k*symLen
+		assembleSymbolInto(p.Samples[start:start+symLen], bins, mod, cons, blk, k+1, gain)
 	}
 	return p, nil
 }
 
-// assembleSymbol maps one symbol's interleaved coded bits onto the 48 data
-// subcarriers, adds the four pilots for symbol counter n, modulates and
-// scales.
-func assembleSymbol(mod *ofdm.Modulator, cons *modem.Constellation, bits []byte, n int, gain float64) []complex128 {
+// assembleSymbolInto maps one symbol's interleaved coded bits onto the 48
+// data subcarriers, adds the four pilots for symbol counter n, modulates
+// and scales, writing the SymLen samples into out. bins is caller scratch
+// of length NFFT.
+func assembleSymbolInto(out, bins []complex128, mod *ofdm.Modulator, cons *modem.Constellation, bits []byte, n int, gain float64) {
 	scs := ofdm.DataSubcarriers()
 	nb := cons.BitsPerSymbol()
 	if len(bits) != len(scs)*nb {
 		panic(fmt.Sprintf("wifi: %d bits for %d subcarriers at %d bpsc", len(bits), len(scs), nb))
 	}
-	values := ofdm.PilotValues(n)
-	for i, sc := range scs {
-		values[sc] = cons.Map(bits[i*nb : (i+1)*nb])
+	g := mod.Grid()
+	for i := range bins {
+		bins[i] = 0
 	}
-	sym := mod.Symbol(values)
-	dsp.Scale(sym, gain)
-	return sym
+	for _, sc := range ofdm.PilotSubcarriers() {
+		bins[g.Bin(sc)] = ofdm.PilotValue(n, sc)
+	}
+	for i, sc := range scs {
+		bins[g.Bin(sc)] = cons.Map(bits[i*nb : (i+1)*nb])
+	}
+	mod.SymbolFromBinsInto(out, bins)
+	dsp.Scale(out, gain)
 }
 
 // SymbolBitsToSubcarriers returns, for a constellation, the subcarrier order

@@ -243,7 +243,11 @@ func decodePPDU(t *testing.T, p *PPDU) []byte {
 	}
 	nInfo := p.NumDataSymbols * p.Cfg.MCS.Ndbps
 	v := coding.NewViterbi()
-	bits, err := v.DecodePunctured(coding.HardToLLR(coded), p.Cfg.MCS.Rate, nInfo)
+	// Anchor the traceback at the known zero state after the tail bits:
+	// the scrambled pad bits leave the encoder in a nonzero state, so a
+	// plain terminated traceback can corrupt payload bits when the pad is
+	// shorter than the survivor-merge depth.
+	bits, err := v.DecodePuncturedAnchored(coding.HardToLLR(coded), p.Cfg.MCS.Rate, nInfo, DataAnchorBit(p.PSDULen, nInfo))
 	if err != nil {
 		t.Fatal(err)
 	}
