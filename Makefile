@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all verify build vet test bench bench-hotpath fmt-check
+.PHONY: all verify build vet test test-race-sweep smoke bench bench-hotpath fmt-check
 
 all: verify
 
@@ -16,6 +16,16 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Race-detector pass over the concurrent sweep engine (and the packages
+# whose shared caches it exercises).
+test-race-sweep:
+	$(GO) test -race ./internal/sweep/ ./internal/wifi/ ./internal/experiments/
+
+# Short end-to-end sweep through the engine (sharded workers + waveform
+# pool), as run in CI.
+smoke:
+	$(GO) run ./cmd/cprecycle-bench -experiment fig8 -packets 8 -bytes 60 -pool
 
 # Full benchmark suite (regenerates every paper table/figure at reduced
 # fidelity; slow).

@@ -3,14 +3,51 @@
 // rows mirror the corresponding figure's series (see DESIGN.md §4 for the
 // experiment index and EXPERIMENTS.md for paper-vs-measured results).
 //
+// The packet-success-rate sweeps (fig5, fig8-fig12, fig14, the ablations
+// and delay-spread) run on the sharded sweep engine (internal/sweep): each
+// measurement point is split into packet-range shards scheduled across a
+// bounded worker pool, with segment plans and per-packet preamble
+// trainings shared across shards. Engine sharding is bit-identical to the
+// sequential path at the same flags, so default invocations reproduce the
+// regression-pinned numbers exactly. -pool additionally shares a
+// pre-encoded interferer waveform pool across all points and experiments
+// of the invocation: much faster and deterministic per seed, but it
+// replaces the per-tile payload draws with pool picks, so pooled tables
+// are statistically equivalent rather than packet-identical to the
+// default path. Analysis experiments (table1, fig4*, fig6*, fig13) always
+// run directly.
+//
 // Usage:
 //
 //	cprecycle-bench -experiment fig8 -packets 2000 -bytes 400
 //	cprecycle-bench -experiment all -packets 200
+//	cprecycle-bench -experiment fig8 -checkpoint fig8.ckpt   # resumable
+//	cprecycle-bench -serve :8080                             # HTTP service
 //	cprecycle-bench -list
+//
+// Checkpoints (-checkpoint, sweep experiments only) are JSON-lines files:
+// a header line {"v":1,"spec":{…},"points":N} plus one
+// {"point":i,"n":…,"ok":[…]} line per completed point, appended as points
+// finish. Re-running with the same flags and path resumes at the first
+// incomplete point; a mismatched spec is refused.
+//
+// Serve mode (-serve ADDR) exposes the engine over HTTP:
+//
+//	POST   /v1/jobs        submit a sweep.Spec (JSON body) → {"id":"j1",…}
+//	GET    /v1/jobs        list all jobs' progress
+//	GET    /v1/jobs/{id}   one job's progress
+//	GET    /v1/jobs/{id}/table  the rendered table (202 while running)
+//	DELETE /v1/jobs/{id}   cancel if running, and remove from the engine
+//	GET    /v1/experiments list accepted experiment ids
+//
+// The spec JSON mirrors sweep.Spec: {"experiment":"fig8","packets":2000,
+// "psdu_bytes":400,"seed":1,"axis":[…],"receivers":[…],"mcs":[…],
+// "pool":true}. Checkpoint paths are rejected over HTTP (they name
+// server-side files); checkpointing is a CLI feature.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,10 +55,14 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/sweep"
 )
 
 type runner func(experiments.Options) (*experiments.Table, error)
 
+// registry maps every experiment id to its direct runner; the sweep
+// experiments among them (experiments.IsSweepExperiment) are routed
+// through the engine unless -direct is set.
 func registry() map[string]runner {
 	return map[string]runner{
 		"table1":            func(experiments.Options) (*experiments.Table, error) { return experiments.Table1(), nil },
@@ -51,6 +92,14 @@ func main() {
 		bytes   = flag.Int("bytes", 400, "PSDU size in bytes (paper: 400)")
 		seed    = flag.Int64("seed", 1, "base RNG seed")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
+
+		direct   = flag.Bool("direct", false, "run sweeps on the sequential path without the engine or waveform pool")
+		pool     = flag.Bool("pool", false, "share pre-encoded interferer waveforms across sweep points (much faster, deterministic per seed, statistically equivalent — but not packet-identical to the default tx draws)")
+		poolSize = flag.Int("pool-size", 0, "pre-encoded waveforms per (grid, MCS); 0 = default")
+		workers  = flag.Int("workers", 0, "engine worker goroutines; 0 = GOMAXPROCS")
+		shardPk  = flag.Int("shard", 0, "packets per engine shard; 0 = default")
+		ckpt     = flag.String("checkpoint", "", "JSON-lines checkpoint path for a single sweep experiment (resume-capable)")
+		serve    = flag.String("serve", "", "serve the sweep engine over HTTP on this address instead of running experiments")
 	)
 	flag.Parse()
 
@@ -68,14 +117,59 @@ func main() {
 		return
 	}
 
+	engCfg := sweep.Config{Workers: *workers, ShardPackets: *shardPk, PoolSize: *poolSize, PoolSeed: *seed}
+
+	if *serve != "" {
+		eng := sweep.New(engCfg)
+		defer eng.Close()
+		if err := runServe(*serve, eng); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	opts := experiments.Options{Packets: *packets, PSDUBytes: *bytes, Seed: *seed}
+
+	// One engine (and waveform pool) shared by every sweep of the
+	// invocation; created lazily so analysis-only runs skip it.
+	var eng *sweep.Engine
+	defer func() {
+		if eng != nil {
+			eng.Close()
+		}
+	}()
+
 	run := func(n string) error {
 		r, ok := reg[n]
 		if !ok {
 			return fmt.Errorf("unknown experiment %q (use -list)", n)
 		}
 		start := time.Now()
-		tb, err := r(opts)
+		var tb *experiments.Table
+		var err error
+		if experiments.IsSweepExperiment(n) && !*direct {
+			if eng == nil {
+				eng = sweep.New(engCfg)
+			}
+			spec := sweep.Spec{
+				Experiment: n,
+				Packets:    *packets,
+				PSDUBytes:  *bytes,
+				Seed:       *seed,
+				Pool:       *pool,
+				Checkpoint: *ckpt,
+			}
+			var job *sweep.Job
+			if job, err = eng.Submit(context.Background(), spec); err == nil {
+				var res *sweep.Result
+				if res, err = job.Wait(context.Background()); err == nil {
+					tb = res.Table
+				}
+			}
+		} else {
+			tb, err = r(opts)
+		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", n, err)
 		}
@@ -84,7 +178,20 @@ func main() {
 		return nil
 	}
 
+	// Flag-conflict guards apply to 'all' and single experiments alike.
+	if *ckpt != "" && *direct {
+		fmt.Fprintln(os.Stderr, "-checkpoint requires the engine path; drop -direct (use -pool=false for legacy waveforms)")
+		os.Exit(1)
+	}
+	if *pool && *direct {
+		fmt.Fprintln(os.Stderr, "-pool requires the engine path; drop -direct")
+		os.Exit(1)
+	}
 	if *name == "all" {
+		if *ckpt != "" {
+			fmt.Fprintln(os.Stderr, "-checkpoint requires a single sweep experiment")
+			os.Exit(1)
+		}
 		for _, n := range names {
 			if err := run(n); err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -92,6 +199,10 @@ func main() {
 			}
 		}
 		return
+	}
+	if *ckpt != "" && !experiments.IsSweepExperiment(*name) {
+		fmt.Fprintln(os.Stderr, "-checkpoint only applies to sweep experiments")
+		os.Exit(1)
 	}
 	if err := run(*name); err != nil {
 		fmt.Fprintln(os.Stderr, err)

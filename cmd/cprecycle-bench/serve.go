@@ -1,0 +1,122 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sweep"
+)
+
+// runServe exposes the sweep engine over a small HTTP API (see the
+// package comment for the endpoint list) and blocks serving it.
+func runServe(addr string, eng *sweep.Engine) error {
+	mux := http.NewServeMux()
+
+	writeJSON := func(w http.ResponseWriter, status int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(v)
+	}
+	writeErr := func(w http.ResponseWriter, status int, err error) {
+		writeJSON(w, status, map[string]string{"error": err.Error()})
+	}
+
+	mux.HandleFunc("GET /v1/experiments", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, experiments.SweepExperiments())
+	})
+
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec sweep.Spec
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad spec: %w", err))
+			return
+		}
+		// A checkpoint path names a server-side file; accepting one from
+		// the network would hand remote clients an arbitrary-path write
+		// primitive. Checkpointing stays a CLI feature.
+		if spec.Checkpoint != "" {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("checkpoint paths are not accepted over HTTP"))
+			return
+		}
+		// Jobs outlive the request: they are cancelled via DELETE, not by
+		// the submitting connection closing.
+		job, err := eng.Submit(context.Background(), spec)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, job.Progress())
+	})
+
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		jobs := eng.Jobs()
+		out := make([]sweep.Progress, 0, len(jobs))
+		for _, j := range jobs {
+			out = append(out, j.Progress())
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	jobFor := func(w http.ResponseWriter, r *http.Request) *sweep.Job {
+		j := eng.Job(r.PathValue("id"))
+		if j == nil {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+		}
+		return j
+	}
+
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if j := jobFor(w, r); j != nil {
+			writeJSON(w, http.StatusOK, j.Progress())
+		}
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}/table", func(w http.ResponseWriter, r *http.Request) {
+		j := jobFor(w, r)
+		if j == nil {
+			return
+		}
+		p := j.Progress()
+		switch p.State {
+		case "running":
+			writeJSON(w, http.StatusAccepted, p)
+		case "failed":
+			writeErr(w, http.StatusInternalServerError, fmt.Errorf("%s", p.Error))
+		default:
+			res, err := j.Wait(r.Context())
+			if err != nil {
+				writeErr(w, http.StatusInternalServerError, err)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, res.Table.Render())
+		}
+	})
+
+	// DELETE cancels a running job and removes it from the engine either
+	// way, so a long-running service's job table can be pruned.
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j := jobFor(w, r)
+		if j == nil {
+			return
+		}
+		eng.Remove(j.ID)
+		writeJSON(w, http.StatusOK, j.Progress())
+	})
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("sweep engine listening on %s\n", addr)
+	return srv.ListenAndServe()
+}

@@ -19,7 +19,22 @@
 // (dsp.SlidingDFT, ofdm.Demodulator.Segments), updated sparsely at the 52
 // used subcarrier bins, with cached Eq. 2 phase-ramp tables and
 // process-wide FFT plans (dsp.PlanFor), and per-frame/per-receiver scratch
-// buffers throughout (rx.Frame.ObserveSegments, core.Receiver). A
-// same-seed regression test (internal/experiments) pins every receiver
-// arm's packet decisions to the pre-optimisation implementation.
+// buffers throughout (rx.Frame.ObserveSegments, core.Receiver, pooled
+// Viterbi survivor buffers in internal/coding). A same-seed regression
+// test (internal/experiments) pins every receiver arm's packet decisions
+// to the pre-optimisation implementation.
+//
+// The PSR sweep experiments run as a batch service: internal/sweep is a
+// sharded engine that decomposes each figure into independent measurement
+// points (experiments.SweepPlan / PlanPSR), schedules packet-range shards
+// of all concurrent jobs over one bounded worker pool, and shares
+// process-wide resources across shards — a pre-encoded interferer
+// waveform pool (wifi.WaveformPool), per-point segment plans, and
+// per-packet preamble trainings with lazily-fitted KDE models
+// (core.Training) reused across receiver arms. Engine sharding is
+// bit-identical to the sequential path; jobs offer progress counters,
+// context cancellation, and JSON-lines checkpoint/resume. The
+// cmd/cprecycle-bench command routes the sweep figures through the engine
+// and can serve it over HTTP (-serve); see that package's comment for the
+// spec format, endpoints and checkpoint layout.
 package repro

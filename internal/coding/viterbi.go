@@ -3,7 +3,36 @@ package coding
 import (
 	"fmt"
 	"math"
+	"sync"
 )
+
+// decisionsPool recycles the flat survivor-decision arrays between
+// decodes: at ~64 bytes per trellis step they were the last recurring
+// per-packet allocation (~83 KB per 1200-bit decode). The pool stores
+// *[]uint8 boxes that are themselves recycled — callers hand the same
+// pointer back — so steady state allocates neither the buffer nor an
+// interface box.
+var decisionsPool sync.Pool
+
+// getDecisions returns a boxed decision buffer with capacity for at least
+// n trellis steps, sliced to length n*numStates.
+func getDecisions(n int) *[]uint8 {
+	if v := decisionsPool.Get(); v != nil {
+		bp := v.(*[]uint8)
+		if cap(*bp) >= n*numStates {
+			*bp = (*bp)[:n*numStates]
+			return bp
+		}
+	}
+	buf := make([]uint8, n*numStates)
+	return &buf
+}
+
+// putDecisions recycles a box obtained from getDecisions. The caller must
+// not retain the box or its buffer.
+func putDecisions(bp *[]uint8) {
+	decisionsPool.Put(bp)
+}
 
 // Viterbi is a maximum-likelihood decoder for the 802.11 rate-1/2 K=7
 // convolutional code. It consumes per-bit log-likelihood ratios (positive =
@@ -63,7 +92,9 @@ func (v *Viterbi) Decode(llrs []float64) ([]byte, error) {
 		return nil, nil
 	}
 
-	decisions, metric := v.forwardPass(llrs, n)
+	dp, metric := v.forwardPass(llrs, n)
+	decisions := *dp
+	defer putDecisions(dp)
 
 	// Traceback; the input bit that led into each state is its top bit.
 	state := 0
@@ -81,9 +112,10 @@ func (v *Viterbi) Decode(llrs []float64) ([]byte, error) {
 }
 
 // forwardPass runs the add-compare-select recursion over n trellis steps,
-// returning the flat decision array (winning predecessor of each state at
-// each step) and the final path metrics.
-func (v *Viterbi) forwardPass(llrs []float64, n int) ([]uint8, *[numStates]float64) {
+// returning the boxed flat decision array (winning predecessor of each
+// state at each step; return the box to putDecisions when done) and the
+// final path metrics.
+func (v *Viterbi) forwardPass(llrs []float64, n int) (*[]uint8, *[numStates]float64) {
 	const inf = math.MaxFloat64 / 4
 	var metricA, metricB [numStates]float64
 	metric, nextMetric := &metricA, &metricB
@@ -91,7 +123,10 @@ func (v *Viterbi) forwardPass(llrs []float64, n int) ([]uint8, *[numStates]float
 		metric[s] = inf
 	}
 	// decisions[t*numStates+ns] = winning predecessor state of ns at step t.
-	decisions := make([]uint8, n*numStates)
+	// Recycled across decodes; every slot [0, n*numStates) is overwritten
+	// below before the traceback reads it.
+	dp := getDecisions(n)
+	decisions := *dp
 
 	// Per-step branch costs indexed by the branch output pair outA|outB<<1:
 	// cost[o] = (la if o&1) + (lb if o&2). For o = 3 the two LLRs are
@@ -128,7 +163,7 @@ func (v *Viterbi) forwardPass(llrs []float64, n int) ([]uint8, *[numStates]float
 		}
 		metric, nextMetric = nextMetric, metric
 	}
-	return decisions, metric
+	return dp, metric
 }
 
 // traceback walks the survivor path that ends in state at step upto,
@@ -167,7 +202,9 @@ func (v *Viterbi) DecodeAnchored(llrs []float64, anchorBit int) ([]byte, error) 
 	if n == 0 {
 		return nil, nil
 	}
-	decisions, finalMetric := v.forwardPass(llrs, n)
+	dp, finalMetric := v.forwardPass(llrs, n)
+	decisions := *dp
+	defer putDecisions(dp)
 	bits := make([]byte, n)
 	// Trailing (pad) region: unterminated traceback from the best final
 	// state, but only the bits after the anchor are kept from it.

@@ -120,18 +120,19 @@ func (o *OracleDecider) DecideSymbol(f *rx.Frame, symIdx int, cons *modem.Conste
 // SegmentInterferencePower measures, for the OFDM symbol starting at
 // symStart in an interference-only stream, the interference power at every
 // (segment, bin): the quantity plotted in Fig. 4a/4b. Powers are in linear
-// units; convert with dsp.DB.
+// units; convert with dsp.DB. The windows come from the batch sliding-DFT
+// path (one seed FFT plus incremental updates), like every receiver path.
 func SegmentInterferencePower(interference []complex128, g ofdm.Grid, symStart int, segments []int) ([][]float64, error) {
 	d, err := ofdm.NewDemodulator(g)
 	if err != nil {
 		return nil, err
 	}
+	segBins, err := d.Segments(interference, symStart, segments, nil)
+	if err != nil {
+		return nil, err
+	}
 	out := make([][]float64, len(segments))
-	for j, off := range segments {
-		bins, err := d.Segment(interference, symStart, off)
-		if err != nil {
-			return nil, err
-		}
+	for j, bins := range segBins {
 		row := make([]float64, len(bins))
 		for k, v := range bins {
 			row[k] = real(v)*real(v) + imag(v)*imag(v)

@@ -136,24 +136,27 @@ const scaleFloor = 0.02
 // index slice returned by DecideSymbol is overwritten by the next call.
 type Receiver struct {
 	cfg Config
+	// tr is the shared preamble training (deviations, scales, lazily
+	// fitted densities); possibly shared with other receiver arms
+	// decoding the same frame.
+	tr *Training
 	// pooled[i] is the Eq. 4 density for data subcarrier i; in PerSegment
 	// mode perSeg[j][i] holds segment j's density instead. In
 	// model-weighted mode the densities are never consulted by the
-	// decision rule, so they are fitted lazily on first use (ModelFor).
+	// decision rule, so they are fitted lazily on first use (ModelFor),
+	// via the training's shared fit cache.
 	pooled []*kde.Bivariate
 	perSeg [][]*kde.Bivariate
-	// fitPooled builds pooled from the retained training deviations; nil
-	// once fitted (or when eager fitting already ran).
-	fitPooled func() ([]*kde.Bivariate, error)
 	// scale[j][i] is the model's expected interference level (mean
-	// preamble deviation amplitude) at segment j, subcarrier i.
+	// preamble deviation amplitude) at segment j, subcarrier i. Shared
+	// with the training; read-only.
 	scale [][]float64
 	// segMean[j] is scale[j][·] averaged over subcarriers — the reference
-	// for the per-symbol pilot rescaling.
+	// for the per-symbol pilot rescaling. Shared; read-only.
 	segMean []float64
 	// live[j][i] is the continuously updated scale (nil when
 	// NoModelUpdate); it tracks the persistent per-packet interference
-	// structure from decoded symbols' residuals.
+	// structure from decoded symbols' residuals. Receiver-owned.
 	live [][]float64
 
 	// Decision scratch, reused across symbols (no per-symbol allocation).
@@ -174,70 +177,34 @@ const emaAlpha = 0.6
 // NewReceiver trains a CPRecycle receiver on the frame's preamble: for each
 // data subcarrier it collects the amplitude/phase deviations of every
 // (segment, training symbol) observation from the known LTF lattice point
-// and fits the interference model (§4.1).
+// and fits the interference model (§4.1). Experiments decoding several
+// receiver arms on the same frame should Train once and construct each arm
+// with NewReceiverFrom instead.
 func NewReceiver(f *rx.Frame, cfg Config) (*Receiver, error) {
 	if err := cfg.Validate(f.Grid()); err != nil {
 		return nil, err
 	}
-	sel := cfg.Bandwidth
-	if sel == nil {
-		sel = kde.Silverman
-	}
-	fitRaw := kde.NewBivariateAdaptive
-	if cfg.FixedKernel {
-		fitRaw = kde.NewBivariateAuto
-	}
-	fit := func(amps, phs []float64) (*kde.Bivariate, error) {
-		m, err := fitRaw(amps, phs, sel)
-		if err != nil {
-			return nil, err
-		}
-		if !cfg.NoBackground {
-			maxAmp := 1.0
-			for _, a := range amps {
-				if 2*a+2 > maxAmp {
-					maxAmp = 2*a + 2
-				}
-			}
-			m.SetBackground(0.05, maxAmp)
-		}
-		return m, nil
-	}
-	r := &Receiver{cfg: cfg}
-
-	scs := ofdm.DataSubcarriers()
-	nSC := len(scs)
-	P := len(cfg.Segments)
-
-	// One batched pass over the preamble: every (segment, training symbol)
-	// window via the sliding-DFT path instead of P independent
-	// ObservePreamble calls (2·P full FFTs).
-	pre, err := f.ObservePreambleAll(cfg.Segments)
+	t, err := Train(f, cfg.Segments)
 	if err != nil {
-		return nil, fmt.Errorf("core: preamble training: %w", err)
+		return nil, err
 	}
-	type dev struct{ amp, ph float64 }
-	devs := make([][][2]dev, P)
-	r.scale = make([][]float64, P)
-	r.segMean = make([]float64, P)
-	for j := range cfg.Segments {
-		obs := pre[j]
-		devs[j] = make([][2]dev, nSC)
-		r.scale[j] = make([]float64, nSC)
-		var tot float64
-		for i, sc := range scs {
-			want := ofdm.LTFValue(sc)
-			var mean float64
-			for s := 0; s < 2; s++ {
-				d := modem.DeviationOf(obs[s][i], want)
-				devs[j][i][s] = dev{d.Amp, d.Phase}
-				mean += d.Amp
-			}
-			r.scale[j][i] = mean/2 + scaleFloor
-			tot += r.scale[j][i]
-		}
-		r.segMean[j] = tot / float64(nSC)
+	return NewReceiverFrom(f, t, cfg)
+}
+
+// NewReceiverFrom builds a receiver on a shared preamble Training, which
+// must cover exactly cfg.Segments. The receiver reads the training's
+// scales and densities but owns its continuously-updated model state, so
+// any number of arms can share one Training.
+func NewReceiverFrom(f *rx.Frame, t *Training, cfg Config) (*Receiver, error) {
+	if err := cfg.Validate(f.Grid()); err != nil {
+		return nil, err
 	}
+	if !t.matches(cfg.Segments) {
+		return nil, fmt.Errorf("core: training covers segments %v, receiver wants %v", t.segments, cfg.Segments)
+	}
+	r := &Receiver{cfg: cfg, tr: t, scale: t.scale, segMean: t.segMean}
+	nSC := t.nSC
+	P := len(cfg.Segments)
 
 	if !cfg.NoModelUpdate && cfg.Decision == DecisionModelWeighted {
 		r.live = make([][]float64, P)
@@ -249,66 +216,35 @@ func NewReceiver(f *rx.Frame, cfg Config) (*Receiver, error) {
 	r.w = make([]float64, P)
 	r.ratio = make([]float64, P)
 	r.pts = make([]complex128, P)
+	var err error
 	if cfg.PerSegment {
-		r.perSeg = make([][]*kde.Bivariate, P)
-		for j := 0; j < P; j++ {
-			r.perSeg[j] = make([]*kde.Bivariate, nSC)
-			for i := 0; i < nSC; i++ {
-				amps := []float64{devs[j][i][0].amp, devs[j][i][1].amp}
-				phs := []float64{devs[j][i][0].ph, devs[j][i][1].ph}
-				m, err := fit(amps, phs)
-				if err != nil {
-					return nil, err
-				}
-				r.perSeg[j][i] = m
-			}
+		if r.perSeg, err = t.perSegment(cfg); err != nil {
+			return nil, err
 		}
 		return r, nil
-	}
-
-	fitPooled := func() ([]*kde.Bivariate, error) {
-		pooled := make([]*kde.Bivariate, nSC)
-		for i := 0; i < nSC; i++ {
-			amps := make([]float64, 0, 2*P)
-			phs := make([]float64, 0, 2*P)
-			for j := 0; j < P; j++ {
-				for s := 0; s < 2; s++ {
-					amps = append(amps, devs[j][i][s].amp)
-					phs = append(phs, devs[j][i][s].ph)
-				}
-			}
-			m, err := fit(amps, phs)
-			if err != nil {
-				return nil, err
-			}
-			pooled[i] = m
-		}
-		return pooled, nil
 	}
 	if cfg.Decision == DecisionModelWeighted {
-		// The weighted-L1 rule never evaluates the Eq. 4 densities, so
-		// defer the (adaptive-bandwidth) fits until something asks for
-		// them — analyses via ModelFor still see the same models.
-		r.fitPooled = fitPooled
+		// The weighted-L1 rule never evaluates the Eq. 4 densities; they
+		// are fitted lazily on first use (ModelFor) via the training's
+		// shared cache — analyses see the same models either way.
 		return r, nil
 	}
-	if r.pooled, err = fitPooled(); err != nil {
+	if r.pooled, err = t.pooled(cfg); err != nil {
 		return nil, err
 	}
 	return r, nil
 }
 
-// ensurePooled fits the deferred pooled densities, if any.
+// ensurePooled fits (or fetches) the deferred pooled densities.
 func (r *Receiver) ensurePooled() error {
-	if r.pooled != nil || r.fitPooled == nil {
+	if r.pooled != nil {
 		return nil
 	}
-	pooled, err := r.fitPooled()
+	pooled, err := r.tr.pooled(r.cfg)
 	if err != nil {
 		return err
 	}
 	r.pooled = pooled
-	r.fitPooled = nil
 	return nil
 }
 
@@ -322,6 +258,9 @@ func (r *Receiver) NumSegments() int { return len(r.cfg.Segments) }
 // should that deferred fit fail — the errors NewReceiver reports eagerly
 // in the KDE decision modes — ModelFor also returns nil.
 func (r *Receiver) ModelFor(i int) *kde.Bivariate {
+	if r.cfg.PerSegment {
+		return nil
+	}
 	if err := r.ensurePooled(); err != nil {
 		return nil
 	}

@@ -6,8 +6,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"slices"
 	"sync"
 
 	"repro/internal/channel"
@@ -58,6 +60,17 @@ func (k ReceiverKind) String() string {
 	default:
 		return fmt.Sprintf("ReceiverKind(%d)", int(k))
 	}
+}
+
+// ParseReceiverKind maps a receiver name (as produced by
+// ReceiverKind.String) back to the kind.
+func ParseReceiverKind(name string) (ReceiverKind, error) {
+	for k := Standard; k <= CPRecycleSoft; k++ {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("experiments: unknown receiver kind %q", name)
 }
 
 // OperatingSNR returns the calibrated operating point for an MCS — the
@@ -154,11 +167,23 @@ func segmentPlanFor(g ofdm.Grid, num int, ch *channel.Multipath, strideDiv int) 
 	return ofdm.SegmentPlan(g.CP, stride, num, minOff)
 }
 
-// RunPSR measures the packet success rate of each configured receiver arm
-// over cfg.Packets independent packets. Packets are distributed across
-// workers; each packet uses a deterministic per-index seed so results are
-// independent of scheduling.
-func RunPSR(cfg LinkConfig) ([]PSRPoint, error) {
+// PSRPlan is a validated measurement point with every packet-invariant
+// resource resolved once: normalised configuration and the receiver
+// segment plan (previously recomputed per packet). It is the unit the
+// sweep engine shards — RunPacket/RunRange execute any subrange of the
+// point's packets, and because every packet derives its own seed from the
+// packet index, any partition of [0, Packets) tallies to bit-identical
+// counts.
+//
+// A PSRPlan is immutable and safe for concurrent RunPacket/RunRange calls
+// from multiple goroutines.
+type PSRPlan struct {
+	cfg  LinkConfig
+	segs []int
+}
+
+// PlanPSR validates cfg, fills defaults and computes the segment plan.
+func PlanPSR(cfg LinkConfig) (*PSRPlan, error) {
 	if cfg.Packets <= 0 {
 		return nil, fmt.Errorf("experiments: no packets configured")
 	}
@@ -168,9 +193,72 @@ func RunPSR(cfg LinkConfig) ([]PSRPoint, error) {
 	if len(cfg.Receivers) == 0 {
 		return nil, fmt.Errorf("experiments: no receivers configured")
 	}
+	if cfg.Scenario == nil {
+		return nil, fmt.Errorf("experiments: no scenario configured")
+	}
 	if cfg.NumSegments == 0 {
 		cfg.NumSegments = 16
 	}
+	segs, err := segmentPlanFor(cfg.Scenario.VictimGrid(), cfg.NumSegments, cfg.Scenario.Channel, cfg.StrideDivisor)
+	if err != nil {
+		return nil, err
+	}
+	return &PSRPlan{cfg: cfg, segs: segs}, nil
+}
+
+// Config returns the plan's normalised configuration.
+func (p *PSRPlan) Config() LinkConfig { return p.cfg }
+
+// Packets returns the number of packets the point measures.
+func (p *PSRPlan) Packets() int { return p.cfg.Packets }
+
+// Receivers returns the receiver arms, in result order.
+func (p *PSRPlan) Receivers() []ReceiverKind { return p.cfg.Receivers }
+
+// RunRange executes packets [lo, hi), accumulating each arm's success
+// count into okCounts (indexed like Receivers) and returning the number
+// of packets executed. ctx is checked between packets, so a cancelled
+// sweep stops within one packet's work.
+func (p *PSRPlan) RunRange(ctx context.Context, lo, hi int, okCounts []int) (int, error) {
+	if lo < 0 || hi > p.cfg.Packets || lo > hi {
+		return 0, fmt.Errorf("experiments: packet range [%d,%d) outside [0,%d)", lo, hi, p.cfg.Packets)
+	}
+	if len(okCounts) != len(p.cfg.Receivers) {
+		return 0, fmt.Errorf("experiments: %d counters for %d receivers", len(okCounts), len(p.cfg.Receivers))
+	}
+	ok := make([]bool, len(p.cfg.Receivers))
+	n := 0
+	for pkt := lo; pkt < hi; pkt++ {
+		if ctx != nil {
+			select {
+			case <-ctx.Done():
+				return n, ctx.Err()
+			default:
+			}
+		}
+		if err := p.RunPacket(pkt, ok); err != nil {
+			return n, err
+		}
+		n++
+		for i, o := range ok {
+			if o {
+				okCounts[i]++
+			}
+		}
+	}
+	return n, nil
+}
+
+// RunPSR measures the packet success rate of each configured receiver arm
+// over cfg.Packets independent packets. Packets are distributed across
+// workers; each packet uses a deterministic per-index seed so results are
+// independent of scheduling.
+func RunPSR(cfg LinkConfig) ([]PSRPoint, error) {
+	plan, err := PlanPSR(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg = plan.cfg
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -197,7 +285,7 @@ func RunPSR(cfg LinkConfig) ([]PSRPoint, error) {
 			t := tally{ok: make([]int, len(cfg.Receivers))}
 			okBuf := make([]bool, len(cfg.Receivers))
 			for pkt := w; pkt < cfg.Packets; pkt += workers {
-				if err := runOnePacket(cfg, pkt, okBuf); err != nil {
+				if err := plan.RunPacket(pkt, okBuf); err != nil {
 					errMu.Lock()
 					if firstErr == nil {
 						firstErr = err
@@ -234,10 +322,13 @@ func RunPSR(cfg LinkConfig) ([]PSRPoint, error) {
 	return out, nil
 }
 
-// runOnePacket transmits one packet through the scenario and decodes it
-// with every configured arm, writing each arm's packet success into ok
-// (indexed like cfg.Receivers).
-func runOnePacket(cfg LinkConfig, pkt int, ok []bool) error {
+// RunPacket transmits packet pkt through the scenario and decodes it with
+// every configured arm, writing each arm's packet success into ok (indexed
+// like Receivers). Each packet derives its own RNG from (Seed, pkt), so
+// any executor — the striding workers of RunPSR or a sweep-engine shard —
+// produces identical results for the same index.
+func (p *PSRPlan) RunPacket(pkt int, ok []bool) error {
+	cfg := p.cfg
 	r := dsp.NewRand(cfg.Seed*1_000_003 + int64(pkt))
 	psdu := wifi.BuildPSDU(r.Bytes(cfg.PSDUBytes - 4))
 	c, err := cfg.Scenario.Run(r, psdu, cfg.MCS)
@@ -248,11 +339,12 @@ func runOnePacket(cfg LinkConfig, pkt int, ok []bool) error {
 	if err != nil {
 		return err
 	}
-	segs, err := segmentPlanFor(c.Grid, cfg.NumSegments, cfg.Scenario.Channel, cfg.StrideDivisor)
-	if err != nil {
-		return err
-	}
+	segs := p.segs
 
+	// The CPRecycle arms share one preamble training pass (and, through
+	// it, any KDE fits with equal options); the deviations depend only on
+	// (frame, segments), so sharing is bit-identical to per-arm training.
+	var training *core.Training
 	for ai, k := range cfg.Receivers {
 		var decider rx.SymbolDecider
 		soft := false
@@ -267,7 +359,10 @@ func runOnePacket(cfg LinkConfig, pkt int, ok []bool) error {
 		case Oracle:
 			decider = &core.OracleDecider{InterferenceOnly: c.InterferenceOnly, Segments: segs}
 		case CPRecycle, CPRecycleNoTrack, CPRecycleKDE, CPRecycleSoft:
-			conf := core.Config{Segments: segs}
+			// The arm gets its own copy of the plan's segment slice:
+			// CoreTweak is a public hook and must not be able to mutate
+			// the shared (concurrently read) plan through the alias.
+			conf := core.Config{Segments: slices.Clone(segs)}
 			if k == CPRecycleNoTrack {
 				conf.NoPilotTracking = true
 			}
@@ -277,7 +372,20 @@ func runOnePacket(cfg LinkConfig, pkt int, ok []bool) error {
 			if cfg.CoreTweak != nil {
 				cfg.CoreTweak(&conf)
 			}
-			cpr, err := core.NewReceiver(f, conf)
+			var cpr *core.Receiver
+			var err error
+			if slices.Equal(conf.Segments, segs) {
+				if training == nil {
+					if training, err = core.Train(f, segs); err != nil {
+						return err
+					}
+				}
+				cpr, err = core.NewReceiverFrom(f, training, conf)
+			} else {
+				// A CoreTweak changed the segment plan for this arm;
+				// train it independently.
+				cpr, err = core.NewReceiver(f, conf)
+			}
 			if err != nil {
 				return err
 			}

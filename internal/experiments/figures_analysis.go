@@ -266,20 +266,21 @@ func Fig6b(seed int64) (*Table, error) {
 			return nil, err
 		}
 		// Preamble model samples: deviation amplitudes at band-edge
-		// subcarriers pooled over segments.
+		// subcarriers pooled over segments, observed in one sliding-DFT
+		// batch over all segments.
+		preAll, err := f.ObservePreambleAll(segs)
+		if err != nil {
+			return nil, err
+		}
 		var trainAmps []float64
 		scs := ofdm.DataSubcarriers()
-		for _, off := range segs {
-			pre, err := f.ObservePreamble(off)
-			if err != nil {
-				return nil, err
-			}
+		for j := range segs {
 			for i, sc := range scs {
 				if sc < 15 {
 					continue
 				}
 				for s := 0; s < 2; s++ {
-					d := pre[s][i] - ofdm.LTFValue(sc)
+					d := preAll[j][s][i] - ofdm.LTFValue(sc)
 					trainAmps = append(trainAmps, powDB(d))
 				}
 			}

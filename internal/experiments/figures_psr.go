@@ -1,13 +1,11 @@
 package experiments
 
-import (
-	"fmt"
-
-	"repro/internal/channel"
-	"repro/internal/dsp"
-	"repro/internal/interference"
-	"repro/internal/wifi"
-)
+// The packet-success-rate figures (Figs. 5, 8-12, 14 and the ablation /
+// delay-spread studies) are declarative sweep plans — see sweep_plans.go —
+// and these wrappers run them on the direct sequential path. The sweep
+// engine (internal/sweep) runs the same plans sharded across a worker
+// pool with shared waveform/plan caches; both paths produce bit-identical
+// packet decisions for the same options.
 
 // Options scales the packet-level experiments: Packets per measurement
 // point and the base Seed. The paper transmits 2000 packets of 400 bytes
@@ -29,309 +27,59 @@ func (o Options) defaults() Options {
 	return o
 }
 
-// psrCells runs one measurement point and formats the PSR (in %) of each
-// receiver, in the order given.
-func psrCells(cfg LinkConfig) ([]string, error) {
-	pts, err := RunPSR(cfg)
+// runNamedSweep builds and sequentially runs a named sweep plan.
+func runNamedSweep(name string, o Options) (*Table, error) {
+	p, err := NewSweepPlan(SweepRequest{Experiment: name, Options: o})
 	if err != nil {
 		return nil, err
 	}
-	cells := make([]string, 0, len(pts))
-	for _, p := range pts {
-		cells = append(cells, fmt.Sprintf("%.1f", 100*p.Rate()))
-	}
-	return cells, nil
+	return RunSweepPlan(p)
 }
 
 // Fig5 measures packet success rate versus guard band for the Standard
 // receiver, the Naive decoder and the Oracle at SIR −10/−20/−30 dB with
 // QPSK 3/4 — the motivation experiment of Fig. 5a-c.
-func Fig5(o Options) (*Table, error) {
-	o = o.defaults()
-	m, err := wifi.MCSByName("QPSK 3/4")
-	if err != nil {
-		return nil, err
-	}
-	t := &Table{
-		Title:  "Fig 5: PSR vs guard band — Standard / Naive / Oracle (QPSK 3/4)",
-		Header: []string{"SIR(dB)", "guard(MHz)", "standard", "naive", "oracle"},
-	}
-	for _, sir := range []float64{-10, -20, -30} {
-		for _, guard := range []float64{0, 1.25, 2.5, 5, 10, 15, 20} {
-			cfg := LinkConfig{
-				Scenario:  ACIScenario(sir, interference.OffsetForGuardMHz(guard), OperatingSNR(m.Name)),
-				MCS:       m,
-				PSDUBytes: o.PSDUBytes,
-				Packets:   o.Packets,
-				Seed:      o.Seed + int64(sir*100) + int64(guard*10),
-				Receivers: []ReceiverKind{Standard, Naive, Oracle},
-			}
-			cells, err := psrCells(cfg)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(append([]string{fmt.Sprintf("%.0f", sir), fmt.Sprintf("%.2f", guard)}, cells...)...)
-		}
-	}
-	return t, nil
-}
-
-// figPSRvsSIR is the shared harness for Figs. 8, 9, 11 and 12: PSR versus
-// SIR for the paper's three MCS modes, with and without CPRecycle.
-func figPSRvsSIR(title string, o Options, sirs []float64, scen func(sir, snr float64) *interference.Scenario) (*Table, error) {
-	o = o.defaults()
-	t := &Table{
-		Title:  title,
-		Header: []string{"SIR(dB)"},
-	}
-	mcses := wifi.PaperMCS()
-	for _, m := range mcses {
-		t.Header = append(t.Header, m.Name+" std", m.Name+" cpr")
-	}
-	for _, sir := range sirs {
-		cells := []string{fmt.Sprintf("%.0f", sir)}
-		for _, m := range mcses {
-			cfg := LinkConfig{
-				Scenario:  scen(sir, OperatingSNR(m.Name)),
-				MCS:       m,
-				PSDUBytes: o.PSDUBytes,
-				Packets:   o.Packets,
-				Seed:      o.Seed + int64(sir*100) + int64(m.Mbps),
-				Receivers: []ReceiverKind{Standard, CPRecycle},
-			}
-			c, err := psrCells(cfg)
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, c...)
-		}
-		t.AddRow(cells...)
-	}
-	return t, nil
-}
+func Fig5(o Options) (*Table, error) { return runNamedSweep("fig5", o) }
 
 // Fig8 is the single adjacent-channel interferer experiment: the paper's
 // channel-11 victim with a channel-8 interferer (15 MHz / 48-subcarrier
 // offset, overlapping 20 MHz channels).
-func Fig8(o Options) (*Table, error) {
-	return figPSRvsSIR(
-		"Fig 8: PSR vs SIR — single adjacent-channel interferer",
-		o,
-		[]float64{10, 5, 0, -5, -10, -15, -20, -25, -30, -40},
-		func(sir, snr float64) *interference.Scenario {
-			return ACIScenario(sir, interference.Channel80211Offset(3), snr)
-		})
-}
+func Fig8(o Options) (*Table, error) { return runNamedSweep("fig8", o) }
 
 // Fig9 is the two-interferer ACI experiment: victim on channel 10 with
 // interferers on channels 7 and 13 (±48 subcarriers).
-func Fig9(o Options) (*Table, error) {
-	return figPSRvsSIR(
-		"Fig 9: PSR vs SIR — two adjacent-channel interferers",
-		o,
-		[]float64{10, 5, 0, -5, -10, -15, -20, -25, -30, -40},
-		func(sir, snr float64) *interference.Scenario {
-			return ACIScenarioDouble(sir, interference.Channel80211Offset(3), snr)
-		})
-}
+func Fig9(o Options) (*Table, error) { return runNamedSweep("fig9", o) }
 
 // Fig10 measures PSR versus guard band for 16-QAM 1/2 at SIR −10/−20/−30
 // with and without CPRecycle — the legacy-transmitter coexistence
 // experiment.
-func Fig10(o Options) (*Table, error) {
-	o = o.defaults()
-	m, err := wifi.MCSByName("16-QAM 1/2")
-	if err != nil {
-		return nil, err
-	}
-	t := &Table{
-		Title:  "Fig 10: PSR vs guard band — 16-QAM 1/2, with/without CPRecycle",
-		Header: []string{"guard(MHz)", "std -10dB", "cpr -10dB", "std -20dB", "cpr -20dB", "std -30dB", "cpr -30dB"},
-	}
-	for _, guard := range []float64{0, 1.25, 2.5, 5, 7.5, 10, 15, 20, 25, 30} {
-		cells := []string{fmt.Sprintf("%.2f", guard)}
-		for _, sir := range []float64{-10, -20, -30} {
-			cfg := LinkConfig{
-				Scenario:  ACIScenario(sir, interference.OffsetForGuardMHz(guard), OperatingSNR(m.Name)),
-				MCS:       m,
-				PSDUBytes: o.PSDUBytes,
-				Packets:   o.Packets,
-				Seed:      o.Seed + int64(sir*100) + int64(guard*10),
-				Receivers: []ReceiverKind{Standard, CPRecycle},
-			}
-			c, err := psrCells(cfg)
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, c...)
-		}
-		t.AddRow(cells...)
-	}
-	return t, nil
-}
+func Fig10(o Options) (*Table, error) { return runNamedSweep("fig10", o) }
 
 // Fig11 is the single co-channel interferer experiment.
-func Fig11(o Options) (*Table, error) {
-	return figPSRvsSIR(
-		"Fig 11: PSR vs SIR — single co-channel interferer",
-		o,
-		[]float64{40, 30, 20, 15, 10, 5, 0, -5, -10},
-		func(sir, snr float64) *interference.Scenario { return CCIScenario(sir, snr) })
-}
+func Fig11(o Options) (*Table, error) { return runNamedSweep("fig11", o) }
 
 // Fig12 is the two co-channel interferer experiment (equal split of the
 // total interference power).
-func Fig12(o Options) (*Table, error) {
-	return figPSRvsSIR(
-		"Fig 12: PSR vs SIR — two co-channel interferers",
-		o,
-		[]float64{40, 30, 20, 15, 10, 5, 0, -5, -10},
-		func(sir, snr float64) *interference.Scenario { return CCIScenarioDouble(sir, snr) })
-}
+func Fig12(o Options) (*Table, error) { return runNamedSweep("fig12", o) }
 
 // Fig14 measures PSR versus the number of FFT segments used by CPRecycle
 // (as % of the CP) for 16-QAM at SIR −10/−20/−30 under ACI — the
 // complexity/benefit saturation study of §6.
-func Fig14(o Options) (*Table, error) {
-	o = o.defaults()
-	m, err := wifi.MCSByName("16-QAM 1/2")
-	if err != nil {
-		return nil, err
-	}
-	t := &Table{
-		Title:  "Fig 14: PSR vs number of FFT segments (ACI, 16-QAM 1/2)",
-		Header: []string{"segments", "%ofCP", "SIR-10dB", "SIR-20dB", "SIR-30dB"},
-	}
-	for _, nseg := range []int{1, 2, 4, 6, 8, 10, 12, 14, 16} {
-		cells := []string{fmt.Sprintf("%d", nseg), fmt.Sprintf("%.0f", float64(nseg)/16*100)}
-		for _, sir := range []float64{-10, -20, -30} {
-			cfg := LinkConfig{
-				Scenario:    ACIScenario(sir, 57, OperatingSNR(m.Name)),
-				MCS:         m,
-				PSDUBytes:   o.PSDUBytes,
-				Packets:     o.Packets,
-				Seed:        o.Seed + int64(sir*100) + int64(nseg),
-				NumSegments: nseg,
-				Receivers:   []ReceiverKind{CPRecycle},
-			}
-			c, err := psrCells(cfg)
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, c...)
-		}
-		t.AddRow(cells...)
-	}
-	return t, nil
-}
+func Fig14(o Options) (*Table, error) { return runNamedSweep("fig14", o) }
 
 // AblationDecision compares the decision-rule realisations (and the Naive
 // and Oracle references) across an ACI SIR sweep — the design-choice study
 // of DESIGN.md §5.
-func AblationDecision(o Options) (*Table, error) {
-	o = o.defaults()
-	m, err := wifi.MCSByName("QPSK 1/2")
-	if err != nil {
-		return nil, err
-	}
-	t := &Table{
-		Title:  "Ablation: decision rules (ACI, QPSK 1/2)",
-		Header: []string{"SIR(dB)", "standard", "naive", "kde-sphere", "no-track", "cprecycle", "oracle"},
-	}
-	for _, sir := range []float64{-10, -15, -20, -25} {
-		cfg := LinkConfig{
-			Scenario:  ACIScenario(sir, 57, OperatingSNR(m.Name)),
-			MCS:       m,
-			PSDUBytes: o.PSDUBytes,
-			Packets:   o.Packets,
-			Seed:      o.Seed + int64(sir*100),
-			Receivers: []ReceiverKind{Standard, Naive, CPRecycleKDE, CPRecycleNoTrack, CPRecycle, Oracle},
-		}
-		cells, err := psrCells(cfg)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(append([]string{fmt.Sprintf("%.0f", sir)}, cells...)...)
-	}
-	return t, nil
-}
+func AblationDecision(o Options) (*Table, error) { return runNamedSweep("ablation-decision", o) }
 
 // DelaySpreadSweep reproduces the §6 discussion accompanying Fig. 14:
 // CPRecycle keeps recovering packets even when a large share of the cyclic
 // prefix is ISI-affected. It sweeps the channel's delay spread (shrinking
 // the ISI-free region from 94 % to ~40 % of the CP) under ACI at −15 dB
 // with 16-QAM and reports Standard vs CPRecycle PSR.
-func DelaySpreadSweep(o Options) (*Table, error) {
-	o = o.defaults()
-	m, err := wifi.MCSByName("16-QAM 1/2")
-	if err != nil {
-		return nil, err
-	}
-	t := &Table{
-		Title:  "§6: PSR vs channel delay spread (ACI -15 dB, 16-QAM 1/2)",
-		Header: []string{"delay(samples)", "ISI-free(%ofCP)", "standard", "cprecycle"},
-	}
-	for _, spread := range []int{1, 3, 5, 7, 10} {
-		// Average over several channel realisations per point: a single
-		// frequency-selective draw dominates the PSR otherwise.
-		const realisations = 4
-		var stdOK, cprOK, n int
-		for rz := 0; rz < realisations; rz++ {
-			scen := ACIScenario(-15, 57, OperatingSNR(m.Name))
-			ch := channel.Exponential(dsp.NewRand(o.Seed+int64(spread*100+rz)), spread+1, 2)
-			scen.Channel = ch
-			scen.Interferers[0].Channel = ch
-			cfg := LinkConfig{
-				Scenario:  scen,
-				MCS:       m,
-				PSDUBytes: o.PSDUBytes,
-				Packets:   (o.Packets + realisations - 1) / realisations,
-				Seed:      o.Seed + int64(spread*1000+rz),
-				Receivers: []ReceiverKind{Standard, CPRecycle},
-			}
-			pts, err := RunPSR(cfg)
-			if err != nil {
-				return nil, err
-			}
-			stdOK += pts[0].OK
-			cprOK += pts[1].OK
-			n += pts[0].N
-		}
-		isiFree := 100 * float64(16-(spread+1)) / 16
-		t.AddRow(fmt.Sprintf("%d", spread), fmt.Sprintf("%.0f", isiFree),
-			fmt.Sprintf("%.1f", 100*float64(stdOK)/float64(n)),
-			fmt.Sprintf("%.1f", 100*float64(cprOK)/float64(n)))
-	}
-	return t, nil
-}
+func DelaySpreadSweep(o Options) (*Table, error) { return runNamedSweep("delay-spread", o) }
 
 // AblationSoftDecoding compares hard-decision decoding (paper-faithful)
 // with the soft-decision extension (rx.DecodeDataSoft) for both the
 // standard receiver and CPRecycle across an ACI sweep.
-func AblationSoftDecoding(o Options) (*Table, error) {
-	o = o.defaults()
-	m, err := wifi.MCSByName("16-QAM 1/2")
-	if err != nil {
-		return nil, err
-	}
-	t := &Table{
-		Title:  "Ablation: hard vs soft Viterbi decoding (ACI, 16-QAM 1/2)",
-		Header: []string{"SIR(dB)", "std-hard", "std-soft", "cpr-hard", "cpr-soft"},
-	}
-	for _, sir := range []float64{-5, -10, -15} {
-		cfg := LinkConfig{
-			Scenario:  ACIScenario(sir, 57, OperatingSNR(m.Name)),
-			MCS:       m,
-			PSDUBytes: o.PSDUBytes,
-			Packets:   o.Packets,
-			Seed:      o.Seed + int64(sir*100),
-			Receivers: []ReceiverKind{Standard, StandardSoft, CPRecycle, CPRecycleSoft},
-		}
-		cells, err := psrCells(cfg)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(append([]string{fmt.Sprintf("%.0f", sir)}, cells...)...)
-	}
-	return t, nil
-}
+func AblationSoftDecoding(o Options) (*Table, error) { return runNamedSweep("ablation-soft", o) }

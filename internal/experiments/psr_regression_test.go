@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/wifi"
@@ -58,6 +59,58 @@ func TestRunPSRSameSeedRegression(t *testing.T) {
 		CPRecycle:        5,
 		CPRecycleNoTrack: 5,
 	})
+}
+
+// TestRunRangeShardedMatchesRegression proves the property the sweep
+// engine relies on: executing a point's packets as arbitrary disjoint
+// ranges (PSRPlan.RunRange — the engine's shard primitive) tallies to
+// exactly the same pinned counts as the direct RunPSR path, because every
+// packet derives its RNG purely from (seed, packet index). The pinned
+// values are the same as TestRunPSRSameSeedRegression's ACI point.
+func TestRunRangeShardedMatchesRegression(t *testing.T) {
+	m, err := wifi.MCSByName("QPSK 1/2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := LinkConfig{
+		Scenario:  ACIScenario(-15, 57, OperatingSNR(m.Name)),
+		MCS:       m,
+		PSDUBytes: 150,
+		Packets:   30,
+		Seed:      7,
+		Receivers: []ReceiverKind{Standard, Naive, Oracle, CPRecycle, CPRecycleKDE, CPRecycleSoft},
+	}
+	plan, err := PlanPSR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uneven shards, out of order — the merge must not care.
+	shards := [][2]int{{13, 30}, {0, 7}, {7, 13}}
+	counts := make([]int, len(cfg.Receivers))
+	total := 0
+	for _, s := range shards {
+		n, err := plan.RunRange(context.Background(), s[0], s[1], counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	if total != cfg.Packets {
+		t.Fatalf("sharded run executed %d packets, want %d", total, cfg.Packets)
+	}
+	want := map[ReceiverKind]int{
+		Standard:      10,
+		Naive:         17,
+		Oracle:        27,
+		CPRecycle:     18,
+		CPRecycleKDE:  16,
+		CPRecycleSoft: 22,
+	}
+	for i, k := range cfg.Receivers {
+		if counts[i] != want[k] {
+			t.Errorf("%s: sharded OK = %d, want %d — sharding changed receiver decisions", k, counts[i], want[k])
+		}
+	}
 }
 
 func checkPSR(t *testing.T, name string, cfg LinkConfig, want map[ReceiverKind]int) {

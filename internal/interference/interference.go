@@ -75,6 +75,12 @@ type Scenario struct {
 	// Pad is the number of idle samples before the victim frame; zero
 	// selects 100·Q.
 	Pad int
+	// Pool, when set, draws each interferer tile from the shared
+	// pre-encoded waveform pool (one r.Intn draw per tile) instead of
+	// encoding a fresh PPDU per tile. Deterministic per packet seed, but
+	// a different draw sequence than the pool-less path — see
+	// wifi.WaveformPool.
+	Pool *wifi.WaveformPool
 }
 
 // Composite is one realised scenario: the received stream and ground truth.
@@ -191,28 +197,20 @@ func (s *Scenario) interfererWave(r *dsp.Rand, i int, streamLen, victimDataStart
 	}
 
 	out := make([]complex128, streamLen)
-	cfg := wifi.TxConfig{Grid: g, MCS: mcs, ScramblerSeed: uint8(1 + r.Intn(127))}
-	probe, err := wifi.BuildPPDU(cfg, wifi.BuildPSDU(r.Bytes(396)))
-	if err != nil {
+	if s.Pool != nil {
+		// Pooled tiles: one index draw per tile, shared pre-encoded (and
+		// pre-filtered) waveforms. PPDU length is known without encoding.
+		ppduLen := wifi.PPDULen(g, mcs, s.Pool.PSDUBytes())
+		pos := (victimDataStart+boundary)%symLen - ppduLen
+		for ; pos < streamLen; pos += ppduLen {
+			w, err := s.Pool.PickFiltered(r, g, mcs, itf.Channel)
+			if err != nil {
+				return nil, fmt.Errorf("interference: interferer %d: %w", i, err)
+			}
+			dsp.AddInto(out, w, pos)
+		}
+	} else if err := s.freshTiles(r, itf, g, mcs, out, victimDataStart, boundary); err != nil {
 		return nil, fmt.Errorf("interference: interferer %d: %w", i, err)
-	}
-	ppduLen := len(probe.Samples) // a multiple of symLen by construction
-	// Choose the first tile position ≡ victimDataStart+boundary (mod symLen)
-	// and at or before sample 0.
-	pos := (victimDataStart+boundary)%symLen - ppduLen
-	wave := probe.Samples
-	for ; pos < streamLen; pos += ppduLen {
-		w := wave
-		if itf.Channel != nil {
-			w = itf.Channel.Apply(w)
-		}
-		dsp.AddInto(out, w, pos)
-		// Fresh payload for the next tile.
-		next, err := wifi.BuildPPDU(cfg, wifi.BuildPSDU(r.Bytes(396)))
-		if err != nil {
-			return nil, err
-		}
-		wave = next.Samples
 	}
 	cfo := itf.CFO
 	if cfo == 0 {
@@ -224,6 +222,36 @@ func (s *Scenario) interfererWave(r *dsp.Rand, i int, streamLen, victimDataStart
 	}
 	dsp.FreqShift(out, cfo, g.NFFT, 0)
 	return out, nil
+}
+
+// freshTiles fills out with per-tile freshly-encoded PPDUs — the pool-less
+// path. The RNG draw sequence (scrambler seed, then one 396-byte payload
+// per tile plus one trailing payload) reproduces the original
+// build-then-advance loop bit for bit, but the trailing payload — which
+// that loop encoded and then discarded — is only drawn, never encoded,
+// saving one full PPDU build per interferer per packet.
+func (s *Scenario) freshTiles(r *dsp.Rand, itf Interferer, g ofdm.Grid, mcs wifi.MCS, out []complex128, victimDataStart, boundary int) error {
+	symLen := g.SymLen()
+	cfg := wifi.TxConfig{Grid: g, MCS: mcs, ScramblerSeed: uint8(1 + r.Intn(127))}
+	payload := wifi.BuildPSDU(r.Bytes(396))
+	ppduLen := wifi.PPDULen(g, mcs, len(payload))
+	// Choose the first tile position ≡ victimDataStart+boundary (mod symLen)
+	// and at or before sample 0.
+	pos := (victimDataStart+boundary)%symLen - ppduLen
+	for ; pos < len(out); pos += ppduLen {
+		ppdu, err := wifi.BuildPPDU(cfg, payload)
+		if err != nil {
+			return err
+		}
+		w := ppdu.Samples
+		if itf.Channel != nil {
+			w = itf.Channel.Apply(w)
+		}
+		dsp.AddInto(out, w, pos)
+		// Fresh payload for the next tile.
+		payload = wifi.BuildPSDU(r.Bytes(396))
+	}
+	return nil
 }
 
 // OffsetForGuardMHz returns the interferer center offset (in subcarriers)

@@ -229,3 +229,52 @@ func TestRunRejectsBadPSDU(t *testing.T) {
 		t.Fatal("empty PSDU should fail")
 	}
 }
+
+// TestPooledScenarioDeterministic pins the pooled-tile path: the same
+// seed and pool produce the identical composite (the sweep engine's
+// reproducibility guarantee), the pooled waveform still carries the
+// calibrated SIR, and the pool-less path is untouched by the pool's
+// existence.
+func TestPooledScenarioDeterministic(t *testing.T) {
+	m := qpsk(t)
+	pool := wifi.NewWaveformPool(4, 1)
+	build := func(p *wifi.WaveformPool, seed int64) *Composite {
+		s := &Scenario{
+			Q:            4,
+			VictimCenter: 64,
+			SNRdB:        20,
+			Channel:      channel.Indoor2Tap(),
+			Interferers: []Interferer{
+				{CenterOffset: 57, SIRdB: -10, Channel: channel.Indoor2Tap()},
+				{CenterOffset: -57, SIRdB: -10},
+			},
+			Pool: p,
+		}
+		r := dsp.NewRand(seed)
+		psdu := wifi.BuildPSDU(r.Bytes(56))
+		c, err := s.Run(r, psdu, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a, b := build(pool, 5), build(pool, 5)
+	if dsp.MaxAbsDiff(a.Samples, b.Samples) != 0 {
+		t.Fatal("pooled scenario not deterministic")
+	}
+	if dsp.Power(a.InterferenceOnly) == 0 {
+		t.Fatal("pooled interference is silent")
+	}
+	if dsp.MaxAbsDiff(build(pool, 6).Samples, a.Samples) == 0 {
+		t.Fatal("seed has no effect on pooled scenario")
+	}
+	// The pool-less composite must be what it always was, regardless of
+	// whether a pool exists elsewhere in the process.
+	c1, c2 := build(nil, 5), build(nil, 5)
+	if dsp.MaxAbsDiff(c1.Samples, c2.Samples) != 0 {
+		t.Fatal("pool-less scenario not deterministic")
+	}
+	if dsp.MaxAbsDiff(c1.Samples, a.Samples) == 0 {
+		t.Fatal("pooled and pool-less paths unexpectedly coincide")
+	}
+}

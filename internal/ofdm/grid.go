@@ -11,11 +11,11 @@
 // composite band is simply an oversampled view, so all signal properties are
 // preserved).
 //
-// Segment extraction has two forms: the one-window Demodulator.Segment
-// (an independent FFT per call) and the batch Demodulator.Segments /
-// SegmentsOn, which compute all P windows of a symbol with one seed FFT
-// plus sliding-DFT updates (optionally restricted to a fixed bin subset)
-// and cached phase-ramp tables — the form every receiver hot path uses.
+// Segment extraction is batched: Demodulator.Segments / SegmentsOn
+// compute all P windows of a symbol with one seed FFT plus sliding-DFT
+// updates (optionally restricted to a fixed bin subset) and cached
+// phase-ramp tables. The retired one-FFT-per-window form survives only as
+// the independent reference implementation inside the package tests.
 package ofdm
 
 import (

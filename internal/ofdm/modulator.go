@@ -203,23 +203,6 @@ func (d *Demodulator) Standard(rx []complex128, symStart int) ([]complex128, err
 	return d.WindowAt(rx, symStart+d.grid.CP)
 }
 
-// Segment demodulates the FFT window starting at cpOffset samples into the
-// cyclic prefix (cpOffset ∈ [0, CP]) of the symbol whose CP starts at
-// symStart, and corrects the deterministic phase ramp of Proposition 3.1 so
-// the signal component equals the standard window's. cpOffset = CP yields
-// the standard window unchanged.
-func (d *Demodulator) Segment(rx []complex128, symStart, cpOffset int) ([]complex128, error) {
-	if cpOffset < 0 || cpOffset > d.grid.CP {
-		return nil, fmt.Errorf("ofdm: cpOffset %d outside [0,%d]", cpOffset, d.grid.CP)
-	}
-	out, err := d.WindowAt(rx, symStart+cpOffset)
-	if err != nil {
-		return nil, err
-	}
-	d.correctSegmentPhase(out, d.grid.CP-cpOffset)
-	return out, nil
-}
-
 // Segments demodulates the phase-corrected FFT windows for every CP offset
 // in offsets (strictly increasing, each in [0, CP]) of the symbol whose CP
 // starts at symStart — the paper's P segment windows — using one seed FFT

@@ -135,7 +135,7 @@ func TestSegmentPhaseCorrectionProperty(t *testing.T) {
 			return false
 		}
 		off := r.Intn(g.CP + 1)
-		seg, err := d.Segment(sym, 0, off)
+		seg, err := segmentRef(d, sym, 0, off)
 		if err != nil {
 			return false
 		}
@@ -150,10 +150,10 @@ func TestSegmentRejectsBadOffset(t *testing.T) {
 	g := Native80211Grid()
 	d := MustDemodulator(g)
 	rx := make([]complex128, g.SymLen())
-	if _, err := d.Segment(rx, 0, -1); err == nil {
+	if _, err := d.Segments(rx, 0, []int{-1}, nil); err == nil {
 		t.Fatal("negative offset should fail")
 	}
-	if _, err := d.Segment(rx, 0, g.CP+1); err == nil {
+	if _, err := d.Segments(rx, 0, []int{g.CP + 1}, nil); err == nil {
 		t.Fatal("offset beyond CP should fail")
 	}
 }
@@ -200,7 +200,7 @@ func TestWideGridEmbeddingEquivalence(t *testing.T) {
 		}
 	}
 	// Segments behave identically on the wide grid.
-	seg, err := d.Segment(sym, 0, 20)
+	seg, err := segmentRef(d, sym, 0, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -397,7 +397,7 @@ func TestPreambleLTFDemodulates(t *testing.T) {
 	starts := LTFSymbolStarts(g)
 	for _, start := range starts {
 		for _, off := range []int{0, 5, 16} {
-			bins, err := d.Segment(pre, start, off)
+			bins, err := segmentRef(d, pre, start, off)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -419,7 +419,7 @@ func TestPreambleOnWideGrid(t *testing.T) {
 		t.Fatalf("wide preamble length %d", len(pre))
 	}
 	starts := LTFSymbolStarts(w)
-	bins, err := d.Segment(pre, starts[0], 10)
+	bins, err := segmentRef(d, pre, starts[0], 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -471,7 +471,7 @@ func BenchmarkDemodulateSegment(b *testing.B) {
 	sym := m.Symbol(randomValues(dsp.NewRand(1), DataSubcarriers()))
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := d.Segment(sym, 0, i%17); err != nil {
+		if _, err := segmentRef(d, sym, 0, i%17); err != nil {
 			b.Fatal(err)
 		}
 	}

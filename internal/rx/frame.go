@@ -218,35 +218,6 @@ func (f *Frame) observationFromBins(bins []complex128, symIdx int) (Observation,
 	return obs, nil
 }
 
-// ObservePreamble returns the equalised LTF observations for one FFT
-// segment: for each of the two preamble training symbols, the received
-// value divided by Ĥ at every data subcarrier, in DataSubcarriers order.
-// These are CPRecycle's interference-model training inputs — the known
-// transmitted value at each subcarrier is ofdm.LTFValue(sc).
-//
-// No pilot CPE correction is applied (the LTF has no pilots); the channel
-// estimate itself absorbs the preamble's phase reference.
-func (f *Frame) ObservePreamble(cpOffset int) ([2][]complex128, error) {
-	var out [2][]complex128
-	starts := ofdm.LTFSymbolStarts(f.grid)
-	for i, s := range starts {
-		bins, err := f.demod.Segment(f.samples, f.start+s, cpOffset)
-		if err != nil {
-			return out, err
-		}
-		vals := make([]complex128, len(f.scs))
-		for j, sc := range f.scs {
-			h := f.h[f.grid.Bin(sc)]
-			if h == 0 {
-				return out, fmt.Errorf("rx: no channel estimate at subcarrier %d", sc)
-			}
-			vals[j] = bins[f.grid.Bin(sc)] / h
-		}
-		out[i] = vals
-	}
-	return out, nil
-}
-
 // DataSubcarrierCount returns the number of data subcarriers (48).
 func (f *Frame) DataSubcarrierCount() int { return len(f.scs) }
 
@@ -334,8 +305,9 @@ func (f *Frame) observationScratch(n int) []Observation {
 // symbol s, data subcarrier j (DataSubcarriers order), i.e. the received
 // value divided by Ĥ — CPRecycle's interference-model training inputs (the
 // known transmitted value is ofdm.LTFValue). Each LTF symbol costs one
-// seed FFT plus len(segments)-1 sliding-DFT updates, where the equivalent
-// ObservePreamble loop pays a full FFT per (segment, symbol).
+// seed FFT plus len(segments)-1 sliding-DFT updates, where the
+// one-FFT-per-window equivalent would pay a full FFT per (segment,
+// symbol).
 //
 // Like ObserveSegments, the returned buffers are Frame-owned scratch.
 func (f *Frame) ObservePreambleAll(segments []int) ([][2][]complex128, error) {
@@ -377,13 +349,14 @@ func (f *Frame) ObservePreambleAll(segments []int) ([][2][]complex128, error) {
 // observations from the known LTF values — an SNR-cum-interference power
 // estimate receivers use for soft demapping.
 func (f *Frame) NoiseEstimate() (float64, error) {
-	obs, err := f.ObservePreamble(f.grid.CP)
+	f.oneOff[0] = f.grid.CP
+	pre, err := f.ObservePreambleAll(f.oneOff[:])
 	if err != nil {
 		return 0, err
 	}
 	var sum float64
 	var n int
-	for _, vals := range obs {
+	for _, vals := range pre[0] {
 		for j, sc := range f.scs {
 			d := vals[j] - ofdm.LTFValue(sc)
 			sum += real(d)*real(d) + imag(d)*imag(d)

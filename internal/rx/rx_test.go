@@ -117,10 +117,11 @@ func TestObserveSymbolSegmentsAgreeWithoutInterference(t *testing.T) {
 
 func TestObservePreambleMatchesLTF(t *testing.T) {
 	f, _, _ := buildFrame(t, 5, "QPSK 1/2", 60, channel.Indoor2Tap(), 10000, 5)
-	obs, err := f.ObservePreamble(8)
+	pre, err := f.ObservePreambleAll([]int{8})
 	if err != nil {
 		t.Fatal(err)
 	}
+	obs := pre[0]
 	scs := ofdm.DataSubcarriers()
 	for s := 0; s < 2; s++ {
 		for j, sc := range scs {

@@ -1,0 +1,184 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"sync"
+)
+
+// Checkpoint file layout (JSON lines):
+//
+//	{"v":1,"spec":{…normalised spec…},"points":N}     ← header, written once
+//	{"point":7,"n":2000,"ok":[1523,1892]}             ← one per completed point
+//
+// The header's spec is the submitted spec with fidelity defaults filled
+// and the checkpoint path cleared, so a file can be moved and still
+// match. Point lines are appended in completion order (not point order)
+// as each point's last shard finishes; "ok" is indexed like the point's
+// receiver arms. On resume the file is replayed: lines for in-range
+// points with a matching header restore those points verbatim, and
+// execution continues with the rest. A truncated trailing line (a crash
+// mid-append) is ignored.
+
+// checkpointHeader is the first line of a checkpoint file. For pooled
+// sweeps it also records the waveform pool's identity: a point computed
+// from one pool must never be merged with points from another (different
+// size or seed means different interferer waveforms AND a different
+// per-tile draw range).
+type checkpointHeader struct {
+	V        int   `json:"v"`
+	Spec     Spec  `json:"spec"`
+	Points   int   `json:"points"`
+	PoolSize int   `json:"pool_size,omitempty"`
+	PoolSeed int64 `json:"pool_seed,omitempty"`
+}
+
+// checkpointPoint is one completed-point line.
+type checkpointPoint struct {
+	Point int   `json:"point"`
+	N     int   `json:"n"`
+	OK    []int `json:"ok"`
+}
+
+// checkpointFile appends completed points to an open checkpoint.
+type checkpointFile struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// openCheckpoint opens (or creates) the checkpoint at path for a job
+// described by hdr (normalised spec, point count, pool identity). When
+// the file already exists its header must match; the restored map holds
+// its completed points.
+func openCheckpoint(path string, hdr checkpointHeader) (map[int]checkpointPoint, *checkpointFile, error) {
+	restored := make(map[int]checkpointPoint)
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil && len(data) == 0:
+		// A crash between file creation and the header write leaves a
+		// zero-byte file; treat it as fresh rather than refusing resume
+		// forever. (Non-empty unparsable content still refuses below — it
+		// may be a foreign file we must not clobber.)
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_TRUNC, 0o644)
+		if err != nil {
+			return nil, nil, err
+		}
+		ck, err := writeHeader(f, hdr)
+		return restored, ck, err
+	case err == nil:
+		restored, validLen, err := parseCheckpoint(data, hdr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sweep: checkpoint %s: %w", path, err)
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Drop any torn trailing line from an interrupted append, so new
+		// lines start on a clean boundary.
+		if validLen < int64(len(data)) {
+			if err := f.Truncate(validLen); err != nil {
+				f.Close()
+				return nil, nil, err
+			}
+		}
+		return restored, &checkpointFile{f: f}, nil
+	case os.IsNotExist(err):
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err != nil {
+			return nil, nil, err
+		}
+		ck, err := writeHeader(f, hdr)
+		return restored, ck, err
+	default:
+		return nil, nil, err
+	}
+}
+
+// writeHeader writes the header line to a fresh (or emptied) checkpoint
+// and wraps the file for appending.
+func writeHeader(f *os.File, hdr checkpointHeader) (*checkpointFile, error) {
+	line, err := json.Marshal(hdr)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &checkpointFile{f: f}, nil
+}
+
+// parseCheckpoint validates the header against want (spec, point count
+// and pool identity) and returns the completed points recorded in data
+// plus the byte length of the valid newline-terminated prefix (a torn
+// final line from an interrupted append is excluded).
+func parseCheckpoint(data []byte, want checkpointHeader) (map[int]checkpointPoint, int64, error) {
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, 0, fmt.Errorf("empty or torn checkpoint header")
+	}
+	var hdr checkpointHeader
+	if err := json.Unmarshal(data[:nl], &hdr); err != nil {
+		return nil, 0, fmt.Errorf("bad header: %w", err)
+	}
+	if hdr.V != 1 {
+		return nil, 0, fmt.Errorf("unsupported version %d", hdr.V)
+	}
+	if !reflect.DeepEqual(hdr, want) {
+		return nil, 0, fmt.Errorf("spec mismatch (checkpoint belongs to a different sweep or pool)")
+	}
+	nPoints := want.Points
+	restored := make(map[int]checkpointPoint)
+	validLen := int64(nl + 1)
+	rest := data[nl+1:]
+	for len(rest) > 0 {
+		end := bytes.IndexByte(rest, '\n')
+		if end < 0 {
+			break // torn final line: only fully written points count
+		}
+		line := rest[:end]
+		if len(line) > 0 {
+			var cp checkpointPoint
+			if err := json.Unmarshal(line, &cp); err != nil {
+				return nil, 0, fmt.Errorf("corrupt point line: %w", err)
+			}
+			if cp.Point < 0 || cp.Point >= nPoints {
+				return nil, 0, fmt.Errorf("point %d outside [0,%d)", cp.Point, nPoints)
+			}
+			restored[cp.Point] = cp
+		}
+		validLen += int64(end + 1)
+		rest = rest[end+1:]
+	}
+	return restored, validLen, nil
+}
+
+// append writes one completed-point line.
+func (c *checkpointFile) append(p checkpointPoint) error {
+	line, err := json.Marshal(p)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	_, err = c.f.Write(append(line, '\n'))
+	return err
+}
+
+// close flushes and closes the file; later appends are no-ops.
+func (c *checkpointFile) close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f != nil {
+		c.f.Close()
+		c.f = nil
+	}
+}

@@ -1,0 +1,485 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/wifi"
+)
+
+// Config parameterises an Engine.
+type Config struct {
+	// Workers bounds the worker pool (default GOMAXPROCS).
+	Workers int
+	// ShardPackets is the maximum packets per shard (default 64): the
+	// scheduling granularity and the cancellation latency bound.
+	ShardPackets int
+	// PoolSize is the number of pre-encoded waveforms per (grid, MCS) in
+	// the shared pool jobs can opt into (default wifi.DefaultPoolSize).
+	PoolSize int
+	// PoolSeed seeds the pool's deterministic waveform generation.
+	PoolSeed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.ShardPackets <= 0 {
+		c.ShardPackets = 64
+	}
+	if c.PoolSize <= 0 {
+		c.PoolSize = wifi.DefaultPoolSize
+	}
+	return c
+}
+
+// Engine is the sharded sweep service. One engine serves any number of
+// concurrent jobs over a single bounded worker pool and owns the shared
+// waveform pool. Create with New, submit with Submit, stop with Close.
+type Engine struct {
+	cfg  Config
+	pool *wifi.WaveformPool
+
+	tasks chan shard
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string
+	nextID int
+	closed bool
+}
+
+// shard is one schedulable unit: a packet range of one point of one job.
+type shard struct {
+	job   *Job
+	point int
+	lo    int
+	hi    int
+}
+
+// New starts an engine with cfg.Workers workers.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:   cfg,
+		pool:  wifi.NewWaveformPool(cfg.PoolSize, cfg.PoolSeed),
+		tasks: make(chan shard),
+		quit:  make(chan struct{}),
+		jobs:  make(map[string]*Job),
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Pool returns the engine's shared waveform pool.
+func (e *Engine) Pool() *wifi.WaveformPool { return e.pool }
+
+// Close stops the workers, cancelling any running jobs first.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	jobs := make([]*Job, 0, len(e.jobs))
+	for _, j := range e.jobs {
+		jobs = append(jobs, j)
+	}
+	e.mu.Unlock()
+	for _, j := range jobs {
+		j.Cancel()
+	}
+	close(e.quit)
+	e.wg.Wait()
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.quit:
+			return
+		case sh := <-e.tasks:
+			e.runShard(sh)
+		}
+	}
+}
+
+func (e *Engine) runShard(sh shard) {
+	j := sh.job
+	ps := j.points[sh.point]
+	if j.ctx.Err() != nil {
+		j.completeShard(sh.point, nil, 0, j.ctx.Err())
+		return
+	}
+	counts := make([]int, len(ps.plan.Receivers()))
+	n, err := ps.plan.RunRange(j.ctx, sh.lo, sh.hi, counts)
+	j.completeShard(sh.point, counts, n, err)
+}
+
+// Submit validates the spec, plans every point, restores any matching
+// checkpoint, and schedules the remaining shards. The returned job is
+// already running; cancelling ctx cancels it.
+func (e *Engine) Submit(ctx context.Context, spec Spec) (*Job, error) {
+	req, err := spec.request(e.pool)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := experiments.NewSweepPlan(req)
+	if err != nil {
+		return nil, err
+	}
+
+	jctx, cancel := context.WithCancel(ctx)
+	j := &Job{
+		Spec:   spec,
+		plan:   plan,
+		ctx:    jctx,
+		cancel: cancel,
+		start:  time.Now(),
+		done:   make(chan struct{}),
+	}
+	j.points = make([]*pointState, len(plan.Points))
+	for i := range plan.Points {
+		pp, err := experiments.PlanPSR(plan.Points[i].Cfg)
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("sweep: point %d: %w", i, err)
+		}
+		j.points[i] = &pointState{plan: pp}
+		j.totalPackets += int64(pp.Packets())
+	}
+
+	// Checkpoint restore/open before any shard runs. Pooled sweeps record
+	// the pool's identity in the header: their points are only mergeable
+	// with points drawn from an identically-parameterised pool.
+	if spec.Checkpoint != "" {
+		hdr := checkpointHeader{V: 1, Spec: spec.normalised(), Points: len(j.points)}
+		if spec.Pool {
+			hdr.PoolSize = e.cfg.PoolSize
+			hdr.PoolSeed = e.cfg.PoolSeed
+		}
+		restored, ck, err := openCheckpoint(spec.Checkpoint, hdr)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		j.ckpt = ck
+		for idx, cp := range restored {
+			ps := j.points[idx]
+			if len(cp.OK) != len(ps.plan.Receivers()) || cp.N != ps.plan.Packets() {
+				cancel()
+				ck.close()
+				return nil, fmt.Errorf("sweep: checkpoint point %d shape mismatch", idx)
+			}
+			ps.ok = cp.OK
+			ps.n = cp.N
+			ps.done = true
+			j.restoredPoints++
+			j.donePoints.Add(1)
+			j.donePackets.Add(int64(cp.N))
+		}
+	}
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		cancel()
+		if j.ckpt != nil {
+			j.ckpt.close()
+		}
+		return nil, fmt.Errorf("sweep: engine is closed")
+	}
+	e.nextID++
+	j.ID = fmt.Sprintf("j%d", e.nextID)
+	e.jobs[j.ID] = j
+	e.order = append(e.order, j.ID)
+	e.mu.Unlock()
+
+	// Decompose incomplete points into shards and count them before
+	// feeding: completeShard must know each point's shard total.
+	var shards []shard
+	for i, ps := range j.points {
+		if ps.done {
+			continue
+		}
+		pkts := ps.plan.Packets()
+		for lo := 0; lo < pkts; lo += e.cfg.ShardPackets {
+			hi := lo + e.cfg.ShardPackets
+			if hi > pkts {
+				hi = pkts
+			}
+			ps.shardsLeft++
+			shards = append(shards, shard{job: j, point: i, lo: lo, hi: hi})
+		}
+	}
+	if len(shards) == 0 {
+		j.finalize()
+		return j, nil
+	}
+	go func() {
+		for _, sh := range shards {
+			select {
+			case e.tasks <- sh:
+			case <-j.ctx.Done():
+				// Cancelled: account the unscheduled shards so the job
+				// closes once in-flight ones drain.
+				j.completeShard(sh.point, nil, 0, j.ctx.Err())
+			case <-e.quit:
+				return
+			}
+		}
+	}()
+	return j, nil
+}
+
+// Job returns a submitted job by id, or nil.
+func (e *Engine) Job(id string) *Job {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.jobs[id]
+}
+
+// Remove cancels the job if it is still running and forgets it,
+// releasing its results and plan — the pruning hook for long-running
+// services, whose job table would otherwise grow monotonically. Reports
+// whether the job existed. In-flight shards hold the job directly and
+// drain harmlessly after removal.
+func (e *Engine) Remove(id string) bool {
+	e.mu.Lock()
+	j, ok := e.jobs[id]
+	if ok {
+		delete(e.jobs, id)
+		for i, oid := range e.order {
+			if oid == id {
+				e.order = append(e.order[:i], e.order[i+1:]...)
+				break
+			}
+		}
+	}
+	e.mu.Unlock()
+	if !ok {
+		return false
+	}
+	j.Cancel() // no-op when already finished
+	return true
+}
+
+// Jobs returns every submitted job in submission order.
+func (e *Engine) Jobs() []*Job {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*Job, 0, len(e.order))
+	for _, id := range e.order {
+		out = append(out, e.jobs[id])
+	}
+	return out
+}
+
+// pointState accumulates one measurement point's tallies across shards.
+type pointState struct {
+	plan *experiments.PSRPlan
+
+	mu         sync.Mutex
+	ok         []int
+	n          int
+	shardsLeft int
+	done       bool
+}
+
+// Job is one submitted sweep. All methods are safe for concurrent use.
+type Job struct {
+	ID   string
+	Spec Spec
+
+	plan   *experiments.SweepPlan
+	points []*pointState
+	ctx    context.Context
+	cancel context.CancelFunc
+	ckpt   *checkpointFile
+	start  time.Time
+
+	totalPackets   int64
+	restoredPoints int
+	donePackets    atomic.Int64
+	donePoints     atomic.Int32
+
+	mu       sync.Mutex
+	err      error
+	table    *experiments.Table
+	results  [][]experiments.PSRPoint
+	elapsed  time.Duration
+	finished bool
+	done     chan struct{}
+}
+
+// Result is a completed sweep: the rendered table plus the raw per-point,
+// per-arm counts (aligned with the plan's points).
+type Result struct {
+	Table   *experiments.Table
+	Points  [][]experiments.PSRPoint
+	Elapsed time.Duration
+}
+
+// Progress is a snapshot of a job's execution state.
+type Progress struct {
+	ID             string  `json:"id"`
+	Experiment     string  `json:"experiment"`
+	State          string  `json:"state"` // "running", "done" or "failed"
+	Points         int     `json:"points"`
+	DonePoints     int     `json:"done_points"`
+	RestoredPoints int     `json:"restored_points,omitempty"`
+	Packets        int64   `json:"packets"`
+	DonePackets    int64   `json:"done_packets"`
+	ElapsedSec     float64 `json:"elapsed_sec"`
+	Error          string  `json:"error,omitempty"`
+}
+
+// completeShard merges one shard's tallies (or failure) into its point.
+func (j *Job) completeShard(point int, counts []int, n int, err error) {
+	j.donePackets.Add(int64(n))
+	if err != nil {
+		j.fail(err)
+		return
+	}
+	ps := j.points[point]
+	ps.mu.Lock()
+	if ps.ok == nil {
+		ps.ok = make([]int, len(counts))
+	}
+	for i, c := range counts {
+		ps.ok[i] += c
+	}
+	ps.n += n
+	ps.shardsLeft--
+	pointDone := ps.shardsLeft == 0 && !ps.done
+	if pointDone {
+		ps.done = true
+	}
+	okCopy := ps.ok
+	nTotal := ps.n
+	ps.mu.Unlock()
+	if !pointDone {
+		return
+	}
+	if j.ckpt != nil {
+		if err := j.ckpt.append(checkpointPoint{Point: point, N: nTotal, OK: okCopy}); err != nil {
+			j.fail(err)
+			return
+		}
+	}
+	if int(j.donePoints.Add(1)) == len(j.points) {
+		j.finalize()
+	}
+}
+
+// fail records the job's first error and cancels the rest of its work.
+func (j *Job) fail(err error) {
+	j.mu.Lock()
+	already := j.finished
+	if !already {
+		j.finished = true
+		j.err = err
+		j.elapsed = time.Since(j.start)
+	}
+	j.mu.Unlock()
+	if already {
+		return
+	}
+	j.cancel()
+	if j.ckpt != nil {
+		j.ckpt.close()
+	}
+	close(j.done)
+}
+
+// finalize assembles the table once every point is complete.
+func (j *Job) finalize() {
+	results := make([][]experiments.PSRPoint, len(j.points))
+	for i, ps := range j.points {
+		arms := ps.plan.Receivers()
+		pts := make([]experiments.PSRPoint, len(arms))
+		for a, k := range arms {
+			pts[a] = experiments.PSRPoint{Kind: k, OK: ps.ok[a], N: ps.n}
+		}
+		results[i] = pts
+	}
+	table, err := j.plan.Assemble(results)
+	j.mu.Lock()
+	if j.finished {
+		j.mu.Unlock()
+		return
+	}
+	j.finished = true
+	j.err = err
+	j.table = table
+	j.results = results
+	j.elapsed = time.Since(j.start)
+	j.mu.Unlock()
+	j.cancel()
+	if j.ckpt != nil {
+		j.ckpt.close()
+	}
+	close(j.done)
+}
+
+// Cancel aborts the job; in-flight shards stop at the next packet
+// boundary. Wait then returns context.Canceled.
+func (j *Job) Cancel() { j.fail(context.Canceled) }
+
+// Done returns a channel closed when the job finishes (any outcome).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job completes, ctx expires, or the job fails.
+func (j *Job) Wait(ctx context.Context) (*Result, error) {
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-j.done:
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return nil, j.err
+	}
+	return &Result{Table: j.table, Points: j.results, Elapsed: j.elapsed}, nil
+}
+
+// Progress returns a snapshot of the job's execution state.
+func (j *Job) Progress() Progress {
+	p := Progress{
+		ID:             j.ID,
+		Experiment:     j.Spec.Experiment,
+		State:          "running",
+		Points:         len(j.points),
+		DonePoints:     int(j.donePoints.Load()),
+		RestoredPoints: j.restoredPoints,
+		Packets:        j.totalPackets,
+		DonePackets:    j.donePackets.Load(),
+		ElapsedSec:     time.Since(j.start).Seconds(),
+	}
+	j.mu.Lock()
+	if j.finished {
+		p.ElapsedSec = j.elapsed.Seconds()
+		if j.err != nil {
+			p.State = "failed"
+			p.Error = j.err.Error()
+		} else {
+			p.State = "done"
+		}
+	}
+	j.mu.Unlock()
+	return p
+}

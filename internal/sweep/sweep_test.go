@@ -1,0 +1,254 @@
+package sweep
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// testSpec is a reduced-fidelity fig8 sweep: two SIRs × three MCS modes,
+// five packets each — small enough for CI, sharded enough (ShardPackets 2)
+// to exercise the merge paths.
+func testSpec() Spec {
+	return Spec{Experiment: "fig8", Packets: 5, PSDUBytes: 60, Seed: 3, Axis: []float64{-10, -20}}
+}
+
+func testEngine() *Engine {
+	return New(Config{Workers: 4, ShardPackets: 2, PoolSize: 4})
+}
+
+// runDirect executes the same sweep on the sequential engine-less path.
+func runDirect(t *testing.T, e *Engine, spec Spec) (*experiments.Table, [][]experiments.PSRPoint) {
+	t.Helper()
+	req, err := spec.request(e.Pool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := experiments.NewSweepPlan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([][]experiments.PSRPoint, len(plan.Points))
+	for i := range plan.Points {
+		if results[i], err = experiments.RunPSR(plan.Points[i].Cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tb, err := plan.Assemble(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb, results
+}
+
+func submitAndWait(t *testing.T, e *Engine, spec Spec) *Result {
+	t.Helper()
+	j, err := e.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := j.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func checkSameResults(t *testing.T, want, got [][]experiments.PSRPoint) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("point count %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		for a := range want[i] {
+			if want[i][a] != got[i][a] {
+				t.Fatalf("point %d arm %d: engine %+v, direct %+v", i, a, got[i][a], want[i][a])
+			}
+		}
+	}
+}
+
+// TestEngineMatchesDirect pins the engine's core guarantee: sharded
+// execution produces bit-identical per-point counts and an identical
+// rendered table to the direct sequential path, with and without the
+// shared waveform pool.
+func TestEngineMatchesDirect(t *testing.T) {
+	e := testEngine()
+	defer e.Close()
+	for _, pool := range []bool{false, true} {
+		spec := testSpec()
+		spec.Pool = pool
+		wantTable, wantResults := runDirect(t, e, spec)
+		res := submitAndWait(t, e, spec)
+		checkSameResults(t, wantResults, res.Points)
+		if res.Table.Render() != wantTable.Render() {
+			t.Errorf("pool=%v: rendered tables differ:\n%s\nvs\n%s", pool, res.Table.Render(), wantTable.Render())
+		}
+	}
+}
+
+// TestEnginePoolDeterministic pins that pooled sweeps are reproducible:
+// two engines (fresh pools) at the same seed produce identical tables.
+func TestEnginePoolDeterministic(t *testing.T) {
+	spec := testSpec()
+	spec.Axis = []float64{-15}
+	spec.Pool = true
+	var renders []string
+	for i := 0; i < 2; i++ {
+		e := testEngine()
+		res := submitAndWait(t, e, spec)
+		renders = append(renders, res.Table.Render())
+		e.Close()
+	}
+	if renders[0] != renders[1] {
+		t.Fatalf("pooled sweep not deterministic:\n%s\nvs\n%s", renders[0], renders[1])
+	}
+}
+
+// TestCheckpointResume pins the round trip: a completed job writes one
+// line per point; truncating the file to a prefix and resubmitting
+// restores exactly the surviving points and still produces bit-identical
+// results; resubmitting the full checkpoint executes zero packets.
+func TestCheckpointResume(t *testing.T) {
+	e := testEngine()
+	defer e.Close()
+	path := filepath.Join(t.TempDir(), "fig8.ckpt")
+	spec := testSpec()
+	spec.Checkpoint = path
+
+	full := submitAndWait(t, e, spec)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	nPoints := len(full.Points)
+	if len(lines) != 1+nPoints {
+		t.Fatalf("checkpoint has %d lines, want header+%d points", len(lines), nPoints)
+	}
+
+	// Simulate an interruption: keep the header and the first two
+	// completed points (plus a torn partial line, which must be ignored).
+	trunc := strings.Join(lines[:3], "\n") + "\n" + lines[3][:len(lines[3])/2]
+	if err := os.WriteFile(path, []byte(trunc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := e.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := j.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := j.Progress(); p.RestoredPoints != 2 {
+		t.Fatalf("restored %d points, want 2", p.RestoredPoints)
+	}
+	checkSameResults(t, full.Points, res.Points)
+
+	// A complete checkpoint resumes without executing any packet.
+	j2, err := e.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := j2.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := j2.Progress()
+	if p.RestoredPoints != nPoints || p.DonePackets != p.Packets || p.State != "done" {
+		t.Fatalf("full resume progress = %+v", p)
+	}
+	checkSameResults(t, full.Points, res2.Points)
+}
+
+// TestCheckpointSpecMismatch pins that a checkpoint from a different
+// sweep is refused instead of silently merged.
+func TestCheckpointSpecMismatch(t *testing.T) {
+	e := testEngine()
+	defer e.Close()
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	spec := testSpec()
+	spec.Checkpoint = path
+	submitAndWait(t, e, spec)
+
+	other := spec
+	other.Seed++
+	if _, err := e.Submit(context.Background(), other); err == nil || !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("mismatched checkpoint accepted (err=%v)", err)
+	}
+
+	// A pooled checkpoint is tied to the pool's identity: an engine with a
+	// different pool seed must refuse it (its waveforms differ).
+	pooled := testSpec()
+	pooled.Pool = true
+	pooled.Checkpoint = filepath.Join(t.TempDir(), "pooled.ckpt")
+	submitAndWait(t, e, pooled)
+	e2 := New(Config{Workers: 2, ShardPackets: 2, PoolSize: 4, PoolSeed: 99})
+	defer e2.Close()
+	if _, err := e2.Submit(context.Background(), pooled); err == nil || !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("pooled checkpoint accepted by a differently-seeded pool (err=%v)", err)
+	}
+}
+
+// TestRemove pins job pruning: removed jobs disappear from the engine's
+// table (running ones are cancelled first).
+func TestRemove(t *testing.T) {
+	e := testEngine()
+	defer e.Close()
+	j, err := e.Submit(context.Background(), testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Remove(j.ID) {
+		t.Fatal("Remove reported missing job")
+	}
+	if e.Job(j.ID) != nil || len(e.Jobs()) != 0 {
+		t.Fatal("job still listed after Remove")
+	}
+	if e.Remove(j.ID) {
+		t.Fatal("second Remove reported success")
+	}
+}
+
+// TestCancel pins cooperative cancellation: a cancelled job unblocks
+// waiters with context.Canceled and reports the failed state.
+func TestCancel(t *testing.T) {
+	e := New(Config{Workers: 2, ShardPackets: 1})
+	defer e.Close()
+	spec := testSpec()
+	spec.Packets = 500 // long enough that cancellation lands mid-flight
+	j, err := e.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Cancel()
+	if _, err := j.Wait(context.Background()); err != context.Canceled {
+		t.Fatalf("Wait after cancel = %v", err)
+	}
+	if p := j.Progress(); p.State != "failed" {
+		t.Fatalf("state = %s", p.State)
+	}
+}
+
+// TestSpecValidation pins the submission-time failure paths.
+func TestSpecValidation(t *testing.T) {
+	e := testEngine()
+	defer e.Close()
+	if _, err := e.Submit(context.Background(), Spec{Experiment: "fig6a"}); err == nil {
+		t.Fatal("non-sweep experiment accepted")
+	}
+	if _, err := e.Submit(context.Background(), Spec{Experiment: "fig8", Receivers: []string{"bogus"}}); err == nil {
+		t.Fatal("unknown receiver accepted")
+	}
+	if _, err := e.Submit(context.Background(), Spec{Experiment: "fig8", MCS: []string{"FM radio"}}); err == nil {
+		t.Fatal("unknown MCS accepted")
+	}
+}
