@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all verify build vet test test-race-sweep smoke bench bench-hotpath fmt-check
+.PHONY: all verify build vet test test-race-sweep smoke bench bench-hotpath bench-json fmt-check
 
 all: verify
 
@@ -17,15 +17,17 @@ vet:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the concurrent sweep engine (and the packages
-# whose shared caches it exercises).
+# Race-detector pass over the concurrent paths: the sweep engine (and the
+# packages whose shared caches it exercises) plus the intra-packet
+# parallel symbol decode in rx.
 test-race-sweep:
-	$(GO) test -race ./internal/sweep/ ./internal/wifi/ ./internal/experiments/
+	$(GO) test -race ./internal/sweep/ ./internal/wifi/ ./internal/experiments/ ./internal/rx/
 
 # Short end-to-end sweep through the engine (sharded workers + waveform
-# pool), as run in CI.
+# pool) plus a 2-worker parallel-decode equivalence check, as run in CI.
 smoke:
 	$(GO) run ./cmd/cprecycle-bench -experiment fig8 -packets 8 -bytes 60 -pool
+	$(GO) test -run 'TestDecodeDataParallelMatchesSerial|TestRunPSRParallelDecodeRegression' ./internal/rx/ ./internal/experiments/
 
 # Full benchmark suite (regenerates every paper table/figure at reduced
 # fidelity; slow).
@@ -40,6 +42,18 @@ bench-hotpath:
 	$(GO) test -bench 'BenchmarkObserve' -benchtime 2000x -run '^$$' ./internal/rx/
 	$(GO) test -bench 'BenchmarkViterbiDecode' -benchtime 500x -run '^$$' ./internal/coding/
 	$(GO) test -bench 'BenchmarkSliding|BenchmarkForward|BenchmarkFreqShift' -run '^$$' ./internal/dsp/
+
+# Machine-readable perf trajectory: run the hot-path benchmarks with
+# allocation reporting and write ns/op, B/op and allocs/op per benchmark
+# to BENCH_PR3.json (CI archives it so future PRs can diff against it).
+bench-json:
+	set -e; tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
+	$(GO) test -bench 'BenchmarkObserve' -benchtime 2000x -benchmem -run '^$$' ./internal/rx/ >> "$$tmp"; \
+	$(GO) test -bench 'BenchmarkSegment' -benchtime 2000x -benchmem -run '^$$' ./internal/ofdm/ >> "$$tmp"; \
+	$(GO) test -bench 'BenchmarkViterbiDecode' -benchtime 500x -benchmem -run '^$$' ./internal/coding/ >> "$$tmp"; \
+	$(GO) test -bench 'BenchmarkSliding|BenchmarkForward|BenchmarkFreqShift|BenchmarkPlanar' -benchmem -run '^$$' ./internal/dsp/ >> "$$tmp"; \
+	$(GO) run ./cmd/benchjson -out BENCH_PR3.json < "$$tmp"
+	@echo "wrote BENCH_PR3.json"
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi

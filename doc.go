@@ -13,16 +13,33 @@
 // figure of the paper's evaluation at reduced fidelity;
 // cmd/cprecycle-bench runs them at full fidelity.
 //
-// The receiver hot path is incremental and allocation-free: the paper's P
-// FFT windows per OFDM symbol — the scheme's main compute overhead — are
-// produced by one seed FFT plus O(N·stride) sliding-DFT updates
-// (dsp.SlidingDFT, ofdm.Demodulator.Segments), updated sparsely at the 52
-// used subcarrier bins, with cached Eq. 2 phase-ramp tables and
-// process-wide FFT plans (dsp.PlanFor), and per-frame/per-receiver scratch
-// buffers throughout (rx.Frame.ObserveSegments, core.Receiver, pooled
-// Viterbi survivor buffers in internal/coding). A same-seed regression
+// The receiver hot path is incremental, planar and allocation-free: the
+// paper's P FFT windows per OFDM symbol — the scheme's main compute
+// overhead — are produced by one seed FFT plus O(N·stride) sliding-DFT
+// updates running entirely on split re/im planes (dsp.Planar,
+// ofdm.Demodulator.SegmentsOnPlanar), updated sparsely at the 52 used
+// subcarrier bins through precomputed per-slide twiddle schedules
+// (dsp.SlideTab), with cached Eq. 2 phase-ramp tables, process-wide FFT
+// plans (dsp.PlanFor), precomputed per-subcarrier equalisation dividers
+// (dsp.Divisor) and per-frame/per-receiver scratch buffers throughout
+// (rx.Frame.ObserveSegments, core.Receiver). Values convert to
+// complex128 only at the equalizer/constellation boundary, and every
+// planar kernel is pinned value-identical to its interleaved twin.
+// Viterbi survivor memory is bounded by a sliding traceback window for
+// long PSDUs (internal/coding, bit-identical by survivor-merge
+// finalisation, pooled buffers below the window).
+//
+// Within one packet, rx.DecodeDataParallel fans the per-symbol decisions
+// across a bounded worker pool — each worker on its own Frame.ScratchFork
+// observation scratch and rx.ParallelDecider fork — merging coded bits in
+// symbol order. The determinism contract: parallel decode is bit-identical
+// to serial decode at any worker count; deciders whose state makes
+// decisions order-dependent (CPRecycle's §4.3 continuous model update)
+// refuse to fork and run serially. experiments.RunPacket engages it with
+// the cores packet-level sharding leaves idle. A same-seed regression
 // test (internal/experiments) pins every receiver arm's packet decisions
-// to the pre-optimisation implementation.
+// to the pre-optimisation implementation, with parallel decode both off
+// and forced on.
 //
 // The PSR sweep experiments run as a batch service: internal/sweep is a
 // sharded engine that decomposes each figure into independent measurement

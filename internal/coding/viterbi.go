@@ -91,6 +91,9 @@ func (v *Viterbi) Decode(llrs []float64) ([]byte, error) {
 	if n == 0 {
 		return nil, nil
 	}
+	if n > streamEngage {
+		return v.decodeWindowed(llrs, n, !v.Terminated, streamWindow)
+	}
 
 	dp, metric := v.forwardPass(llrs, n)
 	decisions := *dp
@@ -99,12 +102,7 @@ func (v *Viterbi) Decode(llrs []float64) ([]byte, error) {
 	// Traceback; the input bit that led into each state is its top bit.
 	state := 0
 	if !v.Terminated {
-		best := math.Inf(1)
-		for s, m := range metric {
-			if m < best {
-				best, state = m, s
-			}
-		}
+		state = bestState(metric)
 	}
 	bits := make([]byte, n)
 	traceback(decisions, bits, n, state)
@@ -140,30 +138,36 @@ func (v *Viterbi) forwardPass(llrs []float64, n int) (*[]uint8, *[numStates]floa
 		cost[2] = lb
 		cost[3] = la + lb
 		dec := decisions[t*numStates : (t+1)*numStates : (t+1)*numStates]
-		// Destination states split by their implied input bit (the top
-		// bit); each half walks the source metrics sequentially in pairs.
-		for in := 0; in < 2; in++ {
-			outs := &v.outsIn[in]
-			base := in << 5
-			half := dec[base : base+numStates/2 : base+numStates/2]
-			nm := nextMetric[base : base+numStates/2]
-			for k := 0; k < numStates/2; k++ {
-				s0 := 2 * k
-				s1 := s0 + 1
-				c0 := metric[s0] + cost[outs[s0]&3]
-				c1 := metric[s1] + cost[outs[s1]&3]
-				if c0 <= c1 {
-					nm[k] = c0
-					half[k] = uint8(s0)
-				} else {
-					nm[k] = c1
-					half[k] = uint8(s1)
-				}
-			}
-		}
+		v.acsColumn(metric, nextMetric, dec, &cost)
 		metric, nextMetric = nextMetric, metric
 	}
 	return dp, metric
+}
+
+// acsColumn advances one trellis column: destination states split by their
+// implied input bit (the top bit); each half walks the source metrics
+// sequentially in pairs. Shared by the flat and windowed decoders so both
+// produce identical metrics and decisions.
+func (v *Viterbi) acsColumn(metric, nextMetric *[numStates]float64, dec []uint8, cost *[4]float64) {
+	for in := 0; in < 2; in++ {
+		outs := &v.outsIn[in]
+		base := in << 5
+		half := dec[base : base+numStates/2 : base+numStates/2]
+		nm := nextMetric[base : base+numStates/2]
+		for k := 0; k < numStates/2; k++ {
+			s0 := 2 * k
+			s1 := s0 + 1
+			c0 := metric[s0] + cost[outs[s0]&3]
+			c1 := metric[s1] + cost[outs[s1]&3]
+			if c0 <= c1 {
+				nm[k] = c0
+				half[k] = uint8(s0)
+			} else {
+				nm[k] = c1
+				half[k] = uint8(s1)
+			}
+		}
+	}
 }
 
 // traceback walks the survivor path that ends in state at step upto,
@@ -202,18 +206,16 @@ func (v *Viterbi) DecodeAnchored(llrs []float64, anchorBit int) ([]byte, error) 
 	if n == 0 {
 		return nil, nil
 	}
+	if n > streamEngage {
+		return v.decodeWindowed(llrs, anchorBit, true, streamWindow)
+	}
 	dp, finalMetric := v.forwardPass(llrs, n)
 	decisions := *dp
 	defer putDecisions(dp)
 	bits := make([]byte, n)
 	// Trailing (pad) region: unterminated traceback from the best final
 	// state, but only the bits after the anchor are kept from it.
-	state, best := 0, math.Inf(1)
-	for s, m := range finalMetric {
-		if m < best {
-			best, state = m, s
-		}
-	}
+	state := bestState(finalMetric)
 	for t := n - 1; t >= anchorBit; t-- {
 		bits[t] = byte(state >> 5)
 		state = int(decisions[t*numStates+state])

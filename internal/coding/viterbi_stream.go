@@ -1,0 +1,178 @@
+package coding
+
+import "math"
+
+// The windowed decoder bounds survivor memory for long streams: instead of
+// one flat decisions array of n·numStates bytes, it retains a sliding
+// window of streamWindow trellis columns and finalises the prefix
+// whenever the buffer fills, using the survivor-merge property — once the
+// backward paths of ALL states at the current frontier coincide at some
+// earlier column, every future traceback that enters through the frontier
+// (terminated, best-final-state and zero-anchored alike) follows that
+// common path below the merge column, so the bits it implies are final
+// and their decisions can be dropped. The emitted stream is therefore
+// bit-identical to the flat decoder's, not a truncation approximation
+// like fixed-depth "decide after D" windowed Viterbi. In the (physically
+// implausible, but constructible) event that the survivors refuse to
+// merge within the window, the buffer doubles — exactness is never
+// traded for the memory bound.
+//
+// streamWindow is ≫ the rate-1/2 K=7 code's ~5·K ≈ 35-step survivor merge
+// depth, so in practice a merge is always found within a small prefix of
+// the window and the amortised finalisation cost is O(numStates) per bit.
+const streamWindow = 512
+
+// streamEngage is the stream length (in trellis steps) above which Decode
+// and DecodeAnchored switch to the windowed decoder: below it the flat
+// pooled buffer (≤ streamEngage·numStates = 64 KiB) is cheaper than
+// merge-checking; above it survivor memory stays O(streamWindow·numStates)
+// regardless of PSDU length, where the flat buffer would keep growing
+// (~64 B per payload bit — half a megabyte for a 4000-octet A-MPDU).
+const streamEngage = 2 * streamWindow
+
+// decodeWindowed decodes n = len(llrs)/2 steps with the sliding survivor
+// window. Bits in [anchorBit, n) are traced from the best final state when
+// fromBest is true and from state 0 otherwise; bits in [0, anchorBit) are
+// traced from the known zero state at anchorBit (pass anchorBit = n for
+// plain terminated/unterminated decoding). Output is bit-identical to the
+// flat decoder with the same parameters. Survivor memory is
+// O(window + (n − anchorBit)) columns: decisions above the anchor must
+// stay buffered until the final state is known, so callers anchoring far
+// from the end keep proportionally more.
+func (v *Viterbi) decodeWindowed(llrs []float64, anchorBit int, fromBest bool, window int) ([]byte, error) {
+	n := len(llrs) / 2
+	const inf = math.MaxFloat64 / 4
+	var metricA, metricB [numStates]float64
+	metric, nextMetric := &metricA, &metricB
+	for s := 1; s < numStates; s++ {
+		metric[s] = inf
+	}
+	if window < 2*numStates {
+		window = 2 * numStates
+	}
+	dp := getDecisions(window)
+	dec := *dp
+	bits := make([]byte, n)
+	base := 0 // first trellis step whose decisions are still buffered
+	var cost [4]float64
+	for t := 0; t < n; t++ {
+		if t == anchorBit && t > base && anchorBit < n {
+			// Anchor crossing: every payload bit below the anchor is
+			// determined by the zero state forced here, independent of
+			// anything later — flush them and drop their decisions.
+			st := 0
+			for u := anchorBit - 1; u >= base; u-- {
+				bits[u] = byte(st >> 5)
+				st = int(dec[(u-base)*numStates+st])
+			}
+			base = anchorBit
+		}
+		if (t-base)*numStates == len(dec) {
+			emitted := v.mergeFlush(dec, bits, base, t-base)
+			if emitted > 0 {
+				copy(dec, dec[emitted*numStates:(t-base)*numStates])
+				base += emitted
+			}
+			if len(dec)-(t-base)*numStates < len(dec)/4 {
+				// Survivors refuse to merge: grow rather than emit
+				// not-yet-final bits (see package comment — exactness
+				// beats the bound). The box keeps the grown buffer so the
+				// pool recycles it.
+				grown := make([]uint8, 2*len(dec))
+				copy(grown, dec[:(t-base)*numStates])
+				dec = grown
+				*dp = dec
+			}
+		}
+		la, lb := llrs[2*t], llrs[2*t+1]
+		cost[1] = la
+		cost[2] = lb
+		cost[3] = la + lb
+		col := dec[(t-base)*numStates : (t-base+1)*numStates : (t-base+1)*numStates]
+		v.acsColumn(metric, nextMetric, col, &cost)
+		metric, nextMetric = nextMetric, metric
+	}
+
+	// Final flush of the retained tail. For anchored decodes the payload
+	// below the anchor was already emitted: the forward loop always
+	// reaches t == anchorBit, so the anchor-crossing flush has run and
+	// base >= anchorBit here — only the pad region remains.
+	if anchorBit < n {
+		// Pad region above the anchor: best-final-state traceback, but
+		// only down to what the earlier flushes have not already emitted.
+		lo := anchorBit
+		if base > lo {
+			lo = base
+		}
+		st := bestState(metric)
+		for u := n - 1; u >= lo; u-- {
+			bits[u] = byte(st >> 5)
+			st = int(dec[(u-base)*numStates+st])
+		}
+	} else {
+		st := 0
+		if fromBest {
+			st = bestState(metric)
+		}
+		for u := n - 1; u >= base; u-- {
+			bits[u] = byte(st >> 5)
+			st = int(dec[(u-base)*numStates+st])
+		}
+	}
+	putDecisions(dp)
+	return bits, nil
+}
+
+// bestState returns the state with the lowest path metric (lowest state
+// wins ties, as in the flat decoder).
+func bestState(metric *[numStates]float64) int {
+	state, best := 0, math.Inf(1)
+	for s, m := range metric {
+		if m < best {
+			best, state = m, s
+		}
+	}
+	return state
+}
+
+// mergeFlush scans the buffered decisions (steps [base, base+buf), buffer-
+// relative indexing) for the latest column where the backward paths of all
+// frontier states coincide. Bits strictly below that column are final for
+// any traceback entering through the frontier; they are emitted into bits
+// (absolute indexing) and their count returned, so the caller can drop
+// their decisions. Returns 0 when the survivors have not merged.
+func (v *Viterbi) mergeFlush(dec []uint8, bits []byte, base, buf int) int {
+	if buf == 0 {
+		return 0
+	}
+	var cur [numStates]uint8
+	for s := range cur {
+		cur[s] = uint8(s)
+	}
+	mergedAt := -1
+	var mergedState uint8
+	for t := buf - 1; t >= 0; t-- {
+		row := dec[t*numStates : (t+1)*numStates]
+		first := row[cur[0]]
+		same := true
+		for s := range cur {
+			cur[s] = row[cur[s]]
+			if cur[s] != first {
+				same = false
+			}
+		}
+		if same {
+			mergedAt, mergedState = t, first
+			break
+		}
+	}
+	if mergedAt <= 0 {
+		return 0
+	}
+	st := int(mergedState)
+	for t := mergedAt - 1; t >= 0; t-- {
+		bits[base+t] = byte(st >> 5)
+		st = int(dec[t*numStates+st])
+	}
+	return mergedAt
+}

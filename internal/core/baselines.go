@@ -21,6 +21,10 @@ type NaiveDecider struct {
 	Segments []int
 }
 
+// ForkDecider implements rx.ParallelDecider: the naive decoder holds no
+// cross-symbol state, so it forks to itself.
+func (n NaiveDecider) ForkDecider() (rx.SymbolDecider, bool) { return n, true }
+
 // DecideSymbol implements rx.SymbolDecider.
 func (n NaiveDecider) DecideSymbol(f *rx.Frame, symIdx int, cons *modem.Constellation) ([]int, error) {
 	if len(n.Segments) == 0 {
@@ -61,9 +65,16 @@ type OracleDecider struct {
 	Segments []int
 
 	demod *ofdm.Demodulator
-	ip    [][]complex128 // reused interference window buffers
-	sel   []int          // data-subcarrier bins, for sparse slides
+	ip    []dsp.Planar // reused interference window buffers
+	sel   []int        // data-subcarrier bins, for sparse slides
 	out   []int
+}
+
+// ForkDecider implements rx.ParallelDecider: per-symbol oracle choices
+// depend only on the interference stream, so a fork is a fresh decider
+// over the same inputs (demodulation scratch is rebuilt lazily).
+func (o *OracleDecider) ForkDecider() (rx.SymbolDecider, bool) {
+	return &OracleDecider{InterferenceOnly: o.InterferenceOnly, Segments: o.Segments}, true
 }
 
 // DecideSymbol implements rx.SymbolDecider.
@@ -90,8 +101,8 @@ func (o *OracleDecider) DecideSymbol(f *rx.Frame, symIdx int, cons *modem.Conste
 	// Interference power per (segment, bin). Equalisation scales every
 	// segment of a subcarrier identically, so raw bin power preserves the
 	// per-subcarrier ordering the oracle needs. The windows come from the
-	// batch sliding-DFT path, reusing the decider's buffers.
-	ip, err := o.demod.SegmentsOn(o.InterferenceOnly, symStart, o.Segments, o.sel, o.ip)
+	// planar batch sliding-DFT path, reusing the decider's buffers.
+	ip, err := o.demod.SegmentsOnPlanar(o.InterferenceOnly, symStart, o.Segments, o.sel, o.ip)
 	if err != nil {
 		return nil, fmt.Errorf("core: oracle interference window: %w", err)
 	}
@@ -106,8 +117,8 @@ func (o *OracleDecider) DecideSymbol(f *rx.Frame, symIdx int, cons *modem.Conste
 		bin := g.Bin(sc)
 		bestJ, bestP := 0, math.Inf(1)
 		for j := range o.Segments {
-			v := ip[j][bin]
-			p := real(v)*real(v) + imag(v)*imag(v)
+			vr, vi := ip[j].Re[bin], ip[j].Im[bin]
+			p := vr*vr + vi*vi
 			if p < bestP {
 				bestP, bestJ = p, j
 			}
@@ -127,15 +138,15 @@ func SegmentInterferencePower(interference []complex128, g ofdm.Grid, symStart i
 	if err != nil {
 		return nil, err
 	}
-	segBins, err := d.Segments(interference, symStart, segments, nil)
+	segBins, err := d.SegmentsPlanar(interference, symStart, segments, nil)
 	if err != nil {
 		return nil, err
 	}
 	out := make([][]float64, len(segments))
-	for j, bins := range segBins {
-		row := make([]float64, len(bins))
-		for k, v := range bins {
-			row[k] = real(v)*real(v) + imag(v)*imag(v)
+	for j, w := range segBins {
+		row := make([]float64, w.Len())
+		for k := range row {
+			row[k] = w.Re[k]*w.Re[k] + w.Im[k]*w.Im[k]
 		}
 		out[j] = row
 	}

@@ -1,0 +1,45 @@
+package dsp
+
+import "math"
+
+// Divisor precomputes the divisor-dependent half of complex division for a
+// fixed divisor h. The runtime divides complex128 values with Smith's
+// algorithm (Algorithm 116, CACM 1962) behind an out-of-line call,
+// recomputing the divisor's ratio and denominator every time; receivers
+// equalise hundreds of observations per symbol by the same per-subcarrier
+// Ĥ, so hoisting that half pays per value.
+//
+// Div performs exactly the remaining operations of the runtime algorithm,
+// so the quotient is bit-identical to v / h for finite v and finite
+// nonzero h. (The only code path dropped is the C99 NaN/Inf fixup, which
+// cannot trigger for such operands.)
+type Divisor struct {
+	swap         bool // took the |re(h)| < |im(h)| branch of Smith's algorithm
+	ratio, denom float64
+}
+
+// NewDivisor returns the precomputed divider for h, which must be finite
+// and nonzero for the bit-identity guarantee to hold.
+func NewDivisor(h complex128) Divisor {
+	if math.Abs(real(h)) >= math.Abs(imag(h)) {
+		ratio := imag(h) / real(h)
+		return Divisor{ratio: ratio, denom: real(h) + ratio*imag(h)}
+	}
+	ratio := real(h) / imag(h)
+	return Divisor{swap: true, ratio: ratio, denom: imag(h) + ratio*real(h)}
+}
+
+// Div returns v / h (see type comment for the bit-identity contract).
+func (d Divisor) Div(v complex128) complex128 {
+	e, f := d.DivRI(real(v), imag(v))
+	return complex(e, f)
+}
+
+// DivRI is Div on planar components: it returns the real and imaginary
+// parts of complex(vr, vi) / h.
+func (d Divisor) DivRI(vr, vi float64) (float64, float64) {
+	if !d.swap {
+		return (vr + vi*d.ratio) / d.denom, (vi - vr*d.ratio) / d.denom
+	}
+	return (vr*d.ratio + vi) / d.denom, (vi*d.ratio - vr) / d.denom
+}

@@ -5,6 +5,25 @@
 //
 // Everything operates on []complex128 in place where it safely can, and all
 // transforms are deterministic: there is no hidden global state.
+//
+// # Planar layout
+//
+// The receiver hot kernels additionally exist in planar (split re/im,
+// structure-of-arrays) form operating on the Planar buffer type: the FFT
+// butterflies (FFTPlan.ForwardPlanar/InversePlanar), the sliding-DFT
+// updates (SlidePlanar, SlideRotatedPlanar, SlideRotatedBinsPlanar and the
+// precomputed-schedule SlideRotatedTab), and FreqShiftPlanar. Two flat
+// float64 planes keep the inner loops free of the scalar-pair shuffling
+// interleaved complex values force on the compiler. Every planar kernel
+// performs the same floating-point operations in the same order as its
+// interleaved twin, so results are value-identical (only the sign of a
+// zero may differ, which compares equal); the exactness tests pin each
+// pair against each other. Convert at algorithm boundaries only —
+// Deinterleave on entry, Interleave on exit — and never inside a
+// per-symbol loop; internal/ofdm's batch segment demodulation stays
+// planar from the seed FFT through the last slide and hands planar
+// windows to internal/rx, which interleaves single values at the
+// equalizer boundary.
 package dsp
 
 import (
@@ -44,6 +63,9 @@ type FFTPlan struct {
 	fwd     []complex128 // forward twiddles e^{-i 2π k / n}, len n/2
 	inv     []complex128 // inverse twiddles e^{+i 2π k / n}, len n/2
 	scratch bool
+	// Copies of fwd/inv as adjacent (re, im) float pairs for the planar
+	// transforms (same values).
+	fwdP, invP []float64
 }
 
 // NewFFTPlan creates a plan for transforms of the given power-of-two size.
@@ -69,11 +91,15 @@ func NewFFTPlan(n int) (*FFTPlan, error) {
 	half := n / 2
 	p.fwd = make([]complex128, half)
 	p.inv = make([]complex128, half)
+	p.fwdP = make([]float64, 2*half)
+	p.invP = make([]float64, 2*half)
 	for k := 0; k < half; k++ {
 		theta := 2 * math.Pi * float64(k) / float64(n)
 		s, c := math.Sincos(theta)
 		p.fwd[k] = complex(c, -s)
 		p.inv[k] = complex(c, s)
+		p.fwdP[2*k], p.fwdP[2*k+1] = c, -s
+		p.invP[2*k], p.invP[2*k+1] = c, s
 	}
 	return p, nil
 }
@@ -240,18 +266,28 @@ func FreqShift(x []complex128, shiftBins float64, n int, startSample int) {
 }
 
 // CyclicShift returns x circularly shifted left by k samples
-// (out[i] = x[(i+k) mod n]). Negative k shifts right.
+// (out[i] = x[(i+k) mod n]). Negative k shifts right. Allocates the
+// result; hot paths should use CyclicShiftInto with a reused buffer.
 func CyclicShift(x []complex128, k int) []complex128 {
+	out := make([]complex128, len(x))
+	CyclicShiftInto(out, x, k)
+	return out
+}
+
+// CyclicShiftInto writes x circularly shifted left by k samples into dst
+// (dst[i] = x[(i+k) mod n]), as two straight copies instead of a modulo
+// per sample. dst must have the same length as x and must not alias it.
+func CyclicShiftInto(dst, x []complex128, k int) {
 	n := len(x)
-	out := make([]complex128, n)
+	if len(dst) != n {
+		panic(fmt.Sprintf("dsp: CyclicShiftInto dst length %d, src length %d", len(dst), n))
+	}
 	if n == 0 {
-		return out
+		return
 	}
 	k = ((k % n) + n) % n
-	for i := 0; i < n; i++ {
-		out[i] = x[(i+k)%n]
-	}
-	return out
+	copy(dst, x[k:])
+	copy(dst[n-k:], x[:k])
 }
 
 // Abs returns |v| via a plain sqrt. Unlike cmplx.Abs (math.Hypot) it does

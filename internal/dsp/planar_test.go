@@ -1,0 +1,296 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+// planarOf returns a planar copy of x.
+func planarOf(x []complex128) Planar {
+	p := NewPlanar(len(x))
+	Deinterleave(p, x)
+	return p
+}
+
+// requirePlanarEqual fails unless p holds exactly the values of want.
+// Planar kernels mirror their interleaved twins operation for operation,
+// so equality here is exact value equality (MaxAbsDiff == 0, which treats
+// -0 and +0 as equal — the only representation drift the planar forms can
+// introduce, from real-scalar multiplies not simulating the interleaved
+// form's multiply-by-complex(g,0) zero terms).
+func requirePlanarEqual(t *testing.T, ctx string, p Planar, want []complex128) {
+	t.Helper()
+	got := make([]complex128, p.Len())
+	Interleave(got, p)
+	if d := MaxAbsDiff(got, want); d != 0 {
+		t.Fatalf("%s: planar differs from interleaved by %g", ctx, d)
+	}
+}
+
+func TestPlanarConvertersRoundTrip(t *testing.T) {
+	r := NewRand(5)
+	x := randSignal(r, 77)
+	p := planarOf(x)
+	if p.Len() != len(x) {
+		t.Fatalf("Len = %d, want %d", p.Len(), len(x))
+	}
+	for i, v := range x {
+		if p.At(i) != v {
+			t.Fatalf("At(%d) = %v, want %v", i, p.At(i), v)
+		}
+	}
+	back := make([]complex128, len(x))
+	Interleave(back, p)
+	if d := MaxAbsDiff(back, x); d != 0 {
+		t.Fatalf("round trip drifts by %g", d)
+	}
+	p.Set(3, 2+9i)
+	if p.Re[3] != 2 || p.Im[3] != 9 {
+		t.Fatal("Set did not write both planes")
+	}
+
+	// Aliasing rule: a copied Planar value aliases the same planes.
+	q := p
+	q.Re[0] = 42
+	if p.Re[0] != 42 {
+		t.Fatal("copied Planar does not alias its planes")
+	}
+	// NewPlanar carves both planes from one backing array but they must
+	// not overlap.
+	n := NewPlanar(4)
+	for i := range n.Re {
+		n.Re[i] = 1
+	}
+	for _, v := range n.Im {
+		if v != 0 {
+			t.Fatal("NewPlanar planes overlap")
+		}
+	}
+
+	// Length mismatches must panic rather than silently truncate.
+	for name, f := range map[string]func(){
+		"deinterleave": func() { Deinterleave(NewPlanar(3), x) },
+		"interleave":   func() { Interleave(make([]complex128, 3), p) },
+		"copy":         func() { CopyPlanar(NewPlanar(3), p) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s length mismatch did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestForwardInversePlanarMatchesInterleaved(t *testing.T) {
+	r := NewRand(31)
+	for _, n := range []int{4, 64, 256} {
+		plan := MustFFTPlan(n)
+		x := randSignal(r, n)
+
+		fwd := append([]complex128(nil), x...)
+		plan.Forward(fwd)
+		pf := planarOf(x)
+		plan.ForwardPlanar(pf)
+		requirePlanarEqual(t, "forward", pf, fwd)
+
+		inv := append([]complex128(nil), x...)
+		plan.Inverse(inv)
+		pi := planarOf(x)
+		plan.InversePlanar(pi)
+		requirePlanarEqual(t, "inverse", pi, inv)
+	}
+}
+
+func TestSlidePlanarMatchesInterleaved(t *testing.T) {
+	const n = 64
+	r := NewRand(13)
+	x := randSignal(r, 6*n)
+	s := MustSlidingDFT(n)
+	bins := FFT(x[:n])
+	pbins := planarOf(bins)
+	start := 0
+	for _, m := range []int{1, 4, 3, 2, 4, 1} {
+		s.Slide(bins, x[start:start+m], x[start+n:start+n+m])
+		s.SlidePlanar(pbins, planarOf(x[start:start+m]), planarOf(x[start+n:start+n+m]))
+		start += m
+		requirePlanarEqual(t, "slide", pbins, bins)
+	}
+}
+
+func TestSlideRotatedPlanarMatchesInterleaved(t *testing.T) {
+	const n = 64
+	r := NewRand(19)
+	x := randSignal(r, 6*n)
+	s := MustSlidingDFT(n)
+	bins := FFT(x[:n])
+	CorrectTestRamp(bins, 16, n)
+	pbins := planarOf(bins)
+	sel := []int{0, 3, 17, 40, 63}
+	sparse := append([]complex128(nil), bins...)
+	psparse := planarOf(bins)
+
+	delta := 16
+	start := 0
+	for _, m := range []int{1, 4, 2, 3, 4} {
+		diffs := make([]complex128, m)
+		for j := range diffs {
+			diffs[j] = x[start+n+j] - x[start+j]
+		}
+		pd := planarOf(diffs)
+		s.SlideRotated(bins, diffs, delta)
+		s.SlideRotatedPlanar(pbins, pd, delta)
+		requirePlanarEqual(t, "rotated", pbins, bins)
+
+		s.SlideRotatedBins(sparse, diffs, delta, sel)
+		s.SlideRotatedBinsPlanar(psparse, pd, delta, sel)
+		for _, k := range sel {
+			if psparse.At(k) != sparse[k] {
+				t.Fatalf("sparse planar bin %d: %v, want %v", k, psparse.At(k), sparse[k])
+			}
+		}
+
+		delta -= m
+		start += m
+	}
+}
+
+// TestSlideRotatedTabMatchesBins pins the precomputed-schedule kernel to
+// SlideRotatedBins: identical values at the selected bins, untouched
+// elsewhere, both aliased (dst == src) and copying (dst != src).
+func TestSlideRotatedTabMatchesBins(t *testing.T) {
+	const n = 64
+	r := NewRand(23)
+	x := randSignal(r, 6*n)
+	s := MustSlidingDFT(n)
+	sel := []int{1, 2, 30, 31, 62}
+	for _, m := range []int{1, 2, 3, 4, 5} {
+		for _, delta := range []int{0, 5, 16, n, n + 3, -7} {
+			want := FFT(x[:n])
+			diffs := make([]complex128, m)
+			for j := range diffs {
+				diffs[j] = x[n+j] - x[j]
+			}
+			src := planarOf(want)
+			dst := NewPlanar(n)
+			for i := range dst.Re {
+				dst.Re[i] = 999 // sentinel: unselected bins must stay untouched
+				dst.Im[i] = -999
+			}
+			tab, err := s.SlideTabFor(delta, m, sel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.SlideRotatedTab(dst, src, planarOf(diffs), tab)
+			s.SlideRotatedBins(want, diffs, delta, sel)
+			for _, k := range sel {
+				if dst.At(k) != want[k] {
+					t.Fatalf("m=%d delta=%d bin %d: tab %v, want %v", m, delta, k, dst.At(k), want[k])
+				}
+			}
+			inSel := func(k int) bool {
+				for _, s := range sel {
+					if s == k {
+						return true
+					}
+				}
+				return false
+			}
+			for k := 0; k < n; k++ {
+				if !inSel(k) && (dst.Re[k] != 999 || dst.Im[k] != -999) {
+					t.Fatalf("m=%d delta=%d: unselected bin %d was written", m, delta, k)
+				}
+			}
+			// Aliased (in-place) form.
+			s.SlideRotatedTab(src, src, planarOf(diffs), tab)
+			for _, k := range sel {
+				if src.At(k) != want[k] {
+					t.Fatalf("m=%d delta=%d bin %d aliased: %v, want %v", m, delta, k, src.At(k), want[k])
+				}
+			}
+		}
+	}
+	// Cached tables must be shared.
+	t1, err := s.SlideTabFor(9, 4, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := s.SlideTabFor(9+n, 4, sel) // delta reduced mod n → same schedule
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Fatal("equivalent slide tables were not shared")
+	}
+	if _, err := s.SlideTabFor(1, 0, sel); err == nil {
+		t.Fatal("zero step accepted")
+	}
+	if _, err := s.SlideTabFor(1, 4, []int{n}); err == nil {
+		t.Fatal("out-of-range bin accepted")
+	}
+}
+
+func TestFreqShiftPlanarMatchesInterleaved(t *testing.T) {
+	r := NewRand(29)
+	x := randSignal(r, 1000)
+	want := append([]complex128(nil), x...)
+	FreqShift(want, 3.7, 256, 129)
+	p := planarOf(x)
+	FreqShiftPlanar(p, 3.7, 256, 129)
+	requirePlanarEqual(t, "freqshift", p, want)
+}
+
+// BenchmarkPlanarForward256 measures the planar FFT butterflies at the
+// receiver's composite-grid size (compare BenchmarkForward256).
+func BenchmarkPlanarForward256(b *testing.B) {
+	const n = 256
+	p := MustFFTPlan(n)
+	r := NewRand(1)
+	x := planarOf(randSignal(r, n))
+	buf := NewPlanar(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CopyPlanar(buf, x)
+		p.ForwardPlanar(buf)
+	}
+}
+
+// BenchmarkPlanarSlideRotatedTab measures the precomputed-schedule sparse
+// rotated slide on the receiver hot-path shape: 52 selected bins of a
+// 256-bin window, stride-4 diffs (compare BenchmarkSlidingDFTSlide4,
+// which updates all 256 bins).
+func BenchmarkPlanarSlideRotatedTab(b *testing.B) {
+	const n = 256
+	s := MustSlidingDFT(n)
+	r := NewRand(1)
+	x := randSignal(r, 2*n)
+	bins := planarOf(FFT(x[:n]))
+	diffs := planarOf(x[n : n+4])
+	sel := make([]int, 0, 52)
+	for k := 38; k <= 90; k++ {
+		if k != 64 {
+			sel = append(sel, k)
+		}
+	}
+	tab, err := s.SlideTabFor(60, 4, sel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SlideRotatedTab(bins, bins, diffs, tab)
+	}
+}
+
+// CorrectTestRamp applies the rotated-domain ramp used by the SlideRotated
+// tests: bins[k] *= e^{+i 2π k delta / n}.
+func CorrectTestRamp(bins []complex128, delta, n int) {
+	for k := range bins {
+		s, c := math.Sincos(2 * math.Pi * float64(k) * float64(delta) / float64(n))
+		bins[k] *= complex(c, s)
+	}
+}

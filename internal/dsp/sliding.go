@@ -28,6 +28,13 @@ import (
 type SlidingDFT struct {
 	n int
 	w []complex128 // w[r] = e^{-i 2π r / n}, full resolution
+	// wP holds the same twiddles as adjacent (re, im) float pairs — the
+	// layout the planar kernels read, one cache line per random index
+	// instead of two gathers from split tables.
+	wP []float64
+	// tabs caches SlideTabFor schedules: tabKey -> *SlideTab. Hash
+	// collisions are resolved by comparing the stored bin selection.
+	tabs sync.Map
 }
 
 // NewSlidingDFT returns a sliding-DFT kernel for windows of length n.
@@ -36,7 +43,13 @@ func NewSlidingDFT(n int) (*SlidingDFT, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("dsp: SlidingDFT size %d must be positive", n)
 	}
-	return &SlidingDFT{n: n, w: twiddleTable(n)}, nil
+	s := &SlidingDFT{n: n, w: twiddleTable(n)}
+	s.wP = make([]float64, 2*n)
+	for r, v := range s.w {
+		s.wP[2*r] = real(v)
+		s.wP[2*r+1] = imag(v)
+	}
+	return s, nil
 }
 
 // MustSlidingDFT is NewSlidingDFT but panics on error.

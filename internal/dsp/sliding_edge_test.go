@@ -1,0 +1,102 @@
+package dsp
+
+import "testing"
+
+// TestSlideRotatedBinsEdgeCases covers the selection-driven corner cases
+// of the sparse rotated slide: an empty selection is a no-op, the full-bin
+// selection is exactly equivalent to SlideRotated, and delta values at or
+// beyond the window size reduce mod N (including negative deltas).
+func TestSlideRotatedBinsEdgeCases(t *testing.T) {
+	const n = 64
+	r := NewRand(37)
+	x := randSignal(r, 3*n)
+	s := MustSlidingDFT(n)
+	diffs := make([]complex128, 3)
+	for j := range diffs {
+		diffs[j] = x[n+j] - x[j]
+	}
+
+	// Empty selection: no bin may change.
+	bins := FFT(x[:n])
+	before := append([]complex128(nil), bins...)
+	s.SlideRotatedBins(bins, diffs, 7, nil)
+	s.SlideRotatedBins(bins, diffs, 7, []int{})
+	if d := MaxAbsDiff(bins, before); d != 0 {
+		t.Fatalf("empty selection changed bins by %g", d)
+	}
+
+	// Full-bin selection ≡ SlideRotated, bit for bit.
+	full := make([]int, n)
+	for k := range full {
+		full[k] = k
+	}
+	want := append([]complex128(nil), before...)
+	s.SlideRotated(want, diffs, 7)
+	s.SlideRotatedBins(bins, diffs, 7, full)
+	for k := range bins {
+		if bins[k] != want[k] {
+			t.Fatalf("full selection bin %d: %v, want %v", k, bins[k], want[k])
+		}
+	}
+
+	// Delta wraps: δ, δ±N and δ+2N must produce identical updates, and
+	// δ = N must behave as δ = 0.
+	for _, base := range []int{0, 1, n - 1} {
+		ref := append([]complex128(nil), before...)
+		s.SlideRotatedBins(ref, diffs, base, full)
+		for _, delta := range []int{base + n, base + 2*n, base - n} {
+			got := append([]complex128(nil), before...)
+			s.SlideRotatedBins(got, diffs, delta, full)
+			for k := range got {
+				if got[k] != ref[k] {
+					t.Fatalf("delta %d bin %d: %v, want %v (δ=%d)", delta, k, got[k], ref[k], base)
+				}
+			}
+		}
+	}
+
+	// m = 0 is a no-op even with a selection; m > N panics.
+	bins2 := append([]complex128(nil), before...)
+	s.SlideRotatedBins(bins2, nil, 5, full)
+	if d := MaxAbsDiff(bins2, before); d != 0 {
+		t.Fatalf("zero-step slide changed bins by %g", d)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("oversized step did not panic")
+			}
+		}()
+		s.SlideRotatedBins(bins2, make([]complex128, n+1), 5, full)
+	}()
+}
+
+func TestCyclicShiftInto(t *testing.T) {
+	r := NewRand(41)
+	x := randSignal(r, 17)
+	for _, k := range []int{0, 1, 5, 16, 17, 18, -1, -17, -40, 200} {
+		want := CyclicShift(x, k)
+		got := make([]complex128, len(x))
+		CyclicShiftInto(got, x, k)
+		if d := MaxAbsDiff(got, want); d != 0 {
+			t.Fatalf("k=%d: CyclicShiftInto differs from CyclicShift by %g", k, d)
+		}
+		// Reference semantics: out[i] = x[(i+k) mod n].
+		for i := range got {
+			j := ((i+k)%len(x) + len(x)) % len(x)
+			if got[i] != x[j] {
+				t.Fatalf("k=%d: out[%d] = %v, want x[%d] = %v", k, i, got[i], j, x[j])
+			}
+		}
+	}
+	// Empty input and length mismatch.
+	CyclicShiftInto(nil, nil, 3)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("length mismatch did not panic")
+			}
+		}()
+		CyclicShiftInto(make([]complex128, 3), x, 1)
+	}()
+}

@@ -119,8 +119,16 @@ type LinkConfig struct {
 	StrideDivisor int
 	// Receivers lists the arms to decode each packet with.
 	Receivers []ReceiverKind
-	// Workers bounds the parallelism (default: GOMAXPROCS).
+	// Workers bounds the packet-level parallelism (default: GOMAXPROCS).
 	Workers int
+	// IntraWorkers bounds the intra-packet parallelism: the number of
+	// goroutines rx.DecodeDataParallel fans one packet's OFDM symbols
+	// across (per decodable arm). 1 forces the serial decode; 0 picks
+	// GOMAXPROCS / packet-workers, i.e. the cores packet-level sharding
+	// leaves idle — so a fully occupied sweep stays serial per packet
+	// while a single-packet (or worker-starved) run uses the spare cores
+	// to cut latency. Decisions are bit-identical at any setting.
+	IntraWorkers int
 	// CoreTweak, when set, adjusts the CPRecycle configuration of the
 	// CPRecycle* arms (used by the ablation benches to sweep sphere
 	// radius, bandwidth selector, pooling mode, …).
@@ -178,8 +186,9 @@ func segmentPlanFor(g ofdm.Grid, num int, ch *channel.Multipath, strideDiv int) 
 // A PSRPlan is immutable and safe for concurrent RunPacket/RunRange calls
 // from multiple goroutines.
 type PSRPlan struct {
-	cfg  LinkConfig
-	segs []int
+	cfg   LinkConfig
+	segs  []int
+	intra int // resolved intra-packet decode workers (≥ 1)
 }
 
 // PlanPSR validates cfg, fills defaults and computes the segment plan.
@@ -203,7 +212,24 @@ func PlanPSR(cfg LinkConfig) (*PSRPlan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &PSRPlan{cfg: cfg, segs: segs}, nil
+	intra := cfg.IntraWorkers
+	if intra <= 0 {
+		// Auto: hand each packet the cores that packet-level sharding
+		// leaves idle (when packets outnumber cores there are none and
+		// the per-packet decode stays serial).
+		pw := cfg.Workers
+		if pw <= 0 {
+			pw = runtime.GOMAXPROCS(0)
+		}
+		if pw > cfg.Packets {
+			pw = cfg.Packets
+		}
+		intra = runtime.GOMAXPROCS(0) / pw
+		if intra < 1 {
+			intra = 1
+		}
+	}
+	return &PSRPlan{cfg: cfg, segs: segs, intra: intra}, nil
 }
 
 // Config returns the plan's normalised configuration.
@@ -396,9 +422,15 @@ func (p *PSRPlan) RunPacket(pkt int, ok []bool) error {
 		}
 		var res rx.Result
 		var err error
-		if soft {
+		switch {
+		case soft:
 			res, err = rx.DecodeDataSoft(f, cfg.MCS, len(psdu), decider)
-		} else {
+		case p.intra > 1:
+			// Fan this packet's symbols across the idle cores; deciders
+			// whose state forbids forking fall back to serial inside,
+			// so results are bit-identical either way.
+			res, err = rx.DecodeDataParallel(f, cfg.MCS, len(psdu), decider, p.intra)
+		default:
 			res, err = rx.DecodeData(f, cfg.MCS, len(psdu), decider)
 		}
 		if err != nil {

@@ -3,6 +3,7 @@ package ofdm
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sync"
 
 	"repro/internal/dsp"
@@ -120,17 +121,28 @@ func (m *Modulator) GainForUnitPower(nOccupied int) float64 {
 }
 
 // Demodulator computes FFT windows over a received stream on a Grid,
-// including the multi-segment windows CPRecycle uses. The batch Segments
-// method computes all P windows of a symbol with one seed FFT plus
-// incremental sliding-DFT updates, and per-delta phase-ramp tables are
-// cached so the Eq. 2 correction costs one table multiply per bin instead
-// of a Sincos. Not safe for concurrent use.
+// including the multi-segment windows CPRecycle uses. The batch
+// SegmentsPlanar/SegmentsOnPlanar methods compute all P windows of a
+// symbol with one seed FFT plus incremental sliding-DFT updates — running
+// entirely on planar (split re/im) buffers, with per-slide twiddle
+// schedules (dsp.SlideTab) and cached Eq. 2 phase-ramp tables — and the
+// interleaved Segments/SegmentsOn forms are thin converting wrappers over
+// the same planar core. Not safe for concurrent use.
 type Demodulator struct {
-	grid  Grid
-	plan  *dsp.FFTPlan
-	sdft  *dsp.SlidingDFT
-	diffs []complex128         // scaled sample-difference scratch for slides
-	ramps map[int][]complex128 // delta -> e^{+i 2π k delta / N} table
+	grid   Grid
+	plan   *dsp.FFTPlan
+	sdft   *dsp.SlidingDFT
+	diffs  dsp.Planar        // scaled sample-difference scratch for slides
+	rampsP map[int][]float64 // Eq. 2 ramp tables as (re, im) float pairs
+	iw     []dsp.Planar      // planar scratch backing the interleaved wrappers
+
+	// Memoised twiddle schedules for the current (offsets, sel) pair:
+	// receivers advance the same segment plan every symbol, so the
+	// per-slide tables resolve through the process-wide cache once per
+	// plan change instead of once per slide.
+	tabOffsets []int
+	tabSel     []int
+	tabSeq     []*dsp.SlideTab // tabSeq[i-1] serves the slide to offsets[i]
 }
 
 // NewDemodulator returns a demodulator for the grid. The FFT plan comes
@@ -149,10 +161,9 @@ func NewDemodulator(g Grid) (*Demodulator, error) {
 		return nil, err
 	}
 	return &Demodulator{
-		grid:  g,
-		plan:  p,
-		sdft:  sd,
-		ramps: make(map[int][]complex128),
+		grid: g,
+		plan: p,
+		sdft: sd,
 	}, nil
 }
 
@@ -209,13 +220,23 @@ func (d *Demodulator) Standard(rx []complex128, symStart int) ([]complex128, err
 // at the earliest offset plus an O(N·stride) sliding-DFT update per
 // further window, instead of P independent O(N log N) transforms.
 //
-// The windows are written into dst, whose slices are reused when they have
-// the right length and allocated otherwise; the (possibly grown) slice of
-// windows is returned. Each window matches Segment's output: 1/N scaled
-// and Eq. 2 phase-corrected, in bin order. Passing dst from a previous
-// call makes the batch allocation-free.
+// The batch runs on the planar core (SegmentsPlanar) and interleaves the
+// results into dst, whose slices are reused when they have the right
+// length and allocated otherwise; the (possibly grown) slice of windows is
+// returned. Each window matches the retired per-window Segment's output:
+// 1/N scaled and Eq. 2 phase-corrected, in bin order. Passing dst from a
+// previous call makes the batch allocation-free.
 func (d *Demodulator) Segments(rx []complex128, symStart int, offsets []int, dst [][]complex128) ([][]complex128, error) {
-	return d.segments(rx, symStart, offsets, dst, nil)
+	var err error
+	d.iw, err = d.segmentsPlanar(rx, symStart, offsets, nil, d.iw)
+	if err != nil {
+		return nil, err
+	}
+	dst = growWindows(dst, len(offsets), d.grid.NFFT)
+	for i := range offsets {
+		dsp.Interleave(dst[i], d.iw[i])
+	}
+	return dst, nil
 }
 
 // SegmentsOn is Segments restricted to a fixed set of FFT bins: the first
@@ -225,6 +246,38 @@ func (d *Demodulator) Segments(rx []complex128, symStart int, offsets []int, dst
 // (e.g. the 52 used 802.11 subcarriers out of a 256-bin composite grid)
 // skip most of the per-slide work this way.
 func (d *Demodulator) SegmentsOn(rx []complex128, symStart int, offsets, sel []int, dst [][]complex128) ([][]complex128, error) {
+	var err error
+	d.iw, err = d.SegmentsOnPlanar(rx, symStart, offsets, sel, d.iw)
+	if err != nil {
+		return nil, err
+	}
+	dst = growWindows(dst, len(offsets), d.grid.NFFT)
+	dsp.Interleave(dst[0], d.iw[0])
+	for i := 1; i < len(offsets); i++ {
+		out, w := dst[i], d.iw[i]
+		for _, k := range sel {
+			out[k] = complex(w.Re[k], w.Im[k])
+		}
+	}
+	return dst, nil
+}
+
+// SegmentsPlanar is the planar-native form of Segments: the seed FFT, the
+// Eq. 2 ramp and every sliding-DFT update run on split re/im planes, and
+// the windows are returned as planar buffers (reused from dst when
+// correctly sized). Values are identical to Segments — the planar kernels
+// mirror the interleaved arithmetic operation for operation.
+func (d *Demodulator) SegmentsPlanar(rx []complex128, symStart int, offsets []int, dst []dsp.Planar) ([]dsp.Planar, error) {
+	return d.segmentsPlanar(rx, symStart, offsets, nil, dst)
+}
+
+// SegmentsOnPlanar is SegmentsPlanar restricted to the listed FFT bins:
+// the seed window is complete, slid windows are valid at the selected bins
+// only — unselected bins hold whatever the reused buffer previously held
+// (the interleaved SegmentsOn wrapper shares this contract) — and the
+// batch therefore touches just len(sel) bins per slide. Receivers must
+// read slid windows only at selected bins.
+func (d *Demodulator) SegmentsOnPlanar(rx []complex128, symStart int, offsets, sel []int, dst []dsp.Planar) ([]dsp.Planar, error) {
 	if sel == nil {
 		return nil, fmt.Errorf("ofdm: SegmentsOn needs a bin selection")
 	}
@@ -233,10 +286,51 @@ func (d *Demodulator) SegmentsOn(rx []complex128, symStart int, offsets, sel []i
 			return nil, fmt.Errorf("ofdm: selected bin %d outside [0,%d)", k, d.grid.NFFT)
 		}
 	}
-	return d.segments(rx, symStart, offsets, dst, sel)
+	return d.segmentsPlanar(rx, symStart, offsets, sel, dst)
 }
 
-func (d *Demodulator) segments(rx []complex128, symStart int, offsets []int, dst [][]complex128, sel []int) ([][]complex128, error) {
+// growWindows sizes a reusable [][]complex128 window set.
+func growWindows(dst [][]complex128, count, n int) [][]complex128 {
+	if cap(dst) >= count {
+		dst = dst[:count] // window buffers beyond the old length are reused below
+	} else {
+		grown := make([][]complex128, count)
+		copy(grown, dst[:cap(dst)])
+		dst = grown
+	}
+	for i := range dst {
+		if len(dst[i]) != n {
+			dst[i] = make([]complex128, n)
+		}
+	}
+	return dst
+}
+
+// slideTabs returns the memoised per-slide twiddle schedules for
+// (offsets, sel), resolving them through the process-wide cache only when
+// the plan or selection changed since the last batch.
+func (d *Demodulator) slideTabs(offsets, sel []int) ([]*dsp.SlideTab, error) {
+	if slices.Equal(d.tabOffsets, offsets) && slices.Equal(d.tabSel, sel) {
+		return d.tabSeq, nil
+	}
+	// Invalidate the memo key before touching tabSeq so a failed rebuild
+	// can never be served to a later call under the previous key.
+	d.tabOffsets = d.tabOffsets[:0]
+	d.tabSel = d.tabSel[:0]
+	d.tabSeq = d.tabSeq[:0]
+	for i := 1; i < len(offsets); i++ {
+		tab, err := d.sdft.SlideTabFor(d.grid.CP-offsets[i-1], offsets[i]-offsets[i-1], sel)
+		if err != nil {
+			return nil, err
+		}
+		d.tabSeq = append(d.tabSeq, tab)
+	}
+	d.tabOffsets = append(d.tabOffsets, offsets...)
+	d.tabSel = append(d.tabSel, sel...)
+	return d.tabSeq, nil
+}
+
+func (d *Demodulator) segmentsPlanar(rx []complex128, symStart int, offsets, sel []int, dst []dsp.Planar) ([]dsp.Planar, error) {
 	if len(offsets) == 0 {
 		return nil, fmt.Errorf("ofdm: Segments needs at least one offset")
 	}
@@ -256,47 +350,59 @@ func (d *Demodulator) segments(rx []complex128, symStart int, offsets []int, dst
 		return nil, fmt.Errorf("ofdm: windows [%d,%d) outside rx of %d samples", first, last+n, len(rx))
 	}
 
+	var tabs []*dsp.SlideTab
+	if sel != nil && len(offsets) > 1 {
+		var err error
+		if tabs, err = d.slideTabs(offsets, sel); err != nil {
+			return nil, err
+		}
+	}
+
 	if cap(dst) >= len(offsets) {
 		dst = dst[:len(offsets)] // window buffers beyond the old length are reused below
 	} else {
-		grown := make([][]complex128, len(offsets))
+		grown := make([]dsp.Planar, len(offsets))
 		copy(grown, dst[:cap(dst)])
 		dst = grown
 	}
 	for i := range dst {
-		if len(dst[i]) != n {
-			dst[i] = make([]complex128, n)
+		if dst[i].Len() != n {
+			dst[i] = dsp.NewPlanar(n)
 		}
 	}
 
 	// Seed: full transform of the earliest window, scaled and
-	// phase-corrected exactly like Segment (bit-identical output).
+	// phase-corrected exactly like the retired per-window path
+	// (bit-identical output).
 	seed := dst[0]
-	copy(seed, rx[first:first+n])
-	d.plan.Forward(seed)
-	dsp.Scale(seed, 1/float64(n))
-	d.correctSegmentPhase(seed, d.grid.CP-offsets[0])
+	dsp.Deinterleave(seed, rx[first:first+n])
+	d.plan.ForwardPlanar(seed)
+	seed.Scale(1 / float64(n))
+	d.correctSegmentPhasePlanar(seed, d.grid.CP-offsets[0])
 
 	// Each further window advances the previous one in the phase-corrected
 	// domain, where the window shift and the ramp slope decrement cancel:
-	// m scaled multiply-adds per bin and nothing else (dsp.SlideRotated).
-	scale := complex(1/float64(n), 0)
+	// m scaled multiply-adds per bin and nothing else. With a selection the
+	// update runs off the precomputed twiddle schedule, fused with the
+	// inter-window copy; without one it is the full planar rotated slide.
+	scale := 1 / float64(n)
 	for i := 1; i < len(offsets); i++ {
 		m := offsets[i] - offsets[i-1]
 		at := symStart + offsets[i-1]
-		if cap(d.diffs) < m {
-			d.diffs = make([]complex128, m)
+		if d.diffs.Len() < m {
+			d.diffs = dsp.NewPlanar(m)
 		}
-		diffs := d.diffs[:m]
+		diffs := dsp.Planar{Re: d.diffs.Re[:m], Im: d.diffs.Im[:m]}
 		for j := 0; j < m; j++ {
-			diffs[j] = (rx[at+n+j] - rx[at+j]) * scale
+			in, out := rx[at+n+j], rx[at+j]
+			diffs.Re[j] = (real(in) - real(out)) * scale
+			diffs.Im[j] = (imag(in) - imag(out)) * scale
 		}
-		out := dst[i]
-		copy(out, dst[i-1])
 		if sel != nil {
-			d.sdft.SlideRotatedBins(out, diffs, d.grid.CP-offsets[i-1], sel)
+			d.sdft.SlideRotatedTab(dst[i], dst[i-1], diffs, tabs[i-1])
 		} else {
-			d.sdft.SlideRotated(out, diffs, d.grid.CP-offsets[i-1])
+			dsp.CopyPlanar(dst[i], dst[i-1])
+			d.sdft.SlideRotatedPlanar(dst[i], diffs, d.grid.CP-offsets[i-1])
 		}
 	}
 	return dst, nil
@@ -309,6 +415,26 @@ type rampKey struct{ n, delta int }
 // depend only on (NFFT, delta), and receivers reuse the same handful of
 // deltas for every symbol of every packet.
 var rampCache sync.Map // rampKey -> []complex128
+
+// rampPairedCache mirrors rampCache for the planar form of the tables:
+// the same values as (re, im) float pairs, shared process-wide so
+// per-frame (and per-fork) demodulators never rebuild them.
+var rampPairedCache sync.Map // rampKey -> []float64
+
+// rampPairedFor returns the cached (re, im)-paired copy of rampFor(n, delta).
+func rampPairedFor(n, delta int) []float64 {
+	key := rampKey{n, delta}
+	if v, ok := rampPairedCache.Load(key); ok {
+		return v.([]float64)
+	}
+	src := rampFor(n, delta)
+	t := make([]float64, 2*len(src))
+	for k, r := range src {
+		t[2*k], t[2*k+1] = real(r), imag(r)
+	}
+	v, _ := rampPairedCache.LoadOrStore(key, t)
+	return v.([]float64)
+}
 
 // rampFor returns the cached table e^{+i 2π k delta / N} for k in [0, N).
 // Entries are computed exactly as CorrectSegmentPhase does, so applying
@@ -328,18 +454,27 @@ func rampFor(n, delta int) []complex128 {
 	return v.([]complex128)
 }
 
-// correctSegmentPhase applies the cached Eq. 2 ramp for delta to bins.
-func (d *Demodulator) correctSegmentPhase(bins []complex128, delta int) {
-	if delta == 0 || len(bins) == 0 {
+// correctSegmentPhasePlanar applies the cached Eq. 2 ramp for delta to a
+// planar window, with the complex multiply expanded to the same float
+// operations as the interleaved CorrectSegmentPhase.
+func (d *Demodulator) correctSegmentPhasePlanar(bins dsp.Planar, delta int) {
+	if delta == 0 || bins.Len() == 0 {
 		return
 	}
-	t := d.ramps[delta]
+	t := d.rampsP[delta]
 	if t == nil {
-		t = rampFor(d.grid.NFFT, delta)
-		d.ramps[delta] = t
+		t = rampPairedFor(d.grid.NFFT, delta)
+		if d.rampsP == nil {
+			d.rampsP = make(map[int][]float64)
+		}
+		d.rampsP[delta] = t
 	}
-	for k := range bins {
-		bins[k] *= t[k]
+	re, im := bins.Re, bins.Im
+	for k := range re {
+		tr, ti := t[2*k], t[2*k+1]
+		br, bi := re[k], im[k]
+		re[k] = br*tr - bi*ti
+		im[k] = br*ti + bi*tr
 	}
 }
 

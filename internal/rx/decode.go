@@ -75,6 +75,13 @@ func DecodeData(f *Frame, mcs wifi.MCS, psduLen int, decider SymbolDecider) (Res
 		coded = append(coded, il.Deinterleave(blk)...)
 	}
 
+	return decodeCodedData(coded, mcs, psduLen, nSyms)
+}
+
+// decodeCodedData runs the post-decision half of the DATA pipeline on the
+// deinterleaved coded bit stream: depuncture, anchored Viterbi,
+// descramble, FCS. Shared by the serial and parallel decode paths.
+func decodeCodedData(coded []byte, mcs wifi.MCS, psduLen, nSyms int) (Result, error) {
 	nInfo := nSyms * mcs.Ndbps
 	vit := coding.NewViterbi()
 	// The DATA stream's scrambled pad bits follow the six tail bits, so the

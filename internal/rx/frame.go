@@ -14,10 +14,13 @@ import (
 // It is the common substrate of every receiver variant in the repository.
 //
 // Multi-segment observation methods (ObserveSegments, ObservePreambleAll)
-// run on the demodulator's batch sliding-DFT path and return buffers owned
-// by the Frame that are reused by the next call on the same Frame; copy
-// anything that must outlive the next observation. A Frame is not safe for
-// concurrent use.
+// run on the demodulator's planar batch sliding-DFT path — split re/im
+// windows from the seed FFT to the last slide, interleaved back to
+// complex128 per value at the equalizer boundary — and return buffers
+// owned by the Frame that are reused by the next call on the same Frame;
+// copy anything that must outlive the next observation. A Frame is not
+// safe for concurrent use; parallel symbol decoders give each worker its
+// own view via ScratchFork.
 type Frame struct {
 	grid    ofdm.Grid
 	samples []complex128
@@ -27,12 +30,26 @@ type Frame struct {
 	scs     []int        // data subcarriers
 	pilots  []int
 
+	// Immutable per-frame lookup tables (shared with ScratchFork views):
+	// the FFT bin and channel estimate of each data/pilot subcarrier, so
+	// the per-symbol loops skip the Bin() modulo and Ĥ gather.
+	selBins   []int // FFT bins of the 52 used subcarriers, for sparse slides
+	dataBins  []int // FFT bin per data subcarrier (scs order)
+	pilotBins []int // FFT bin per pilot subcarrier (pilots order)
+	hData     []complex128
+	hPilot    []complex128
+	// Precomputed Smith dividers for the equalisation by Ĥ (bit-identical
+	// to dividing by hData/hPilot; see dsp.Divisor).
+	hDataDiv  []dsp.Divisor
+	hPilotDiv []dsp.Divisor
+
 	// Reused observation scratch (see type comment).
-	segBins [][]complex128 // batch demodulation windows
-	obs     []Observation  // equalised observations handed to callers
-	preSeg  [][2][]complex128
-	oneOff  [1]int // single-offset scratch for ObserveSymbol
-	selBins []int  // FFT bins of the 52 used subcarriers, for sparse slides
+	segP   []dsp.Planar  // batch planar demodulation windows
+	obs    []Observation // equalised observations handed to callers
+	preSeg [][2][]complex128
+	oneOff [1]int       // single-offset scratch for ObserveSymbol
+	pconj  []complex128 // per-call conjugated pilot references
+	pref   []complex128 // per-call pilot references
 }
 
 // NewFrame creates a frame view and estimates the channel from the two LTF
@@ -62,10 +79,40 @@ func NewFrame(g ofdm.Grid, samples []complex128, preambleStart int) (*Frame, err
 		}
 		f.selBins = append(f.selBins, g.Bin(sc))
 	}
+	for _, sc := range f.scs {
+		f.dataBins = append(f.dataBins, g.Bin(sc))
+	}
+	for _, sc := range f.pilots {
+		f.pilotBins = append(f.pilotBins, g.Bin(sc))
+	}
+	f.pconj = make([]complex128, len(f.pilots))
+	f.pref = make([]complex128, len(f.pilots))
 	if err := f.estimateChannel(); err != nil {
 		return nil, err
 	}
 	return f, nil
+}
+
+// ScratchFork returns a view of the frame for one worker goroutine of a
+// parallel symbol decode: it shares every immutable input — the sample
+// stream, grid, channel estimate and bin tables — but owns its demodulator
+// and observation scratch, so observations on the fork never race with (or
+// clobber the buffers of) observations on the parent or on sibling forks.
+// The shared state is read-only after NewFrame, making concurrent
+// observations on different forks safe.
+func (f *Frame) ScratchFork() (*Frame, error) {
+	d, err := ofdm.NewDemodulator(f.grid)
+	if err != nil {
+		return nil, err
+	}
+	g := *f
+	g.demod = d
+	g.segP = nil
+	g.obs = nil
+	g.preSeg = nil
+	g.pconj = make([]complex128, len(f.pilots))
+	g.pref = make([]complex128, len(f.pilots))
+	return &g, nil
 }
 
 // estimateChannel averages the LTF observations over both training symbols
@@ -91,15 +138,15 @@ func (f *Frame) estimateChannel() error {
 	n := 0
 	for _, s := range starts {
 		var err error
-		f.segBins, err = f.demod.SegmentsOn(f.samples, f.start+s, offsets, f.selBins, f.segBins)
+		f.segP, err = f.demod.SegmentsOnPlanar(f.samples, f.start+s, offsets, f.selBins, f.segP)
 		if err != nil {
 			return fmt.Errorf("rx: channel estimation: %w", err)
 		}
-		for _, bins := range f.segBins[:len(offsets)] {
+		for _, w := range f.segP[:len(offsets)] {
 			// Only the selected (used-subcarrier) bins are valid in slid
 			// windows — and only they feed the estimate below.
 			for _, i := range f.selBins {
-				sum[i] += bins[i]
+				sum[i] += complex(w.Re[i], w.Im[i])
 			}
 			n++
 		}
@@ -129,6 +176,18 @@ func (f *Frame) estimateChannel() error {
 			cnt++
 		}
 		f.h[f.grid.Bin(sc)] = acc / complex(float64(cnt), 0)
+	}
+	f.hData = make([]complex128, len(f.scs))
+	f.hDataDiv = make([]dsp.Divisor, len(f.scs))
+	for i, b := range f.dataBins {
+		f.hData[i] = f.h[b]
+		f.hDataDiv[i] = dsp.NewDivisor(f.h[b])
+	}
+	f.hPilot = make([]complex128, len(f.pilots))
+	f.hPilotDiv = make([]dsp.Divisor, len(f.pilots))
+	for i, b := range f.pilotBins {
+		f.hPilot[i] = f.h[b]
+		f.hPilotDiv[i] = dsp.NewDivisor(f.h[b])
 	}
 	return nil
 }
@@ -176,6 +235,16 @@ type Observation struct {
 // polarity counter.
 func symbolCounter(symIdx int) int { return symIdx + 1 }
 
+// pilotRefs fills the per-call pilot reference tables for a symbol index:
+// pref[p] is the expected pilot value, pconj[p] its conjugate.
+func (f *Frame) pilotRefs(ctr int) {
+	for p, sc := range f.pilots {
+		v := ofdm.PilotValue(ctr, sc)
+		f.pref[p] = v
+		f.pconj[p] = cmplx.Conj(v)
+	}
+}
+
 // ObserveSymbol demodulates the FFT segment starting cpOffset samples into
 // the CP of symbol symIdx (-1 for SIGNAL, ≥0 for data), corrects the
 // segment phase ramp (Eq. 2), equalises by Ĥ, and removes the common phase
@@ -186,34 +255,32 @@ func (f *Frame) ObserveSymbol(symIdx, cpOffset int) (Observation, error) {
 	symStart := f.DataSymbolStart(symIdx) // DataSymbolStart(-1) is the SIGNAL symbol
 	f.oneOff[0] = cpOffset                // validated by the demodulator
 	var err error
-	f.segBins, err = f.demod.Segments(f.samples, symStart, f.oneOff[:], f.segBins)
+	f.segP, err = f.demod.SegmentsPlanar(f.samples, symStart, f.oneOff[:], f.segP)
 	if err != nil {
 		return Observation{}, err
 	}
-	return f.observationFromBins(f.segBins[0], symIdx)
+	return f.observationFromBins(f.segP[0], symIdx)
 }
 
-func (f *Frame) observationFromBins(bins []complex128, symIdx int) (Observation, error) {
+func (f *Frame) observationFromBins(w dsp.Planar, symIdx int) (Observation, error) {
 	// Equalise pilots and estimate common phase error.
 	var acc complex128
-	ctr := symbolCounter(symIdx)
-	for _, sc := range f.pilots {
-		h := f.h[f.grid.Bin(sc)]
-		if h == 0 {
+	f.pilotRefs(symbolCounter(symIdx))
+	for p, bin := range f.pilotBins {
+		if f.hPilot[p] == 0 {
 			continue
 		}
-		acc += (bins[f.grid.Bin(sc)] / h) * cmplx.Conj(ofdm.PilotValue(ctr, sc))
+		acc += f.hPilotDiv[p].Div(complex(w.Re[bin], w.Im[bin])) * f.pconj[p]
 	}
 	cpe := cmplx.Phase(acc)
 	rot := cmplx.Exp(complex(0, -cpe))
 
 	obs := Observation{Data: f.observationScratch(1)[0].Data, CPE: cpe}
-	for i, sc := range f.scs {
-		h := f.h[f.grid.Bin(sc)]
-		if h == 0 {
-			return Observation{}, fmt.Errorf("rx: no channel estimate at subcarrier %d", sc)
+	for i, bin := range f.dataBins {
+		if f.hData[i] == 0 {
+			return Observation{}, fmt.Errorf("rx: no channel estimate at subcarrier %d", f.scs[i])
 		}
-		obs.Data[i] = bins[f.grid.Bin(sc)] / h * rot
+		obs.Data[i] = f.hDataDiv[i].Div(complex(w.Re[bin], w.Im[bin])) * rot
 	}
 	return obs, nil
 }
@@ -229,51 +296,51 @@ func (f *Frame) DataSubcarrierCount() int { return len(f.scs) }
 // suppresses it — the multi-window receivers get the full benefit of the
 // recycled prefix on their phase tracking too.
 //
-// The windows are demodulated in one batch (seed FFT + sliding-DFT
-// updates) and the returned observations live in Frame-owned scratch that
-// the next multi-segment observation on this Frame reuses; copy anything
-// that must be retained.
+// The windows are demodulated in one planar batch (seed FFT + sliding-DFT
+// updates on split re/im planes, converted to complex128 value by value at
+// this equalizer boundary) and the returned observations live in
+// Frame-owned scratch that the next multi-segment observation on this
+// Frame reuses; copy anything that must be retained.
 func (f *Frame) ObserveSegments(symIdx int, segments []int) ([]Observation, error) {
 	symStart := f.DataSymbolStart(symIdx)
 	var err error
-	f.segBins, err = f.demod.SegmentsOn(f.samples, symStart, segments, f.selBins, f.segBins)
+	f.segP, err = f.demod.SegmentsOnPlanar(f.samples, symStart, segments, f.selBins, f.segP)
 	if err != nil {
 		return nil, err
 	}
-	binsPerSeg := f.segBins
-	ctr := symbolCounter(symIdx)
+	f.pilotRefs(symbolCounter(symIdx))
 	var acc complex128
-	for _, bins := range binsPerSeg {
-		for _, sc := range f.pilots {
-			h := f.h[f.grid.Bin(sc)]
-			if h == 0 {
+	for _, w := range f.segP[:len(segments)] {
+		for p, bin := range f.pilotBins {
+			if f.hPilot[p] == 0 {
 				continue
 			}
-			acc += (bins[f.grid.Bin(sc)] / h) * cmplx.Conj(ofdm.PilotValue(ctr, sc))
+			acc += f.hPilotDiv[p].Div(complex(w.Re[bin], w.Im[bin])) * f.pconj[p]
 		}
 	}
 	cpe := cmplx.Phase(acc)
 	rot := cmplx.Exp(complex(0, -cpe))
 	out := f.observationScratch(len(segments))
-	for i, bins := range binsPerSeg {
+	for i := range out {
+		w := f.segP[i]
+		wre, wim := w.Re, w.Im
 		obs := &out[i]
 		obs.CPE = cpe
 		obs.PilotDev = 0
-		for j, sc := range f.scs {
-			h := f.h[f.grid.Bin(sc)]
-			if h == 0 {
-				return nil, fmt.Errorf("rx: no channel estimate at subcarrier %d", sc)
+		data := obs.Data
+		for j, bin := range f.dataBins {
+			if f.hData[j] == 0 {
+				return nil, fmt.Errorf("rx: no channel estimate at subcarrier %d", f.scs[j])
 			}
-			obs.Data[j] = bins[f.grid.Bin(sc)] / h * rot
+			data[j] = f.hDataDiv[j].Div(complex(wre[bin], wim[bin])) * rot
 		}
 		var pdev float64
 		var np int
-		for _, sc := range f.pilots {
-			h := f.h[f.grid.Bin(sc)]
-			if h == 0 {
+		for p, bin := range f.pilotBins {
+			if f.hPilot[p] == 0 {
 				continue
 			}
-			pdev += dsp.Abs(bins[f.grid.Bin(sc)]/h*rot - ofdm.PilotValue(ctr, sc))
+			pdev += dsp.Abs(f.hPilotDiv[p].Div(complex(wre[bin], wim[bin]))*rot - f.pref[p])
 			np++
 		}
 		if np > 0 {
@@ -327,18 +394,17 @@ func (f *Frame) ObservePreambleAll(segments []int) ([][2][]complex128, error) {
 	starts := ofdm.LTFSymbolStarts(f.grid)
 	for s, st := range starts {
 		var err error
-		f.segBins, err = f.demod.SegmentsOn(f.samples, f.start+st, segments, f.selBins, f.segBins)
+		f.segP, err = f.demod.SegmentsOnPlanar(f.samples, f.start+st, segments, f.selBins, f.segP)
 		if err != nil {
 			return nil, err
 		}
-		for i, bins := range f.segBins {
+		for i, w := range f.segP[:len(segments)] {
 			vals := f.preSeg[i][s]
-			for j, sc := range f.scs {
-				h := f.h[f.grid.Bin(sc)]
-				if h == 0 {
-					return nil, fmt.Errorf("rx: no channel estimate at subcarrier %d", sc)
+			for j, bin := range f.dataBins {
+				if f.hData[j] == 0 {
+					return nil, fmt.Errorf("rx: no channel estimate at subcarrier %d", f.scs[j])
 				}
-				vals[j] = bins[f.grid.Bin(sc)] / h
+				vals[j] = f.hDataDiv[j].Div(complex(w.Re[bin], w.Im[bin]))
 			}
 		}
 	}

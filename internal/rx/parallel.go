@@ -1,0 +1,102 @@
+package rx
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/coding"
+	"repro/internal/modem"
+	"repro/internal/wifi"
+)
+
+// ParallelDecider is implemented by SymbolDeciders whose per-symbol
+// decisions are independent given the frame, so DecodeDataParallel can fan
+// symbols across workers. ForkDecider returns a decider equivalent to the
+// receiver but with its own scratch state, or ok == false when the
+// decider's current configuration makes decisions order-dependent (e.g.
+// CPRecycle's §4.3 continuous model update folds each decoded symbol's
+// residuals into the next symbol's scales) — DecodeDataParallel then falls
+// back to the serial path, keeping output identical either way.
+type ParallelDecider interface {
+	SymbolDecider
+	ForkDecider() (SymbolDecider, bool)
+}
+
+// ForkDecider implements ParallelDecider: the standard slicer is
+// stateless, so the decider forks to itself.
+func (d StandardDecider) ForkDecider() (SymbolDecider, bool) { return d, true }
+
+// DecodeDataParallel is DecodeData with the per-symbol decisions fanned
+// across up to workers goroutines. Each worker decides a stride of the
+// symbol indices on its own Frame.ScratchFork view and ForkDecider clone,
+// and the deinterleaved coded blocks are merged in symbol order, so the
+// bit stream entering the Viterbi decoder — and therefore the Result — is
+// bit-identical to the serial path. When workers <= 1, the decider does
+// not implement ParallelDecider, or its state forbids forking, the serial
+// DecodeData runs instead.
+func DecodeDataParallel(f *Frame, mcs wifi.MCS, psduLen int, decider SymbolDecider, workers int) (Result, error) {
+	nSyms := mcs.SymbolsForPSDU(psduLen)
+	if workers > nSyms {
+		workers = nSyms
+	}
+	pd, ok := decider.(ParallelDecider)
+	if workers <= 1 || !ok {
+		return DecodeData(f, mcs, psduLen, decider)
+	}
+	// Fork frames and deciders up front; any refusal falls back to serial
+	// before any goroutine starts.
+	frames := make([]*Frame, workers)
+	deciders := make([]SymbolDecider, workers)
+	frames[0], deciders[0] = f, decider
+	for w := 1; w < workers; w++ {
+		fork, okF := pd.ForkDecider()
+		if !okF {
+			return DecodeData(f, mcs, psduLen, decider)
+		}
+		fw, err := f.ScratchFork()
+		if err != nil {
+			return Result{}, err
+		}
+		frames[w], deciders[w] = fw, fork
+	}
+
+	coded := make([]byte, nSyms*mcs.Ncbps)
+	errs := make([]error, nSyms)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			frame, dec := frames[w], deciders[w]
+			cons := modem.New(mcs.Scheme)
+			il := coding.MustInterleaver(mcs.Ncbps, mcs.Nbpsc)
+			nb := cons.BitsPerSymbol()
+			bitBuf := make([]byte, nb)
+			blk := make([]byte, 0, mcs.Ncbps)
+			for k := w; k < nSyms; k += workers {
+				idxs, err := dec.DecideSymbol(frame, k, cons)
+				if err != nil {
+					errs[k] = err
+					return
+				}
+				if len(idxs) != frame.DataSubcarrierCount() {
+					errs[k] = fmt.Errorf("rx: decider returned %d decisions", len(idxs))
+					return
+				}
+				blk = blk[:0]
+				for _, idx := range idxs {
+					cons.BitsOf(idx, bitBuf)
+					blk = append(blk, bitBuf...)
+				}
+				il.DeinterleaveInto(coded[k*mcs.Ncbps:(k+1)*mcs.Ncbps], blk)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for k, err := range errs {
+		if err != nil {
+			return Result{}, fmt.Errorf("rx: symbol %d: %w", k, err)
+		}
+	}
+	return decodeCodedData(coded, mcs, psduLen, nSyms)
+}

@@ -1,0 +1,144 @@
+package rx
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/dsp"
+	"repro/internal/modem"
+	"repro/internal/ofdm"
+	"repro/internal/wifi"
+)
+
+// parallelTestFrame builds a decodable noisy frame plus its transmitted
+// PSDU and MCS.
+func parallelTestFrame(t *testing.T, snrDB float64) (*Frame, wifi.MCS, []byte) {
+	t.Helper()
+	g := ofdm.WideGrid(64, 16, 2, 32)
+	m, err := wifi.MCSByName("QPSK 1/2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := dsp.NewRand(71)
+	psdu := wifi.BuildPSDU(r.Bytes(96))
+	p, err := wifi.BuildPPDU(wifi.TxConfig{Grid: g, MCS: m, Gain: 1}, psdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := make([]complex128, len(p.Samples)+120)
+	copy(samples[60:], p.Samples)
+	channel.AWGN(r, samples, channel.NoisePowerForSNR(dsp.Power(p.Samples), snrDB))
+	f, err := NewFrame(g, samples, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, m, psdu
+}
+
+// TestDecodeDataParallelMatchesSerial pins the parallel decode to the
+// serial one bit for bit across worker counts, including worker counts
+// that exceed the symbol count. The noise level is chosen so some symbols
+// carry bit errors — the merge must preserve them identically, not just
+// reproduce a clean packet.
+func TestDecodeDataParallelMatchesSerial(t *testing.T) {
+	for _, snr := range []float64{30, 4} {
+		f, m, _ := parallelTestFrame(t, snr)
+		want, err := DecodeData(f, m, 100, StandardDecider{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 3, 7, 1000} {
+			got, err := DecodeDataParallel(f, m, 100, StandardDecider{}, workers)
+			if err != nil {
+				t.Fatalf("snr=%v workers=%d: %v", snr, workers, err)
+			}
+			if !bytes.Equal(got.PSDU, want.PSDU) || got.FCSOK != want.FCSOK || got.ScramblerSeed != want.ScramblerSeed {
+				t.Fatalf("snr=%v workers=%d: parallel decode diverged from serial", snr, workers)
+			}
+		}
+	}
+}
+
+// forkRefusingDecider wraps StandardDecider but refuses to fork, forcing
+// the serial fallback.
+type forkRefusingDecider struct{ StandardDecider }
+
+func (forkRefusingDecider) ForkDecider() (SymbolDecider, bool) { return nil, false }
+
+// countingDecider counts DecideSymbol invocations. It deliberately does
+// NOT implement ParallelDecider (no embedding, which would promote
+// StandardDecider.ForkDecider), so DecodeDataParallel must fall back to
+// the serial path.
+type countingDecider struct {
+	std   StandardDecider
+	calls int
+}
+
+func (c *countingDecider) DecideSymbol(f *Frame, symIdx int, cons *modem.Constellation) ([]int, error) {
+	c.calls++
+	return c.std.DecideSymbol(f, symIdx, cons)
+}
+
+// TestDecodeDataParallelFallbacks checks the serial fallbacks: a decider
+// that is not a ParallelDecider, and one whose ForkDecider refuses.
+func TestDecodeDataParallelFallbacks(t *testing.T) {
+	f, m, _ := parallelTestFrame(t, 30)
+	want, err := DecodeData(f, m, 100, StandardDecider{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd := &countingDecider{}
+	got, err := DecodeDataParallel(f, m, 100, cd, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cd.calls != m.SymbolsForPSDU(100) {
+		t.Fatalf("non-parallel decider saw %d calls, want %d (serial fallback)", cd.calls, m.SymbolsForPSDU(100))
+	}
+	if !bytes.Equal(got.PSDU, want.PSDU) {
+		t.Fatal("fallback decode diverged")
+	}
+	got, err = DecodeDataParallel(f, m, 100, forkRefusingDecider{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.PSDU, want.PSDU) {
+		t.Fatal("fork-refusing fallback decode diverged")
+	}
+}
+
+// TestScratchForkObservationsMatch checks that observations on a fork are
+// bit-identical to observations on the parent frame.
+func TestScratchForkObservationsMatch(t *testing.T) {
+	f, _, _ := parallelTestFrame(t, 20)
+	segs, err := ofdm.SegmentPlan(f.Grid().CP, 2, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fork, err := f.ScratchFork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := f.ObserveSegments(1, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fork.ObserveSegments(1, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i].CPE != want[i].CPE || got[i].PilotDev != want[i].PilotDev {
+			t.Fatalf("segment %d: fork CPE/PilotDev diverge", i)
+		}
+		if d := dsp.MaxAbsDiff(got[i].Data, want[i].Data); d != 0 {
+			t.Fatalf("segment %d: fork observations differ by %g", i, d)
+		}
+		// The fork must answer from its own scratch, not the parent's —
+		// that independence is what makes concurrent observation safe.
+		if &got[i].Data[0] == &want[i].Data[0] {
+			t.Fatalf("segment %d: fork handed out the parent's scratch buffer", i)
+		}
+	}
+}

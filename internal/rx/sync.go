@@ -13,9 +13,12 @@
 //
 // Frame's multi-segment observation methods (ObserveSegments,
 // ObservePreambleAll) demodulate all P windows of a symbol in one batch on
-// the sliding-DFT path, sparsely at the 52 used subcarrier bins, and hand
-// out Frame-owned scratch buffers — the per-symbol hot path performs no
-// allocation.
+// the planar sliding-DFT path, sparsely at the 52 used subcarrier bins,
+// and hand out Frame-owned scratch buffers — the per-symbol hot path
+// performs no allocation. DecodeDataParallel fans the per-symbol
+// decisions of one packet across workers (per-worker Frame.ScratchFork
+// scratch, ParallelDecider forks, symbol-ordered merge) with output
+// bit-identical to the serial DecodeData.
 package rx
 
 import (
