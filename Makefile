@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all verify build vet test test-race-sweep smoke bench bench-hotpath bench-json fmt-check
+.PHONY: all verify build vet test test-race-sweep smoke smoke-dist bench bench-hotpath bench-json bench-gate fmt-check lint staticcheck
 
 all: verify
 
@@ -17,17 +17,23 @@ vet:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the concurrent paths: the sweep engine (and the
-# packages whose shared caches it exercises) plus the intra-packet
-# parallel symbol decode in rx.
+# Race-detector pass over the concurrent paths: the sweep engine and the
+# distributed coordinator/worker tier (and the packages whose shared
+# caches they exercise) plus the intra-packet parallel symbol decode in rx.
 test-race-sweep:
-	$(GO) test -race ./internal/sweep/ ./internal/wifi/ ./internal/experiments/ ./internal/rx/
+	$(GO) test -race ./internal/sweep/... ./internal/wifi/ ./internal/experiments/ ./internal/rx/
 
 # Short end-to-end sweep through the engine (sharded workers + waveform
 # pool) plus a 2-worker parallel-decode equivalence check, as run in CI.
 smoke:
 	$(GO) run ./cmd/cprecycle-bench -experiment fig8 -packets 8 -bytes 60 -pool
 	$(GO) test -run 'TestDecodeDataParallelMatchesSerial|TestRunPSRParallelDecodeRegression' ./internal/rx/ ./internal/experiments/
+
+# Distributed smoke: coordinator + two worker processes on localhost run
+# the same short fig8 sweep, streamed over SSE, and the final table must
+# be byte-identical to the single-process engine's.
+smoke-dist:
+	scripts/smoke_dist.sh
 
 # Full benchmark suite (regenerates every paper table/figure at reduced
 # fidelity; slow).
@@ -45,15 +51,35 @@ bench-hotpath:
 
 # Machine-readable perf trajectory: run the hot-path benchmarks with
 # allocation reporting and write ns/op, B/op and allocs/op per benchmark
-# to BENCH_PR3.json (CI archives it so future PRs can diff against it).
+# to BENCH_PR4.json (CI archives it so future PRs can diff against it).
+# Each suite runs -count=3 and benchjson keeps the fastest run per
+# benchmark (min ns/op), so one noisy-neighbour blip cannot poison the
+# trajectory or trip the regression gate.
 bench-json:
 	set -e; tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
-	$(GO) test -bench 'BenchmarkObserve' -benchtime 2000x -benchmem -run '^$$' ./internal/rx/ >> "$$tmp"; \
-	$(GO) test -bench 'BenchmarkSegment' -benchtime 2000x -benchmem -run '^$$' ./internal/ofdm/ >> "$$tmp"; \
-	$(GO) test -bench 'BenchmarkViterbiDecode' -benchtime 500x -benchmem -run '^$$' ./internal/coding/ >> "$$tmp"; \
-	$(GO) test -bench 'BenchmarkSliding|BenchmarkForward|BenchmarkFreqShift|BenchmarkPlanar' -benchmem -run '^$$' ./internal/dsp/ >> "$$tmp"; \
-	$(GO) run ./cmd/benchjson -out BENCH_PR3.json < "$$tmp"
-	@echo "wrote BENCH_PR3.json"
+	$(GO) test -bench 'BenchmarkObserve' -benchtime 2000x -count 3 -benchmem -run '^$$' ./internal/rx/ >> "$$tmp"; \
+	$(GO) test -bench 'BenchmarkSegment' -benchtime 2000x -count 3 -benchmem -run '^$$' ./internal/ofdm/ >> "$$tmp"; \
+	$(GO) test -bench 'BenchmarkViterbiDecode' -benchtime 500x -count 3 -benchmem -run '^$$' ./internal/coding/ >> "$$tmp"; \
+	$(GO) test -bench 'BenchmarkSliding|BenchmarkForward|BenchmarkFreqShift|BenchmarkPlanar' -count 3 -benchmem -run '^$$' ./internal/dsp/ >> "$$tmp"; \
+	$(GO) run ./cmd/benchjson -out BENCH_PR4.json < "$$tmp"
+	@echo "wrote BENCH_PR4.json"
+
+# Perf regression gate: regenerate the trajectory on this machine and
+# fail when any hot-path benchmark shared with the committed PR3
+# trajectory regresses ns/op by more than 25%.
+bench-gate: bench-json
+	$(GO) run ./cmd/benchjson -baseline BENCH_PR3.json -compare BENCH_PR4.json -max-regress 25
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Static analysis: vet + gofmt always; staticcheck when installed (the
+# CI lint job installs it, local runs skip gracefully).
+lint: vet fmt-check staticcheck
+
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipped (CI runs it)"; \
+	fi

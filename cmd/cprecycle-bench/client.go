@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// submitClient drives a remote serve-mode or coordinator instance: it
+// POSTs the spec, consumes the job's SSE stream end to end (one line of
+// progress per completed point on stderr), and prints the final table on
+// stdout — so `-submit -join URL` composes with shell pipelines exactly
+// like a local run. Exit is non-nil when the job fails server-side or
+// the stream breaks.
+type submitClient struct {
+	base  string
+	token string
+	http  *http.Client
+}
+
+func newSubmitClient(base, token string) *submitClient {
+	return &submitClient{
+		base:  strings.TrimRight(base, "/"),
+		token: token,
+		// No overall timeout: the SSE stream legitimately lasts as long
+		// as the sweep. Dial/TLS limits come from the default transport.
+		http: &http.Client{},
+	}
+}
+
+func (c *submitClient) request(method, path string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	return c.http.Do(req)
+}
+
+// fail decodes the server's {"error": …} body into an error.
+func fail(resp *http.Response) error {
+	defer resp.Body.Close()
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, e.Error)
+	}
+	return fmt.Errorf("HTTP %d", resp.StatusCode)
+}
+
+// run submits the spec and follows it to completion.
+func (c *submitClient) run(spec sweep.Spec) error {
+	payload, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	resp, err := c.request(http.MethodPost, "/v1/jobs", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return fail(resp)
+	}
+	var prog sweep.Progress
+	err = json.NewDecoder(resp.Body).Decode(&prog)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("decoding job submission: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "job %s: %s, %d points, %d packets\n", prog.ID, prog.Experiment, prog.Points, prog.Packets)
+
+	final, err := c.follow(prog.ID)
+	if err != nil {
+		return err
+	}
+	if final.State != "done" {
+		return fmt.Errorf("job %s %s: %s", prog.ID, final.State, final.Error)
+	}
+	return c.printTable(prog.ID)
+}
+
+// follow consumes the job's SSE stream to its terminal event.
+func (c *submitClient) follow(id string) (sweep.Progress, error) {
+	var final sweep.Progress
+	resp, err := c.request(http.MethodGet, "/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return final, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return final, fail(resp)
+	}
+	start := time.Now()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	event, data := "", ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			if event == "" && data == "" {
+				continue
+			}
+			switch event {
+			case "point":
+				var ev sweep.PointEvent
+				if err := json.Unmarshal([]byte(data), &ev); err != nil {
+					return final, fmt.Errorf("bad point event %q: %w", data, err)
+				}
+				fmt.Fprintf(os.Stderr, "point %d done (%d/%d, %v)\n", ev.Point, ev.DonePoints, ev.Points, time.Since(start).Round(time.Millisecond))
+			case "done":
+				if err := json.Unmarshal([]byte(data), &final); err != nil {
+					return final, fmt.Errorf("bad terminal event %q: %w", data, err)
+				}
+				return final, nil
+			}
+			event, data = "", ""
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return final, fmt.Errorf("event stream: %w", err)
+	}
+	return final, fmt.Errorf("event stream ended without a terminal event")
+}
+
+// printTable fetches the finished job's rendered table to stdout.
+func (c *submitClient) printTable(id string) error {
+	resp, err := c.request(http.MethodGet, "/v1/jobs/"+id+"/table", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fail(resp)
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}

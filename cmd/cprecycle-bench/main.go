@@ -23,6 +23,9 @@
 //	cprecycle-bench -experiment all -packets 200
 //	cprecycle-bench -experiment fig8 -checkpoint fig8.ckpt   # resumable
 //	cprecycle-bench -serve :8080                             # HTTP service
+//	cprecycle-bench -coordinator :8080 -journal jobs/        # distributed
+//	cprecycle-bench -worker -join http://host:8080           # …its workers
+//	cprecycle-bench -submit -join http://host:8080 -experiment fig8
 //	cprecycle-bench -list
 //
 // Checkpoints (-checkpoint, sweep experiments only) are JSON-lines files:
@@ -31,31 +34,76 @@
 // finish. Re-running with the same flags and path resumes at the first
 // incomplete point; a mismatched spec is refused.
 //
-// Serve mode (-serve ADDR) exposes the engine over HTTP:
+// Serve mode (-serve ADDR) exposes an in-process engine over HTTP;
+// coordinator mode (-coordinator ADDR) serves the identical client API
+// but executes nothing itself, handing point-range leases to -worker
+// processes instead:
 //
 //	POST   /v1/jobs        submit a sweep.Spec (JSON body) → {"id":"j1",…}
 //	GET    /v1/jobs        list all jobs' progress
 //	GET    /v1/jobs/{id}   one job's progress
-//	GET    /v1/jobs/{id}/table  the rendered table (202 while running)
-//	DELETE /v1/jobs/{id}   cancel if running, and remove from the engine
+//	GET    /v1/jobs/{id}/table   the rendered table (202 while running)
+//	GET    /v1/jobs/{id}/events  SSE stream: one "point" event per
+//	                             completed point (completed ones replay
+//	                             first), then one terminal "done" event
+//	                             carrying the final progress/state
+//	DELETE /v1/jobs/{id}   cancel if running, and remove from the backend
 //	GET    /v1/experiments list accepted experiment ids
 //
 // The spec JSON mirrors sweep.Spec: {"experiment":"fig8","packets":2000,
 // "psdu_bytes":400,"seed":1,"axis":[…],"receivers":[…],"mcs":[…],
 // "pool":true}. Checkpoint paths are rejected over HTTP (they name
-// server-side files); checkpointing is a CLI feature.
+// server-side files); durability in coordinator mode comes from -journal.
+//
+// # Distributed mode
+//
+// The coordinator decomposes each job into point-range leases and serves
+// them to workers on POST /v1/dist/lease; workers run leases on a local
+// sweep engine (with their own waveform pool built from the lease's pool
+// identity), heartbeat on /v1/dist/heartbeat, and report per-point
+// tallies on /v1/dist/result. A lease that misses its TTL — worker
+// crash, kill -9, partition — is re-issued to the next poller; results
+// are idempotent and tallies deterministic, so duplicated work merges
+// bit-identically. Leases carry the sweep plan's fingerprint and workers
+// refuse leases their own build plans differently, so coordinator/worker
+// version skew is rejected instead of silently blended. The determinism
+// contract (pinned by internal/sweep/dist tests): a coordinator plus any
+// number of workers renders the byte-identical table a single in-process
+// engine produces for the same spec and seed. See internal/sweep/dist
+// for the full protocol.
+//
+// -token T sets a bearer token: the coordinator (and -serve) then
+// requires "Authorization: Bearer T" on every request, and -worker /
+// -submit send it. -journal DIR makes coordinator jobs durable — each
+// job appends completed points to DIR/<id>.jsonl and a restarted
+// coordinator replays the directory, resuming every job at its first
+// unjournalled point.
+//
+// Two-machine quickstart (machine A coordinates and serves results,
+// machine B computes; add workers anywhere for more throughput):
+//
+//	A$ cprecycle-bench -coordinator :8080 -journal /var/lib/cpr -token S
+//	B$ cprecycle-bench -worker -join http://A:8080 -token S
+//	A$ cprecycle-bench -submit -join http://localhost:8080 -token S \
+//	       -experiment fig8 -packets 2000 -bytes 400
+//
+// -submit streams per-point progress to stderr as SSE events arrive and
+// prints the final table to stdout, exactly like a local run of the same
+// experiment.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"sort"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/sweep"
+	"repro/internal/sweep/dist"
 )
 
 type runner func(experiments.Options) (*experiments.Table, error)
@@ -100,6 +148,15 @@ func main() {
 		shardPk  = flag.Int("shard", 0, "packets per engine shard; 0 = default")
 		ckpt     = flag.String("checkpoint", "", "JSON-lines checkpoint path for a single sweep experiment (resume-capable)")
 		serve    = flag.String("serve", "", "serve the sweep engine over HTTP on this address instead of running experiments")
+
+		coordAddr = flag.String("coordinator", "", "serve a distributed sweep coordinator on this address (no local compute; workers join with -worker -join)")
+		workerFlg = flag.Bool("worker", false, "run as a distributed sweep worker polling the -join coordinator")
+		submitFlg = flag.Bool("submit", false, "submit the selected sweep experiment to the -join server, stream per-point progress and print the table")
+		join      = flag.String("join", "", "server base URL (e.g. http://host:8080) for -worker and -submit")
+		token     = flag.String("token", "", "bearer token: enforced by -serve/-coordinator when set, sent by -worker/-submit")
+		journal   = flag.String("journal", "", "coordinator journal directory: jobs persist here and a restarted coordinator resumes them")
+		leasePts  = flag.Int("lease-points", 0, "plan points per worker lease; 0 = default (1)")
+		leaseTTL  = flag.Duration("lease-ttl", 0, "re-issue a lease after this long without a heartbeat; 0 = default (30s)")
 	)
 	flag.Parse()
 
@@ -119,10 +176,68 @@ func main() {
 
 	engCfg := sweep.Config{Workers: *workers, ShardPackets: *shardPk, PoolSize: *poolSize, PoolSeed: *seed}
 
+	if *coordAddr != "" {
+		c, err := dist.New(dist.Config{
+			LeasePoints: *leasePts,
+			LeaseTTL:    *leaseTTL,
+			PoolSize:    *poolSize,
+			PoolSeed:    *seed,
+			JournalDir:  *journal,
+			Token:       *token,
+			Logf:        log.Printf,
+		})
+		if err == nil {
+			defer c.Close()
+			err = runCoordinator(*coordAddr, *token, c)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *workerFlg {
+		if *join == "" {
+			fmt.Fprintln(os.Stderr, "-worker requires -join URL")
+			os.Exit(1)
+		}
+		w, err := dist.StartWorker(dist.WorkerConfig{
+			Coordinator: *join,
+			Token:       *token,
+			Engine:      sweep.Config{Workers: *workers, ShardPackets: *shardPk},
+			Logf:        log.Printf,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer w.Close()
+		fmt.Printf("worker polling %s\n", *join)
+		select {} // serve leases until killed
+	}
+
+	if *submitFlg {
+		if *join == "" {
+			fmt.Fprintln(os.Stderr, "-submit requires -join URL")
+			os.Exit(1)
+		}
+		if !experiments.IsSweepExperiment(*name) {
+			fmt.Fprintln(os.Stderr, "-submit requires a single sweep experiment (see -list)")
+			os.Exit(1)
+		}
+		spec := sweep.Spec{Experiment: *name, Packets: *packets, PSDUBytes: *bytes, Seed: *seed, Pool: *pool}
+		if err := newSubmitClient(*join, *token).run(spec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *serve != "" {
 		eng := sweep.New(engCfg)
 		defer eng.Close()
-		if err := runServe(*serve, eng); err != nil {
+		if err := runServe(*serve, *token, eng); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

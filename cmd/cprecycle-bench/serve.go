@@ -4,28 +4,104 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/sweep"
+	"repro/internal/sweep/dist"
 )
 
-// runServe exposes the sweep engine over a small HTTP API (see the
-// package comment for the endpoint list) and blocks serving it.
-func runServe(addr string, eng *sweep.Engine) error {
-	mux := http.NewServeMux()
+// The client-facing HTTP API is identical in both serve modes — a local
+// engine (-serve) and a distributed coordinator (-coordinator) — so it is
+// built once over this pair of interfaces, which sweep.Job and dist.Job
+// both satisfy.
 
-	writeJSON := func(w http.ResponseWriter, status int, v any) {
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(status)
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(v)
+// serveJob is one job as the HTTP layer sees it.
+type serveJob interface {
+	Progress() sweep.Progress
+	Subscribe() (past []sweep.PointEvent, ch <-chan sweep.PointEvent, cancel func())
+	Done() <-chan struct{}
+	Wait(ctx context.Context) (*sweep.Result, error)
+}
+
+// serveBackend is the job store behind the API.
+type serveBackend interface {
+	SubmitSpec(spec sweep.Spec) (serveJob, error)
+	LookupJob(id string) (serveJob, bool)
+	ListJobs() []serveJob
+	RemoveJob(id string) bool
+}
+
+// engineBackend adapts the in-process sweep engine.
+type engineBackend struct{ eng *sweep.Engine }
+
+func (b engineBackend) SubmitSpec(spec sweep.Spec) (serveJob, error) {
+	// Jobs outlive the submitting request: they are cancelled via DELETE,
+	// not by the connection closing.
+	return asJob(b.eng.Submit(context.Background(), spec))
+}
+func (b engineBackend) LookupJob(id string) (serveJob, bool) {
+	j := b.eng.Job(id)
+	return j, j != nil
+}
+func (b engineBackend) ListJobs() []serveJob {
+	jobs := b.eng.Jobs()
+	out := make([]serveJob, len(jobs))
+	for i, j := range jobs {
+		out[i] = j
 	}
-	writeErr := func(w http.ResponseWriter, status int, err error) {
-		writeJSON(w, status, map[string]string{"error": err.Error()})
+	return out
+}
+func (b engineBackend) RemoveJob(id string) bool { return b.eng.Remove(id) }
+
+// coordBackend adapts the distributed coordinator.
+type coordBackend struct{ c *dist.Coordinator }
+
+func (b coordBackend) SubmitSpec(spec sweep.Spec) (serveJob, error) { return asJob(b.c.Submit(spec)) }
+func (b coordBackend) LookupJob(id string) (serveJob, bool) {
+	j := b.c.Job(id)
+	return j, j != nil
+}
+func (b coordBackend) ListJobs() []serveJob {
+	jobs := b.c.Jobs()
+	out := make([]serveJob, len(jobs))
+	for i, j := range jobs {
+		out[i] = j
 	}
+	return out
+}
+func (b coordBackend) RemoveJob(id string) bool { return b.c.Remove(id) }
+
+// asJob converts a concrete (job, err) pair to the interface without the
+// classic non-nil-interface-around-nil-pointer trap.
+func asJob[J serveJob](j J, err error) (serveJob, error) {
+	if err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// writeJSON writes one JSON response; encoding errors (the client went
+// away mid-body, a marshalling bug) are logged, not dropped.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("serve: writing response: %v", err)
+	}
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// apiMux builds the client API over a backend.
+func apiMux(b serveBackend) *http.ServeMux {
+	mux := http.NewServeMux()
 
 	mux.HandleFunc("GET /v1/experiments", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, experiments.SweepExperiments())
@@ -41,14 +117,13 @@ func runServe(addr string, eng *sweep.Engine) error {
 		}
 		// A checkpoint path names a server-side file; accepting one from
 		// the network would hand remote clients an arbitrary-path write
-		// primitive. Checkpointing stays a CLI feature.
+		// primitive. Checkpointing stays a CLI feature (the coordinator
+		// journals server-side under its own -journal directory instead).
 		if spec.Checkpoint != "" {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("checkpoint paths are not accepted over HTTP"))
 			return
 		}
-		// Jobs outlive the request: they are cancelled via DELETE, not by
-		// the submitting connection closing.
-		job, err := eng.Submit(context.Background(), spec)
+		job, err := b.SubmitSpec(spec)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err)
 			return
@@ -57,7 +132,7 @@ func runServe(addr string, eng *sweep.Engine) error {
 	})
 
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		jobs := eng.Jobs()
+		jobs := b.ListJobs()
 		out := make([]sweep.Progress, 0, len(jobs))
 		for _, j := range jobs {
 			out = append(out, j.Progress())
@@ -65,23 +140,23 @@ func runServe(addr string, eng *sweep.Engine) error {
 		writeJSON(w, http.StatusOK, out)
 	})
 
-	jobFor := func(w http.ResponseWriter, r *http.Request) *sweep.Job {
-		j := eng.Job(r.PathValue("id"))
-		if j == nil {
+	jobFor := func(w http.ResponseWriter, r *http.Request) (serveJob, bool) {
+		j, ok := b.LookupJob(r.PathValue("id"))
+		if !ok {
 			writeErr(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
 		}
-		return j
+		return j, ok
 	}
 
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		if j := jobFor(w, r); j != nil {
+		if j, ok := jobFor(w, r); ok {
 			writeJSON(w, http.StatusOK, j.Progress())
 		}
 	})
 
 	mux.HandleFunc("GET /v1/jobs/{id}/table", func(w http.ResponseWriter, r *http.Request) {
-		j := jobFor(w, r)
-		if j == nil {
+		j, ok := jobFor(w, r)
+		if !ok {
 			return
 		}
 		p := j.Progress()
@@ -97,26 +172,110 @@ func runServe(addr string, eng *sweep.Engine) error {
 				return
 			}
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			fmt.Fprint(w, res.Table.Render())
+			if _, err := fmt.Fprint(w, res.Table.Render()); err != nil {
+				log.Printf("serve: writing table: %v", err)
+			}
 		}
 	})
 
-	// DELETE cancels a running job and removes it from the engine either
-	// way, so a long-running service's job table can be pruned.
-	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		j := jobFor(w, r)
-		if j == nil {
+	// SSE stream: every completed point so far is replayed, then each
+	// subsequent completion arrives as it lands, then a final terminal
+	// event reports the job's outcome and the stream closes. Schema:
+	//
+	//	event: point
+	//	data: {"seq":0,"point":3,"n":2000,"ok":[1523,1892],"done_points":1,"points":30}
+	//
+	//	event: done
+	//	data: {…sweep.Progress, "state":"done"|"failed"…}
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := jobFor(w, r)
+		if !ok {
 			return
 		}
-		eng.Remove(j.ID)
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			writeErr(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported by this connection"))
+			return
+		}
+		past, ch, cancel := j.Subscribe()
+		defer cancel()
+		h := w.Header()
+		h.Set("Content-Type", "text/event-stream")
+		h.Set("Cache-Control", "no-cache")
+		h.Set("Connection", "keep-alive")
+		w.WriteHeader(http.StatusOK)
+		// A write error means the subscriber went away; stop streaming
+		// (the deferred cancel releases the subscription either way).
+		emit := func(event string, v any) bool {
+			data, err := json.Marshal(v)
+			if err != nil {
+				log.Printf("serve: marshalling %s event: %v", event, err)
+				return false
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+				return false
+			}
+			fl.Flush()
+			return true
+		}
+		for _, ev := range past {
+			if !emit("point", ev) {
+				return
+			}
+		}
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case ev, open := <-ch:
+				if !open {
+					// Channel closed: the job settled (done or failed).
+					emit("done", j.Progress())
+					return
+				}
+				if !emit("point", ev) {
+					return
+				}
+			}
+		}
+	})
+
+	// DELETE cancels a running job and removes it from the backend either
+	// way, so a long-running service's job table can be pruned.
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := jobFor(w, r)
+		if !ok {
+			return
+		}
+		p := j.Progress()
+		b.RemoveJob(p.ID)
 		writeJSON(w, http.StatusOK, j.Progress())
 	})
 
+	return mux
+}
+
+func listen(addr string, h http.Handler, what string) error {
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           mux,
+		Handler:           h,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	fmt.Printf("sweep engine listening on %s\n", addr)
+	fmt.Printf("%s listening on %s\n", what, addr)
 	return srv.ListenAndServe()
+}
+
+// runServe exposes an in-process sweep engine over the client API.
+func runServe(addr, token string, eng *sweep.Engine) error {
+	return listen(addr, dist.BearerAuth(token, apiMux(engineBackend{eng})), "sweep engine")
+}
+
+// runCoordinator exposes a distributed coordinator: the client API plus
+// the /v1/dist/ worker tier (lease/result/heartbeat). One bearer token
+// guards both when set.
+func runCoordinator(addr, token string, c *dist.Coordinator) error {
+	root := http.NewServeMux()
+	root.Handle("/v1/dist/", c.Handler())
+	root.Handle("/", dist.BearerAuth(token, apiMux(coordBackend{c})))
+	return listen(addr, root, "sweep coordinator")
 }

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/sweep"
+	"repro/internal/sweep/dist"
+)
+
+// TestServeAPI exercises the client API over the in-process engine
+// backend: bearer auth, job submission, the SSE stream (every point then
+// a terminal event), the rendered table, and the checkpoint rejection.
+func TestServeAPI(t *testing.T) {
+	eng := sweep.New(sweep.Config{Workers: 2, ShardPackets: 2})
+	defer eng.Close()
+	srv := httptest.NewServer(dist.BearerAuth("tok", apiMux(engineBackend{eng})))
+	defer srv.Close()
+
+	get := func(path, token string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, srv.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	if resp := get("/v1/jobs", ""); resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("tokenless list: HTTP %d, want 401", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+
+	post := func(body string) (*http.Response, error) {
+		req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/jobs", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Authorization", "Bearer tok")
+		req.Header.Set("Content-Type", "application/json")
+		return http.DefaultClient.Do(req)
+	}
+
+	// Checkpoint paths must be refused over the network.
+	resp, err := post(`{"experiment":"fig8","packets":2,"psdu_bytes":60,"checkpoint":"/etc/pwned"}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("checkpoint spec: HTTP %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp, err = post(`{"experiment":"fig8","packets":3,"psdu_bytes":60,"seed":3,"axis":[-10,-20]}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d, want 202", resp.StatusCode)
+	}
+	var prog sweep.Progress
+	if err := json.NewDecoder(resp.Body).Decode(&prog); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if prog.Points != 6 {
+		t.Fatalf("submitted job plans %d points, want 6", prog.Points)
+	}
+
+	// The SSE stream must deliver one point event per point and then the
+	// terminal event, regardless of when the consumer connects.
+	resp = get("/v1/jobs/"+prog.ID+"/events", "tok")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events Content-Type %q", ct)
+	}
+	var points, dones int
+	var final sweep.Progress
+	sc := bufio.NewScanner(resp.Body)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			switch event {
+			case "point":
+				points++
+			case "done":
+				dones++
+				if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &final); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if points != 6 || dones != 1 {
+		t.Fatalf("stream delivered %d point events and %d terminal events, want 6 and 1", points, dones)
+	}
+	if final.State != "done" || final.DonePoints != 6 {
+		t.Fatalf("terminal event %+v", final)
+	}
+
+	resp = get("/v1/jobs/"+prog.ID+"/table", "tok")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("table: HTTP %d", resp.StatusCode)
+	}
+	var table strings.Builder
+	sc2 := bufio.NewScanner(resp.Body)
+	for sc2.Scan() {
+		table.WriteString(sc2.Text())
+		table.WriteByte('\n')
+	}
+	if !strings.HasPrefix(table.String(), "== Fig 8") {
+		t.Fatalf("table output starts %q", strings.SplitN(table.String(), "\n", 2)[0])
+	}
+}

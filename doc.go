@@ -50,8 +50,27 @@
 // per-packet preamble trainings with lazily-fitted KDE models
 // (core.Training) reused across receiver arms. Engine sharding is
 // bit-identical to the sequential path; jobs offer progress counters,
-// context cancellation, and JSON-lines checkpoint/resume. The
+// per-point event subscriptions, context cancellation, and JSON-lines
+// journal/checkpoint resume (sweep.Journal: torn tails tolerated,
+// duplicate point lines last-wins).
+//
+// The service scales across processes and machines through
+// internal/sweep/dist: a coordinator decomposes each job into point-range
+// leases (identified against the plan's fingerprint,
+// experiments.SweepPlan.Fingerprint) and hands them to HTTP workers under
+// bearer-token auth; workers run leases on local engines
+// (Engine.SubmitPoints) with their waveform pool rebuilt from the lease's
+// pool identity, heartbeat while running, and report per-point tallies
+// that merge bit-identically to a single in-process engine — leases that
+// miss their TTL are re-issued, results are idempotent, and jobs journal
+// to disk so a kill -9'd coordinator replays its journal directory and
+// resumes at the first unleased point. The determinism contract —
+// coordinator + N workers renders the byte-identical table of one direct
+// engine, including under mid-sweep worker death — is pinned by the dist
+// package tests and the end-to-end CI smoke (make smoke-dist). The
 // cmd/cprecycle-bench command routes the sweep figures through the engine
-// and can serve it over HTTP (-serve); see that package's comment for the
-// spec format, endpoints and checkpoint layout.
+// and serves both tiers over HTTP (-serve, -coordinator / -worker /
+// -submit), with per-point SSE streaming on /v1/jobs/{id}/events; see
+// that package's comment for the spec format, endpoints, protocol and
+// quickstart.
 package repro

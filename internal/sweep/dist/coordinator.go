@@ -1,0 +1,867 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sweep"
+	"repro/internal/wifi"
+)
+
+// Config parameterises a Coordinator.
+type Config struct {
+	// LeasePoints is the maximum plan points per lease (default 1): the
+	// load-balancing granularity. Larger leases amortise HTTP round trips
+	// for cheap points; smaller leases re-distribute faster on failure.
+	LeasePoints int
+	// LeaseTTL is how long a lease may go without a heartbeat before its
+	// points are re-issued (default 30s). Workers heartbeat at a fraction
+	// of this.
+	LeaseTTL time.Duration
+	// PoolSize/PoolSeed pin the waveform-pool identity pooled jobs are
+	// computed under; every worker builds its pool from these (default
+	// wifi.DefaultPoolSize, seed 0).
+	PoolSize int
+	PoolSeed int64
+	// JournalDir, when set, makes jobs durable: each job appends
+	// completed points to <dir>/<id>.jsonl and New replays the directory,
+	// resuming interrupted jobs at their first unjournalled point.
+	JournalDir string
+	// Token, when set, is required as "Authorization: Bearer <Token>" on
+	// every worker-tier request.
+	Token string
+	// Logf receives operational log lines (lease grants, re-issues,
+	// failures). Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.LeasePoints <= 0 {
+		c.LeasePoints = 1
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 30 * time.Second
+	}
+	if c.PoolSize <= 0 {
+		c.PoolSize = wifi.DefaultPoolSize
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Coordinator owns distributed sweep jobs: it decomposes submitted specs
+// into per-point work, hands point-range leases to polling workers
+// (Handler), merges their tallies bit-identically to a single in-process
+// engine, journals completed points for crash recovery, and publishes
+// per-point events to subscribers. It runs no sweep computation itself
+// and spawns no goroutines: all state advances inside worker HTTP
+// requests and Submit calls, so a coordinator is cheap enough to colocate
+// with anything.
+type Coordinator struct {
+	cfg Config
+
+	// planPool satisfies Spec.Request for pooled specs at planning time;
+	// its entries encode lazily and the coordinator never runs a packet,
+	// so it stays empty.
+	planPool *wifi.WaveformPool
+
+	mu        sync.Mutex
+	jobs      map[string]*Job
+	order     []string
+	leaseJobs map[string]string // lease id → job id
+	nextID    int
+	closed    bool
+}
+
+// New creates a coordinator. With cfg.JournalDir set the directory is
+// created if missing and its journals are replayed: every *.jsonl file
+// becomes a job (same ID as its previous life) with its completed points
+// restored; fully-journalled jobs come back as done, partial ones resume
+// leasing at their first missing point.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	c := &Coordinator{
+		cfg:       cfg,
+		planPool:  wifi.NewWaveformPool(cfg.PoolSize, cfg.PoolSeed),
+		jobs:      make(map[string]*Job),
+		leaseJobs: make(map[string]string),
+	}
+	if cfg.JournalDir != "" {
+		if err := os.MkdirAll(cfg.JournalDir, 0o755); err != nil {
+			return nil, err
+		}
+		if err := c.replayJournals(); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Close closes every job's journal and stops accepting work. Pending
+// points stay journalled (when durable) for the next coordinator life.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	jobs := make([]*Job, 0, len(c.jobs))
+	for _, j := range c.jobs {
+		jobs = append(jobs, j)
+	}
+	c.mu.Unlock()
+	for _, j := range jobs {
+		j.mu.Lock()
+		if j.journal != nil {
+			j.journal.Close()
+		}
+		j.mu.Unlock()
+	}
+}
+
+// journalPath returns the durable state file of job id ("" when the
+// coordinator is not durable).
+func (c *Coordinator) journalPath(id string) string {
+	if c.cfg.JournalDir == "" {
+		return ""
+	}
+	return filepath.Join(c.cfg.JournalDir, id+".jsonl")
+}
+
+// replayJournals rebuilds jobs from the journal directory.
+func (c *Coordinator) replayJournals() error {
+	entries, err := os.ReadDir(c.cfg.JournalDir)
+	if err != nil {
+		return err
+	}
+	var ids []string
+	for _, e := range entries {
+		if id, ok := strings.CutSuffix(e.Name(), ".jsonl"); ok && !e.IsDir() {
+			ids = append(ids, id)
+		}
+	}
+	// Replay in submission order (jN ids sort numerically), and continue
+	// numbering after the highest replayed id.
+	sort.Slice(ids, func(a, b int) bool { return jobSeq(ids[a]) < jobSeq(ids[b]) })
+	for _, id := range ids {
+		path := c.journalPath(id)
+		hdr, restored, validLen, err := sweep.ReadJournal(path)
+		if err != nil {
+			// Unparsable journals must not crash-loop the coordinator: a
+			// kill -9 between file creation and the header write leaves a
+			// zero-byte file, and a foreign file can land in the directory.
+			// Neither holds any tallies we could resume, so skip it (the
+			// file is left for inspection) — but still burn its id so a
+			// future Submit cannot collide with the undeleted file.
+			c.cfg.Logf("dist: skipping journal %s: %v", path, err)
+			if s := jobSeq(id); s > c.nextID {
+				c.nextID = s
+			}
+			continue
+		}
+		if hdr.Spec.Pool && (hdr.PoolSize != c.cfg.PoolSize || hdr.PoolSeed != c.cfg.PoolSeed) {
+			return fmt.Errorf("dist: journal %s: pool identity mismatch (journalled %d/%d, configured %d/%d) — pooled points are only mergeable under one pool",
+				path, hdr.PoolSize, hdr.PoolSeed, c.cfg.PoolSize, c.cfg.PoolSeed)
+		}
+		j, err := c.newJob(hdr.Spec)
+		if err != nil {
+			return fmt.Errorf("dist: replaying %s: %w", path, err)
+		}
+		if len(j.points) != hdr.Points {
+			return fmt.Errorf("dist: journal %s: %d points journalled but the spec plans %d (version skew?)", path, hdr.Points, len(j.points))
+		}
+		journal, err := sweep.ResumeJournal(path, validLen)
+		if err != nil {
+			return err
+		}
+		j.ID = id
+		j.journal = journal
+		for idx, p := range restored {
+			if err := j.checkPointShape(idx, p); err != nil {
+				journal.Close()
+				return fmt.Errorf("dist: journal %s: %w", path, err)
+			}
+		}
+		for idx, p := range restored {
+			j.markDoneLocked(idx, p, false)
+			j.restored++
+		}
+		j.rebuildPending()
+		if j.donePoints == len(j.points) {
+			j.finalizeLocked()
+		}
+		c.jobs[id] = j
+		c.order = append(c.order, id)
+		if s := jobSeq(id); s >= c.nextID {
+			c.nextID = s
+		}
+		c.cfg.Logf("dist: replayed job %s (%d/%d points journalled)", id, len(restored), len(j.points))
+	}
+	return nil
+}
+
+// jobSeq extracts the numeric part of a "jN" job id (0 when foreign).
+func jobSeq(id string) int {
+	n, _ := strconv.Atoi(strings.TrimPrefix(id, "j"))
+	return n
+}
+
+// newJob plans a spec into an un-registered job (no ID, no journal yet).
+func (c *Coordinator) newJob(spec sweep.Spec) (*Job, error) {
+	if spec.Checkpoint != "" {
+		return nil, fmt.Errorf("dist: checkpoint paths are not accepted (the coordinator journals jobs itself)")
+	}
+	spec = spec.Normalised()
+	req, err := spec.Request(c.planPool)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := experiments.NewSweepPlan(req)
+	if err != nil {
+		return nil, err
+	}
+	j := &Job{
+		Spec:        spec,
+		coord:       c,
+		plan:        plan,
+		fingerprint: plan.Fingerprint(),
+		points:      make([]distPoint, len(plan.Points)),
+		leases:      make(map[string]*lease),
+		start:       time.Now(),
+		done:        make(chan struct{}),
+	}
+	for i := range plan.Points {
+		pkts := plan.Points[i].Cfg.Packets
+		j.points[i].packets = pkts
+		j.points[i].arms = len(plan.Points[i].Cfg.Receivers)
+		j.totalPackets += int64(pkts)
+	}
+	j.rebuildPending()
+	return j, nil
+}
+
+// Submit plans and registers a sweep job. The job completes as workers
+// lease and report its points; it has no context — a distributed job
+// outlives any one connection and is cancelled via Remove.
+func (c *Coordinator) Submit(spec sweep.Spec) (*Job, error) {
+	j, err := c.newJob(spec)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("dist: coordinator is closed")
+	}
+	c.nextID++
+	j.ID = fmt.Sprintf("j%d", c.nextID)
+	c.jobs[j.ID] = j
+	c.order = append(c.order, j.ID)
+	c.mu.Unlock()
+
+	if path := c.journalPath(j.ID); path != "" {
+		hdr := sweep.JournalHeader{V: 1, Spec: j.Spec, Points: len(j.points)}
+		if j.Spec.Pool {
+			hdr.PoolSize = c.cfg.PoolSize
+			hdr.PoolSeed = c.cfg.PoolSeed
+		}
+		journal, err := sweep.CreateJournal(path, hdr)
+		if err != nil {
+			c.Remove(j.ID)
+			return nil, err
+		}
+		j.mu.Lock()
+		j.journal = journal
+		j.mu.Unlock()
+	}
+	if len(j.points) == 0 {
+		j.mu.Lock()
+		j.finalizeLocked()
+		j.mu.Unlock()
+	}
+	c.cfg.Logf("dist: job %s submitted (%s, %d points)", j.ID, j.Spec.Experiment, len(j.points))
+	return j, nil
+}
+
+// Job returns a job by id, or nil.
+func (c *Coordinator) Job(id string) *Job {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.jobs[id]
+}
+
+// Jobs returns every job in submission order.
+func (c *Coordinator) Jobs() []*Job {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Job, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.jobs[id])
+	}
+	return out
+}
+
+// Remove cancels a running job, forgets it, and deletes its journal file
+// (a removed durable job must not resurrect on restart). Reports whether
+// the job existed.
+func (c *Coordinator) Remove(id string) bool {
+	c.mu.Lock()
+	j, ok := c.jobs[id]
+	if ok {
+		delete(c.jobs, id)
+		for i, oid := range c.order {
+			if oid == id {
+				c.order = append(c.order[:i], c.order[i+1:]...)
+				break
+			}
+		}
+		for lid, jid := range c.leaseJobs {
+			if jid == id {
+				delete(c.leaseJobs, lid)
+			}
+		}
+	}
+	c.mu.Unlock()
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	if !j.finished {
+		j.failLocked(context.Canceled)
+	}
+	j.mu.Unlock()
+	if path := c.journalPath(id); path != "" {
+		os.Remove(path)
+	}
+	return true
+}
+
+// nextLease finds work for a polling worker: jobs are scanned in
+// submission order, expired leases are reaped first, and the first job
+// with pending points yields a lease.
+func (c *Coordinator) nextLease(worker string) *Lease {
+	c.mu.Lock()
+	jobs := make([]*Job, 0, len(c.order))
+	for _, id := range c.order {
+		jobs = append(jobs, c.jobs[id])
+	}
+	c.mu.Unlock()
+	now := time.Now()
+	for _, j := range jobs {
+		if l := j.grantLease(worker, now); l != nil {
+			c.mu.Lock()
+			c.leaseJobs[l.ID] = l.Job
+			c.mu.Unlock()
+			return l
+		}
+	}
+	return nil
+}
+
+// jobForLease resolves a lease id to its job (nil when unknown — e.g.
+// granted by a previous coordinator life).
+func (c *Coordinator) jobForLease(leaseID string) *Job {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if jid, ok := c.leaseJobs[leaseID]; ok {
+		return c.jobs[jid]
+	}
+	return nil
+}
+
+// forgetLease drops a resolved lease from the index.
+func (c *Coordinator) forgetLease(leaseID string) {
+	c.mu.Lock()
+	delete(c.leaseJobs, leaseID)
+	c.mu.Unlock()
+}
+
+// distPoint is one plan point's coordinator-side state.
+type distPoint struct {
+	packets int
+	arms    int
+	done    bool
+	n       int
+	ok      []int
+}
+
+// lease is the coordinator-side record of a granted lease.
+type lease struct {
+	id      string
+	worker  string
+	points  []int
+	expires time.Time
+	// hbPackets is the worker's last heartbeat-reported packet count,
+	// folded into Progress.DonePackets while the lease runs.
+	hbPackets int64
+}
+
+// Job is one distributed sweep job. All methods are safe for concurrent
+// use.
+type Job struct {
+	ID   string
+	Spec sweep.Spec // normalised
+
+	coord        *Coordinator
+	plan         *experiments.SweepPlan
+	fingerprint  string
+	totalPackets int64
+	start        time.Time
+
+	mu         sync.Mutex
+	points     []distPoint
+	pending    []int // unleased incomplete point indexes, ascending
+	leases     map[string]*lease
+	nextLease  int
+	donePoints int
+	restored   int
+	journal    *sweep.Journal
+	events     []sweep.PointEvent
+	subs       map[int]chan sweep.PointEvent
+	nextSub    int
+	err        error
+	table      *experiments.Table
+	results    [][]experiments.PSRPoint
+	elapsed    time.Duration
+	finished   bool
+	done       chan struct{}
+}
+
+// Plan returns the job's sweep plan (read-only).
+func (j *Job) Plan() *experiments.SweepPlan { return j.plan }
+
+// Fingerprint returns the job's plan fingerprint.
+func (j *Job) Fingerprint() string { return j.fingerprint }
+
+// rebuildPending recomputes the pending queue from point states. Callers
+// hold j.mu (or own the job exclusively).
+func (j *Job) rebuildPending() {
+	j.pending = j.pending[:0]
+	leased := make(map[int]bool)
+	for _, l := range j.leases {
+		for _, p := range l.points {
+			leased[p] = true
+		}
+	}
+	for i := range j.points {
+		if !j.points[i].done && !leased[i] {
+			j.pending = append(j.pending, i)
+		}
+	}
+}
+
+// grantLease reaps expired leases and carves the next lease off the
+// pending queue: the longest run of consecutive point indexes from its
+// head, capped at LeasePoints.
+func (j *Job) grantLease(worker string, now time.Time) *Lease {
+	cfg := j.coord.cfg
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.finished {
+		return nil
+	}
+	for id, l := range j.leases {
+		if now.After(l.expires) {
+			cfg.Logf("dist: job %s: lease %s (worker %s) expired, re-issuing %d point(s)", j.ID, id, l.worker, len(l.points))
+			delete(j.leases, id)
+			j.coord.forgetLease(id)
+			j.rebuildPending()
+		}
+	}
+	if len(j.pending) == 0 {
+		return nil
+	}
+	take := 1
+	for take < len(j.pending) && take < cfg.LeasePoints && j.pending[take] == j.pending[take-1]+1 {
+		take++
+	}
+	points := append([]int(nil), j.pending[:take]...)
+	j.pending = j.pending[take:]
+	j.nextLease++
+	l := &lease{
+		id:      fmt.Sprintf("%s-l%d", j.ID, j.nextLease),
+		worker:  worker,
+		points:  points,
+		expires: now.Add(cfg.LeaseTTL),
+	}
+	j.leases[l.id] = l
+	out := &Lease{
+		ID:          l.id,
+		Job:         j.ID,
+		Spec:        j.Spec,
+		Points:      points,
+		Fingerprint: j.fingerprint,
+		TTLSec:      cfg.LeaseTTL.Seconds(),
+	}
+	if j.Spec.Pool {
+		out.PoolSize = cfg.PoolSize
+		out.PoolSeed = cfg.PoolSeed
+	}
+	cfg.Logf("dist: job %s: leased points %v to %s as %s", j.ID, points, worker, l.id)
+	return out
+}
+
+// heartbeat re-arms a live lease. It reports false when the lease is
+// unknown or already resolved — the worker should abandon that work.
+func (j *Job) heartbeat(hb Heartbeat, now time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	l, ok := j.leases[hb.Lease]
+	if !ok || j.finished {
+		return false
+	}
+	l.expires = now.Add(j.coord.cfg.LeaseTTL)
+	if hb.DonePackets > l.hbPackets {
+		l.hbPackets = hb.DonePackets
+	}
+	return true
+}
+
+// checkPointShape validates a reported point against the plan.
+func (j *Job) checkPointShape(idx int, p sweep.JournalPoint) error {
+	if idx < 0 || idx >= len(j.points) {
+		return fmt.Errorf("point %d outside [0,%d)", idx, len(j.points))
+	}
+	if p.N != j.points[idx].packets || len(p.OK) != j.points[idx].arms {
+		return fmt.Errorf("point %d shape mismatch (%d packets/%d arms reported, want %d/%d)",
+			idx, p.N, len(p.OK), j.points[idx].packets, j.points[idx].arms)
+	}
+	return nil
+}
+
+// markDoneLocked records a completed point and publishes its event;
+// journal controls whether the point is also appended to the journal
+// (replayed points are already on disk). Callers hold j.mu.
+func (j *Job) markDoneLocked(idx int, p sweep.JournalPoint, journal bool) {
+	pt := &j.points[idx]
+	if pt.done {
+		return
+	}
+	pt.done = true
+	pt.n = p.N
+	pt.ok = append([]int(nil), p.OK...)
+	j.donePoints++
+	if journal && j.journal != nil {
+		if err := j.journal.Append(sweep.JournalPoint{Point: idx, N: pt.n, OK: pt.ok}); err != nil {
+			j.failLocked(fmt.Errorf("dist: journal append: %w", err))
+			return
+		}
+	}
+	ev := sweep.PointEvent{
+		Seq: len(j.events), Point: idx, N: pt.n, OK: pt.ok,
+		DonePoints: j.donePoints, Points: len(j.points),
+	}
+	j.events = append(j.events, ev)
+	for _, ch := range j.subs {
+		ch <- ev
+	}
+}
+
+// result merges a worker's lease result. Success tallies are idempotent
+// — a point already completed (by a faster re-lease or a duplicate POST)
+// is skipped, which is sound because tallies are deterministic. An error
+// result fails the job only while its lease is live; stale errors are
+// dropped.
+func (j *Job) result(res LeaseResult) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	l, live := j.leases[res.Lease]
+	if live {
+		delete(j.leases, res.Lease)
+		defer j.coord.forgetLease(res.Lease)
+	}
+	if j.finished {
+		return nil
+	}
+	if res.Error != "" {
+		if live {
+			j.failLocked(fmt.Errorf("dist: worker %s failed lease %s: %s", res.Worker, res.Lease, res.Error))
+		} else {
+			j.coord.cfg.Logf("dist: job %s: dropping stale error from %s: %s", j.ID, res.Worker, res.Error)
+		}
+		return nil
+	}
+	if res.Fingerprint != j.fingerprint {
+		// Defence in depth: workers verify the fingerprint before
+		// running, so a mismatch here is a protocol violation, not a
+		// recoverable state. Refuse the tallies and put the points back.
+		if live {
+			j.rebuildPending()
+		}
+		return fmt.Errorf("dist: job %s: result fingerprint %s does not match plan %s", j.ID, res.Fingerprint, j.fingerprint)
+	}
+	inLease := make(map[int]bool)
+	if live {
+		for _, p := range l.points {
+			inLease[p] = true
+		}
+	}
+	for _, p := range res.Points {
+		if err := j.checkPointShape(p.Point, p); err != nil {
+			j.failLocked(fmt.Errorf("dist: worker %s: %w", res.Worker, err))
+			return nil
+		}
+		j.markDoneLocked(p.Point, p, true)
+		delete(inLease, p.Point)
+		if j.finished {
+			return nil
+		}
+	}
+	// Leased points the result did not cover go back to pending.
+	if live && len(inLease) > 0 {
+		j.rebuildPending()
+	}
+	if j.donePoints == len(j.points) {
+		j.finalizeLocked()
+	}
+	return nil
+}
+
+// finalizeLocked assembles the table once every point is complete.
+// Callers hold j.mu.
+func (j *Job) finalizeLocked() {
+	if j.finished {
+		return
+	}
+	// A lease can outlive its points (a slow worker's stale result
+	// finished the job while a re-issue was still running): drop the
+	// bookkeeping so heartbeat progress stops inflating DonePackets and
+	// the coordinator-level lease index does not leak.
+	j.dropLeasesLocked()
+	results := make([][]experiments.PSRPoint, len(j.points))
+	arms := j.plan.Points
+	for i := range j.points {
+		kinds := arms[i].Cfg.Receivers
+		pts := make([]experiments.PSRPoint, len(kinds))
+		for a, k := range kinds {
+			pts[a] = experiments.PSRPoint{Kind: k, OK: j.points[i].ok[a], N: j.points[i].n}
+		}
+		results[i] = pts
+	}
+	table, err := j.plan.Assemble(results)
+	j.finished = true
+	j.err = err
+	j.table = table
+	j.results = results
+	j.elapsed = time.Since(j.start)
+	j.closeSubsLocked()
+	if j.journal != nil {
+		j.journal.Close()
+	}
+	close(j.done)
+}
+
+// failLocked records the job's first error. Callers hold j.mu.
+func (j *Job) failLocked(err error) {
+	if j.finished {
+		return
+	}
+	j.finished = true
+	j.err = err
+	j.elapsed = time.Since(j.start)
+	j.dropLeasesLocked()
+	j.closeSubsLocked()
+	if j.journal != nil {
+		j.journal.Close()
+	}
+	close(j.done)
+}
+
+// dropLeasesLocked forgets every outstanding lease, job- and
+// coordinator-side. Callers hold j.mu (the j.mu → c.mu nesting matches
+// grantLease's expiry reaping).
+func (j *Job) dropLeasesLocked() {
+	for id := range j.leases {
+		delete(j.leases, id)
+		j.coord.forgetLease(id)
+	}
+}
+
+func (j *Job) closeSubsLocked() {
+	for id, ch := range j.subs {
+		delete(j.subs, id)
+		close(ch)
+	}
+}
+
+// Subscribe mirrors sweep.Job.Subscribe: every completed point so far
+// (journal-restored ones first) plus a live channel, closed when the job
+// finishes or cancel is called.
+func (j *Job) Subscribe() (past []sweep.PointEvent, ch <-chan sweep.PointEvent, cancel func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	past = append([]sweep.PointEvent(nil), j.events...)
+	c := make(chan sweep.PointEvent, len(j.points)+1)
+	if j.finished {
+		close(c)
+		return past, c, func() {}
+	}
+	id := j.nextSub
+	j.nextSub++
+	if j.subs == nil {
+		j.subs = make(map[int]chan sweep.PointEvent)
+	}
+	j.subs[id] = c
+	return past, c, func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if cc, ok := j.subs[id]; ok {
+			delete(j.subs, id)
+			close(cc)
+		}
+	}
+}
+
+// Done returns a channel closed when the job finishes (any outcome).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job completes, then returns its result (table
+// and raw per-point tallies) or its failure.
+func (j *Job) Wait(ctx context.Context) (*sweep.Result, error) {
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-j.done:
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return nil, j.err
+	}
+	return &sweep.Result{Table: j.table, Points: j.results, Elapsed: j.elapsed}, nil
+}
+
+// Progress reports the job's execution state in the same shape as an
+// in-process engine job, so the HTTP API is identical in both modes.
+func (j *Job) Progress() sweep.Progress {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	p := sweep.Progress{
+		ID:             j.ID,
+		Experiment:     j.Spec.Experiment,
+		State:          "running",
+		Points:         len(j.points),
+		DonePoints:     j.donePoints,
+		RestoredPoints: j.restored,
+		Packets:        j.totalPackets,
+		ElapsedSec:     time.Since(j.start).Seconds(),
+	}
+	for i := range j.points {
+		if j.points[i].done {
+			p.DonePackets += int64(j.points[i].n)
+		}
+	}
+	for _, l := range j.leases {
+		p.DonePackets += l.hbPackets
+	}
+	if j.finished {
+		p.ElapsedSec = j.elapsed.Seconds()
+		if j.err != nil {
+			p.State = "failed"
+			p.Error = j.err.Error()
+		} else {
+			p.State = "done"
+		}
+	}
+	return p
+}
+
+// Handler returns the worker-tier HTTP API (the /v1/dist/ endpoints),
+// guarded by the configured bearer token.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, status int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		if err := json.NewEncoder(w).Encode(v); err != nil {
+			c.cfg.Logf("dist: writing response: %v", err)
+		}
+	}
+	readJSON := func(w http.ResponseWriter, r *http.Request, v any) bool {
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(v); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return false
+		}
+		return true
+	}
+
+	mux.HandleFunc("POST /v1/dist/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req LeaseRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		l := c.nextLease(req.Worker)
+		if l == nil {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		writeJSON(w, http.StatusOK, l)
+	})
+
+	mux.HandleFunc("POST /v1/dist/result", func(w http.ResponseWriter, r *http.Request) {
+		var res LeaseResult
+		if !readJSON(w, r, &res) {
+			return
+		}
+		j := c.Job(res.Job)
+		if j == nil {
+			// Unknown job: removed, or from a journal-less previous life.
+			// Nothing to merge into; the worker's work is simply dropped.
+			writeJSON(w, http.StatusOK, map[string]string{"status": "dropped"})
+			return
+		}
+		if err := j.result(res); err != nil {
+			writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	mux.HandleFunc("POST /v1/dist/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var hb Heartbeat
+		if !readJSON(w, r, &hb) {
+			return
+		}
+		j := c.jobForLease(hb.Lease)
+		if j == nil || !j.heartbeat(hb, time.Now()) {
+			writeJSON(w, http.StatusGone, map[string]string{"error": "lease revoked"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	return BearerAuth(c.cfg.Token, mux)
+}
+
+// BearerAuth wraps h so every request must carry
+// "Authorization: Bearer <token>". An empty token disables the check
+// (for localhost experimentation; production coordinators set one).
+func BearerAuth(token string, h http.Handler) http.Handler {
+	if token == "" {
+		return h
+	}
+	want := "Bearer " + token
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("Authorization") != want {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="cprecycle"`)
+			http.Error(w, "unauthorized", http.StatusUnauthorized)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,463 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sweep"
+)
+
+// testSpec is the reduced-fidelity fig8 sweep the package tests run: two
+// SIRs × three MCS modes (six points), four packets each.
+func testSpec() sweep.Spec {
+	return sweep.Spec{Experiment: "fig8", Packets: 4, PSDUBytes: 60, Seed: 3, Axis: []float64{-10, -20}}
+}
+
+// directTable runs the spec on the direct, engine-less sequential path —
+// the reference every distributed run must match byte for byte.
+func directTable(t *testing.T, spec sweep.Spec) string {
+	t.Helper()
+	req, err := spec.Request(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := experiments.NewSweepPlan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := experiments.RunSweepPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb.Render()
+}
+
+func testCoordinator(t *testing.T, cfg Config) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	if cfg.LeaseTTL == 0 {
+		cfg.LeaseTTL = 10 * time.Second
+	}
+	cfg.Logf = t.Logf
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	t.Cleanup(func() { srv.Close(); c.Close() })
+	return c, srv
+}
+
+func testWorker(t *testing.T, url, token string) *Worker {
+	t.Helper()
+	w, err := StartWorker(WorkerConfig{
+		Coordinator: url,
+		Token:       token,
+		Engine:      sweep.Config{Workers: 2, ShardPackets: 2},
+		Poll:        10 * time.Millisecond,
+		Heartbeat:   50 * time.Millisecond,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	return w
+}
+
+func waitTable(t *testing.T, j *Job) string {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	res, err := j.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Table.Render()
+}
+
+// postJSON is the raw worker-tier client the zombie/stale tests use.
+func postJSON(t *testing.T, url, token, path string, body any, out any) int {
+	t.Helper()
+	payload, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url+path, bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestCoordinatorMatchesDirect pins the tentpole invariant: a coordinator
+// plus 1, 2 or 4 workers produces a byte-identical table to the direct
+// single-engine path for the same spec and seed, and the event stream
+// carries exactly one event per point.
+func TestCoordinatorMatchesDirect(t *testing.T) {
+	spec := testSpec()
+	want := directTable(t, spec)
+	for _, workers := range []int{1, 2, 4} {
+		c, srv := testCoordinator(t, Config{LeasePoints: 1})
+		j, err := c.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		past, events, cancel := j.Subscribe()
+		defer cancel()
+		if len(past) != 0 {
+			t.Fatalf("%d workers: %d events before any worker joined", workers, len(past))
+		}
+		for i := 0; i < workers; i++ {
+			testWorker(t, srv.URL, "")
+		}
+		got := waitTable(t, j)
+		if got != want {
+			t.Fatalf("%d workers: table differs from direct:\n%s\nvs\n%s", workers, got, want)
+		}
+		seen := make(map[int]bool)
+		seq := 0
+		for ev := range events {
+			if ev.Seq != seq {
+				t.Fatalf("%d workers: event seq %d, want %d", workers, ev.Seq, seq)
+			}
+			seq++
+			if seen[ev.Point] {
+				t.Fatalf("%d workers: point %d reported twice", workers, ev.Point)
+			}
+			seen[ev.Point] = true
+			if ev.Points != 6 || ev.N != spec.Packets {
+				t.Fatalf("%d workers: malformed event %+v", workers, ev)
+			}
+		}
+		if len(seen) != 6 {
+			t.Fatalf("%d workers: %d point events, want 6", workers, len(seen))
+		}
+		if p := j.Progress(); p.State != "done" || p.DonePoints != 6 || p.DonePackets != p.Packets {
+			t.Fatalf("%d workers: final progress %+v", workers, p)
+		}
+	}
+}
+
+// TestCoordinatorMatchesEnginePooled pins the same invariant for pooled
+// sweeps: distributed workers, each building its waveform pool from the
+// lease's (size, seed) identity, match an in-process engine configured
+// with that identity byte for byte.
+func TestCoordinatorMatchesEnginePooled(t *testing.T) {
+	spec := testSpec()
+	spec.Pool = true
+
+	eng := sweep.New(sweep.Config{Workers: 2, ShardPackets: 2, PoolSize: 4, PoolSeed: 9})
+	defer eng.Close()
+	ej, err := eng.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eres, err := ej.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := eres.Table.Render()
+
+	c, srv := testCoordinator(t, Config{LeasePoints: 2, PoolSize: 4, PoolSeed: 9})
+	j, err := c.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testWorker(t, srv.URL, "")
+	testWorker(t, srv.URL, "")
+	if got := waitTable(t, j); got != want {
+		t.Fatalf("pooled distributed table differs from pooled engine:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestWorkerKilledMidSweep pins re-lease on worker death: a zombie takes
+// a lease and never reports (the deterministic stand-in for kill -9), and
+// a live worker killed mid-run abandons its lease; the survivors complete
+// the sweep and the table still matches the direct path byte for byte.
+func TestWorkerKilledMidSweep(t *testing.T) {
+	spec := testSpec()
+	spec.Packets = 6
+	want := directTable(t, spec)
+
+	c, srv := testCoordinator(t, Config{LeasePoints: 1, LeaseTTL: 300 * time.Millisecond})
+	j, err := c.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The zombie leases one point and goes silent: this lease MUST be
+	// re-issued for the job to finish.
+	var zombieLease Lease
+	if status := postJSON(t, srv.URL, "", "/v1/dist/lease", LeaseRequest{Worker: "zombie"}, &zombieLease); status != http.StatusOK {
+		t.Fatalf("zombie lease poll: HTTP %d", status)
+	}
+
+	// A real worker that is killed once it has work in flight.
+	doomed := testWorker(t, srv.URL, "")
+	for start := time.Now(); doomed.Leases() == 0; {
+		if time.Since(start) > 30*time.Second {
+			t.Fatal("doomed worker never acquired a lease")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	doomed.Close()
+
+	// The survivor finishes everything, including both orphaned leases.
+	testWorker(t, srv.URL, "")
+	if got := waitTable(t, j); got != want {
+		t.Fatalf("table after worker death differs from direct:\n%s\nvs\n%s", got, want)
+	}
+
+	// The zombie's late heartbeat must be told its lease is gone.
+	if status := postJSON(t, srv.URL, "", "/v1/dist/heartbeat", Heartbeat{Lease: zombieLease.ID, Worker: "zombie"}, nil); status != http.StatusGone {
+		t.Fatalf("stale heartbeat: HTTP %d, want 410", status)
+	}
+}
+
+// TestJournalReplayAfterKill pins coordinator durability: a coordinator
+// that vanishes without any shutdown path (kill -9) is rebuilt from its
+// journal directory, resumes at the first unjournalled point — restored
+// points are never recomputed — and still renders the direct table byte
+// for byte. A torn half-written line (the crash landing mid-append) must
+// be tolerated.
+func TestJournalReplayAfterKill(t *testing.T) {
+	spec := testSpec()
+	want := directTable(t, spec)
+	dir := t.TempDir()
+
+	first, err := New(Config{LeasePoints: 1, LeaseTTL: 10 * time.Second, JournalDir: dir, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := httptest.NewServer(first.Handler())
+	j1, err := first.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, events, cancelSub := j1.Subscribe()
+	w1 := testWorker(t, srv1.URL, "")
+	// Let exactly two points land on disk, then "kill -9": stop the
+	// worker, drop the server, and never Close the coordinator.
+	for i := 0; i < 2; i++ {
+		select {
+		case <-events:
+		case <-time.After(120 * time.Second):
+			t.Fatal("timed out waiting for journalled points")
+		}
+	}
+	w1.Close()
+	cancelSub()
+	srv1.Close()
+
+	// Simulate the crash landing mid-append: a torn trailing line.
+	path := first.journalPath(j1.ID)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"point":5,"n":4,"ok":[`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	second, err := New(Config{LeasePoints: 1, LeaseTTL: 10 * time.Second, JournalDir: dir, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := httptest.NewServer(second.Handler())
+	t.Cleanup(func() { srv2.Close(); second.Close() })
+	j2 := second.Job(j1.ID)
+	if j2 == nil {
+		t.Fatalf("job %s not replayed; have %d jobs", j1.ID, len(second.Jobs()))
+	}
+	if p := j2.Progress(); p.RestoredPoints < 2 || p.State != "running" {
+		t.Fatalf("replayed progress %+v, want ≥2 restored points and running", p)
+	}
+	testWorker(t, srv2.URL, "")
+	if got := waitTable(t, j2); got != want {
+		t.Fatalf("table after journal replay differs from direct:\n%s\nvs\n%s", got, want)
+	}
+	// A further restart over the finished journal restores the job as
+	// done without any worker.
+	third, err := New(Config{JournalDir: dir, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer third.Close()
+	j3 := third.Job(j1.ID)
+	if j3 == nil {
+		t.Fatal("finished job not replayed")
+	}
+	if p := j3.Progress(); p.State != "done" || p.RestoredPoints != 6 {
+		t.Fatalf("finished replay progress %+v", p)
+	}
+	if got := waitTable(t, j3); got != want {
+		t.Fatal("replayed finished table differs from direct")
+	}
+}
+
+// TestJournalReplaySkipsUnparsable pins that a zero-byte journal (kill
+// -9 between file creation and the header write) or foreign garbage in
+// the journal directory cannot crash-loop the coordinator: the file is
+// skipped with its id burned, and fresh submissions never collide with
+// it.
+func TestJournalReplaySkipsUnparsable(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "j7.jsonl"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "j3.jsonl"), []byte("not a journal\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{JournalDir: dir, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("unparsable journals crash the coordinator: %v", err)
+	}
+	defer c.Close()
+	if n := len(c.Jobs()); n != 0 {
+		t.Fatalf("%d jobs replayed from garbage", n)
+	}
+	j, err := c.Submit(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.ID != "j8" {
+		t.Fatalf("fresh job id %s, want j8 (numbering past the skipped files)", j.ID)
+	}
+}
+
+// TestLeaseAuth pins the bearer-token gate on the worker tier.
+func TestLeaseAuth(t *testing.T) {
+	_, srv := testCoordinator(t, Config{Token: "s3cret"})
+	if status := postJSON(t, srv.URL, "", "/v1/dist/lease", LeaseRequest{Worker: "w"}, nil); status != http.StatusUnauthorized {
+		t.Fatalf("tokenless lease poll: HTTP %d, want 401", status)
+	}
+	if status := postJSON(t, srv.URL, "wrong", "/v1/dist/lease", LeaseRequest{Worker: "w"}, nil); status != http.StatusUnauthorized {
+		t.Fatalf("wrong-token lease poll: HTTP %d, want 401", status)
+	}
+	if status := postJSON(t, srv.URL, "s3cret", "/v1/dist/lease", LeaseRequest{Worker: "w"}, nil); status != http.StatusNoContent {
+		t.Fatalf("authorized idle poll: HTTP %d, want 204", status)
+	}
+}
+
+// TestResultMergeEdgeCases pins the merge rules a flaky network exercises:
+// duplicate results are idempotent, stale errors are dropped, live errors
+// fail the job, and a fingerprint-mismatched result is refused.
+func TestResultMergeEdgeCases(t *testing.T) {
+	spec := testSpec()
+	want := directTable(t, spec)
+
+	t.Run("duplicate and stale", func(t *testing.T) {
+		c, srv := testCoordinator(t, Config{LeasePoints: 1})
+		j, err := c.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Manually work one lease and deliver its result twice.
+		var l Lease
+		if status := postJSON(t, srv.URL, "", "/v1/dist/lease", LeaseRequest{Worker: "manual"}, &l); status != http.StatusOK {
+			t.Fatalf("lease poll: HTTP %d", status)
+		}
+		eng := sweep.New(sweep.Config{Workers: 2, ShardPackets: 2})
+		defer eng.Close()
+		job, err := eng.SubmitPoints(context.Background(), l.Spec, l.Points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := job.Wait(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := LeaseResult{Lease: l.ID, Job: l.Job, Worker: "manual", Fingerprint: l.Fingerprint}
+		for _, i := range l.Points {
+			jp := sweep.JournalPoint{Point: i, N: res.Points[i][0].N}
+			for _, p := range res.Points[i] {
+				jp.OK = append(jp.OK, p.OK)
+			}
+			out.Points = append(out.Points, jp)
+		}
+		for i := 0; i < 2; i++ {
+			if status := postJSON(t, srv.URL, "", "/v1/dist/result", out, nil); status != http.StatusOK {
+				t.Fatalf("result POST %d: HTTP %d", i, status)
+			}
+		}
+		// A stale error for the now-resolved lease must not fail the job.
+		stale := LeaseResult{Lease: l.ID, Job: l.Job, Worker: "manual", Fingerprint: l.Fingerprint, Error: "boom"}
+		if status := postJSON(t, srv.URL, "", "/v1/dist/result", stale, nil); status != http.StatusOK {
+			t.Fatalf("stale error POST: HTTP %d", status)
+		}
+		if p := j.Progress(); p.State != "running" || p.DonePoints != len(l.Points) {
+			t.Fatalf("after duplicate+stale merge: %+v", p)
+		}
+		testWorker(t, srv.URL, "")
+		if got := waitTable(t, j); got != want {
+			t.Fatal("table after duplicate/stale merges differs from direct")
+		}
+	})
+
+	t.Run("live error fails job", func(t *testing.T) {
+		c, srv := testCoordinator(t, Config{LeasePoints: 1})
+		j, err := c.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var l Lease
+		postJSON(t, srv.URL, "", "/v1/dist/lease", LeaseRequest{Worker: "broken"}, &l)
+		res := LeaseResult{Lease: l.ID, Job: l.Job, Worker: "broken", Fingerprint: l.Fingerprint, Error: "decoder exploded"}
+		if status := postJSON(t, srv.URL, "", "/v1/dist/result", res, nil); status != http.StatusOK {
+			t.Fatalf("error result POST: HTTP %d", status)
+		}
+		if _, err := j.Wait(context.Background()); err == nil || !strings.Contains(err.Error(), "decoder exploded") {
+			t.Fatalf("job error = %v", err)
+		}
+		if p := j.Progress(); p.State != "failed" {
+			t.Fatalf("state %s, want failed", p.State)
+		}
+	})
+
+	t.Run("fingerprint mismatch refused", func(t *testing.T) {
+		c, srv := testCoordinator(t, Config{LeasePoints: 1})
+		j, err := c.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var l Lease
+		postJSON(t, srv.URL, "", "/v1/dist/lease", LeaseRequest{Worker: "skewed"}, &l)
+		res := LeaseResult{Lease: l.ID, Job: l.Job, Worker: "skewed", Fingerprint: "deadbeef",
+			Points: []sweep.JournalPoint{{Point: l.Points[0], N: spec.Packets, OK: []int{0, 0}}}}
+		if status := postJSON(t, srv.URL, "", "/v1/dist/result", res, nil); status != http.StatusConflict {
+			t.Fatalf("skewed result POST: HTTP %d, want 409", status)
+		}
+		if p := j.Progress(); p.State != "running" || p.DonePoints != 0 {
+			t.Fatalf("after refused result: %+v", p)
+		}
+		// The refused lease's points must be re-issuable.
+		testWorker(t, srv.URL, "")
+		if got := waitTable(t, j); got != want {
+			t.Fatal("table after refused result differs from direct")
+		}
+	})
+}

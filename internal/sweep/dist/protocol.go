@@ -1,0 +1,114 @@
+// Package dist is the distributed sweep tier: a coordinator that
+// decomposes sweep.Specs into point-range leases and hands them to
+// remote workers over HTTP, and a worker that wraps a local sweep.Engine
+// and executes leases against it.
+//
+// # Determinism contract
+//
+// A coordinator plus any number of workers produces a byte-identical
+// table to one direct in-process engine for the same spec and seed. The
+// contract rests on three established properties: every packet derives
+// its RNG from (point seed, packet index), so any executor of a point
+// range tallies identically; pooled sweeps pin the waveform pool's
+// (size, seed) identity, which the lease carries so every worker builds
+// the same pool; and leases name plan points by index against the
+// normalised spec, with a plan fingerprint (experiments.SweepPlan
+// Fingerprint) that both sides must agree on before any tallies merge —
+// version skew between binaries is refused, not silently blended.
+//
+// # Lease lifecycle
+//
+// A worker polls POST /v1/dist/lease and receives a Lease: a job id, the
+// normalised spec, a contiguous range of plan point indexes, the plan
+// fingerprint, the pool identity for pooled specs, and a TTL. The
+// coordinator marks those points leased until time.Now()+TTL. While
+// running, the worker POSTs /v1/dist/heartbeat at a fraction of the TTL;
+// each accepted heartbeat re-arms the deadline (and reports packet-level
+// progress for dashboards). A lease whose deadline passes — worker
+// crash, network partition, kill -9 — is reaped at the next lease poll
+// and its points return to the pending queue for re-issue; a heartbeat
+// or result arriving after re-issue is answered with 410 Gone
+// (heartbeat) or merged idempotently (result: a point's tallies are
+// deterministic, so whichever copy lands first wins and the second is
+// ignored). A worker that hits a real execution error reports it in
+// LeaseResult.Error; if its lease is still live the job fails — the
+// error is deterministic and would recur on any worker — while an error
+// from an already-expired lease is dropped.
+//
+// # Authentication
+//
+// When the coordinator is configured with a bearer token, every
+// /v1/dist/ request must carry "Authorization: Bearer <token>";
+// anything else is 401. Workers take the same token via their config.
+// The token authenticates the compute tier; the separate client API
+// (cmd/cprecycle-bench -coordinator) can be guarded by the same token.
+//
+// # Durability
+//
+// With Config.JournalDir set, every job appends to
+// <dir>/<jobID>.jsonl in the sweep journal format (header line with the
+// normalised spec, point count and pool identity; one line per completed
+// point, torn tails tolerated, duplicate point lines last-wins). A
+// coordinator restarted over the same directory replays the journals and
+// resumes every job at its first unleased point — completed points are
+// never recomputed, in-flight leases from the previous life simply
+// expire and re-issue.
+package dist
+
+import "repro/internal/sweep"
+
+// Wire types of the worker tier. All endpoints live under /v1/dist/ on
+// the coordinator:
+//
+//	POST /v1/dist/lease      LeaseRequest → 200 Lease, or 204 when no work
+//	POST /v1/dist/result     LeaseResult  → 200 (idempotent)
+//	POST /v1/dist/heartbeat  Heartbeat    → 200, or 410 when the lease was re-issued
+
+// LeaseRequest is a worker's poll for work.
+type LeaseRequest struct {
+	// Worker identifies the polling worker (stable per process; shows up
+	// in logs and lease bookkeeping).
+	Worker string `json:"worker"`
+}
+
+// Lease is one unit of handed-out work: a contiguous point range of one
+// job's sweep plan.
+type Lease struct {
+	ID   string     `json:"id"`
+	Job  string     `json:"job"`
+	Spec sweep.Spec `json:"spec"`
+	// Points lists the leased plan point indexes (contiguous, ascending).
+	Points []int `json:"points"`
+	// Fingerprint is the coordinator's plan fingerprint; the worker
+	// refuses the lease if its locally-built plan disagrees.
+	Fingerprint string `json:"fingerprint"`
+	// PoolSize/PoolSeed pin the waveform pool identity for pooled specs;
+	// zero for pool-less sweeps.
+	PoolSize int   `json:"pool_size,omitempty"`
+	PoolSeed int64 `json:"pool_seed,omitempty"`
+	// TTLSec is the lease deadline: the worker must heartbeat (or finish)
+	// within this many seconds or the points are re-issued.
+	TTLSec float64 `json:"ttl_sec"`
+}
+
+// LeaseResult reports a finished or failed lease. Points carries one
+// complete per-point tally per leased point (sweep.JournalPoint, exactly
+// the journal line shape); Error marks the whole lease failed.
+type LeaseResult struct {
+	Lease       string               `json:"lease"`
+	Job         string               `json:"job"`
+	Worker      string               `json:"worker"`
+	Fingerprint string               `json:"fingerprint"`
+	Points      []sweep.JournalPoint `json:"points,omitempty"`
+	Error       string               `json:"error,omitempty"`
+}
+
+// Heartbeat re-arms a running lease's deadline and reports progress.
+type Heartbeat struct {
+	Lease  string `json:"lease"`
+	Worker string `json:"worker"`
+	// DonePackets is the worker's packet count completed within this
+	// lease so far (progress reporting only; tallies travel in the
+	// result).
+	DonePackets int64 `json:"done_packets"`
+}

@@ -1,0 +1,321 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// WorkerConfig parameterises a Worker.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL (e.g. "http://host:8080").
+	Coordinator string
+	// Token is the bearer token the coordinator requires (may be empty
+	// for unauthenticated coordinators).
+	Token string
+	// ID names this worker in leases and logs (default "host:pid").
+	ID string
+	// Engine configures the local execution engine. Workers and
+	// ShardPackets are honoured; PoolSize and PoolSeed are overridden per
+	// lease so the worker's waveform pool always matches the
+	// coordinator's pool identity.
+	Engine sweep.Config
+	// Poll is the idle delay between lease polls when the coordinator has
+	// no work (default 500ms).
+	Poll time.Duration
+	// Heartbeat is the interval between lease heartbeats while a lease
+	// runs (default 5s; must be comfortably under the coordinator's
+	// LeaseTTL).
+	Heartbeat time.Duration
+	// HTTPClient overrides the default client (tests inject the
+	// httptest transport; production tunes timeouts).
+	HTTPClient *http.Client
+	// Logf receives operational log lines. Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c WorkerConfig) withDefaults() (WorkerConfig, error) {
+	if c.Coordinator == "" {
+		return c, fmt.Errorf("dist: worker needs a coordinator URL")
+	}
+	c.Coordinator = strings.TrimRight(c.Coordinator, "/")
+	if c.ID == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		c.ID = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	if c.Poll <= 0 {
+		c.Poll = 500 * time.Millisecond
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 5 * time.Second
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c, nil
+}
+
+// Worker polls a coordinator for point-range leases and executes them on
+// a local sweep.Engine. Its waveform pool is rebuilt whenever a lease
+// names a different pool identity, so pooled tallies are always drawn
+// from the exact pool the coordinator journalled. Start with StartWorker,
+// stop with Close; a closed worker abandons its in-flight lease (no
+// result is sent) and the coordinator re-issues it after the lease TTL —
+// the crash-equivalent path the protocol is built around.
+type Worker struct {
+	cfg    WorkerConfig
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	leases atomic.Int64
+
+	mu      sync.Mutex
+	engine  *sweep.Engine
+	poolKey [2]int64 // (size, seed) identity of engine's pool
+}
+
+// StartWorker validates cfg and starts the polling loop.
+func StartWorker(cfg WorkerConfig) (*Worker, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	w := &Worker{cfg: cfg, ctx: ctx, cancel: cancel}
+	w.wg.Add(1)
+	go w.loop()
+	return w, nil
+}
+
+// Leases reports how many leases this worker has been granted (test and
+// monitoring hook).
+func (w *Worker) Leases() int64 { return w.leases.Load() }
+
+// Close stops the polling loop, cancels any in-flight lease and shuts
+// down the local engine.
+func (w *Worker) Close() {
+	w.cancel()
+	w.wg.Wait()
+	w.mu.Lock()
+	if w.engine != nil {
+		w.engine.Close()
+		w.engine = nil
+	}
+	w.mu.Unlock()
+}
+
+func (w *Worker) loop() {
+	defer w.wg.Done()
+	for w.ctx.Err() == nil {
+		lease, err := w.requestLease()
+		if err != nil {
+			w.cfg.Logf("dist: worker %s: lease poll: %v", w.cfg.ID, err)
+		}
+		if lease == nil {
+			select {
+			case <-w.ctx.Done():
+				return
+			case <-time.After(w.cfg.Poll):
+			}
+			continue
+		}
+		w.leases.Add(1)
+		w.runLease(lease)
+	}
+}
+
+// engineFor returns the local engine, rebuilding it when the lease's
+// pool identity differs from the current engine's.
+func (w *Worker) engineFor(l *Lease) *sweep.Engine {
+	key := [2]int64{int64(l.PoolSize), l.PoolSeed}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.engine != nil && w.poolKey != key {
+		w.engine.Close()
+		w.engine = nil
+	}
+	if w.engine == nil {
+		cfg := w.cfg.Engine
+		cfg.PoolSize = l.PoolSize
+		cfg.PoolSeed = l.PoolSeed
+		w.engine = sweep.New(cfg)
+		w.poolKey = key
+	}
+	return w.engine
+}
+
+// runLease executes one lease to completion (or abandonment) and reports
+// the result.
+func (w *Worker) runLease(l *Lease) {
+	eng := w.engineFor(l)
+	job, err := eng.SubmitPoints(w.ctx, l.Spec, l.Points)
+	if err != nil {
+		w.report(&LeaseResult{Lease: l.ID, Job: l.Job, Worker: w.cfg.ID, Fingerprint: l.Fingerprint,
+			Error: fmt.Sprintf("submit: %v", err)})
+		return
+	}
+	if fp := job.Plan().Fingerprint(); fp != l.Fingerprint {
+		job.Cancel()
+		w.report(&LeaseResult{Lease: l.ID, Job: l.Job, Worker: w.cfg.ID, Fingerprint: fp,
+			Error: fmt.Sprintf("plan fingerprint %s does not match lease %s (coordinator/worker version skew?)", fp, l.Fingerprint)})
+		return
+	}
+
+	// Heartbeat until the job settles; a revoked lease (410) cancels the
+	// local job — the coordinator has already re-issued its points.
+	hbDone := make(chan struct{})
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		t := time.NewTicker(w.cfg.Heartbeat)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbDone:
+				return
+			case <-w.ctx.Done():
+				return
+			case <-t.C:
+				ok, err := w.heartbeat(Heartbeat{Lease: l.ID, Worker: w.cfg.ID, DonePackets: job.Progress().DonePackets})
+				if err != nil {
+					w.cfg.Logf("dist: worker %s: heartbeat %s: %v", w.cfg.ID, l.ID, err)
+					continue
+				}
+				if !ok {
+					w.cfg.Logf("dist: worker %s: lease %s revoked, abandoning", w.cfg.ID, l.ID)
+					job.Cancel()
+					return
+				}
+			}
+		}
+	}()
+	res, err := job.Wait(w.ctx)
+	close(hbDone)
+	if err != nil {
+		if w.ctx.Err() != nil || err == context.Canceled {
+			// Worker shutdown or lease revocation: abandon silently; the
+			// lease TTL (or the revocation that caused this) handles
+			// re-issue.
+			return
+		}
+		w.report(&LeaseResult{Lease: l.ID, Job: l.Job, Worker: w.cfg.ID, Fingerprint: l.Fingerprint,
+			Error: err.Error()})
+		return
+	}
+	out := &LeaseResult{Lease: l.ID, Job: l.Job, Worker: w.cfg.ID, Fingerprint: l.Fingerprint}
+	for _, i := range l.Points {
+		pts := res.Points[i]
+		jp := sweep.JournalPoint{Point: i, N: pts[0].N, OK: make([]int, len(pts))}
+		for a := range pts {
+			jp.OK[a] = pts[a].OK
+		}
+		out.Points = append(out.Points, jp)
+	}
+	w.report(out)
+}
+
+// report POSTs a lease result, retrying transient failures a few times;
+// a result that cannot be delivered is dropped and the lease TTL
+// re-issues the work.
+func (w *Worker) report(res *LeaseResult) {
+	for attempt := 0; ; attempt++ {
+		status, err := w.post("/v1/dist/result", res, nil)
+		if err == nil && status < 500 {
+			if status >= 400 {
+				w.cfg.Logf("dist: worker %s: result %s rejected with %d", w.cfg.ID, res.Lease, status)
+			}
+			return
+		}
+		if attempt >= 3 || w.ctx.Err() != nil {
+			w.cfg.Logf("dist: worker %s: dropping result %s after %d attempts (err=%v status=%d)",
+				w.cfg.ID, res.Lease, attempt+1, err, status)
+			return
+		}
+		select {
+		case <-w.ctx.Done():
+			return
+		case <-time.After(w.cfg.Poll):
+		}
+	}
+}
+
+// requestLease polls for work; nil means the coordinator has none.
+func (w *Worker) requestLease() (*Lease, error) {
+	var l Lease
+	status, err := w.post("/v1/dist/lease", LeaseRequest{Worker: w.cfg.ID}, &l)
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case http.StatusOK:
+		return &l, nil
+	case http.StatusNoContent:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("lease poll: HTTP %d", status)
+	}
+}
+
+// heartbeat reports progress; ok=false means the lease was revoked.
+func (w *Worker) heartbeat(hb Heartbeat) (ok bool, err error) {
+	status, err := w.post("/v1/dist/heartbeat", hb, nil)
+	if err != nil {
+		return false, err
+	}
+	switch status {
+	case http.StatusOK:
+		return true, nil
+	case http.StatusGone:
+		return false, nil
+	default:
+		return false, fmt.Errorf("heartbeat: HTTP %d", status)
+	}
+}
+
+// post sends one JSON request to the coordinator and decodes the
+// response into out when the status is 200 and out is non-nil.
+func (w *Worker) post(path string, body, out any) (int, error) {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(w.ctx, http.MethodPost, w.cfg.Coordinator+path, bytes.NewReader(payload))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if w.cfg.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+w.cfg.Token)
+	}
+	resp, err := w.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode == http.StatusOK && out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}

@@ -133,7 +133,26 @@ func (e *Engine) runShard(sh shard) {
 // checkpoint, and schedules the remaining shards. The returned job is
 // already running; cancelling ctx cancels it.
 func (e *Engine) Submit(ctx context.Context, spec Spec) (*Job, error) {
-	req, err := spec.request(e.pool)
+	return e.submit(ctx, spec, nil)
+}
+
+// SubmitPoints is Submit restricted to a subset of the sweep plan's
+// points (by plan index, any order, no duplicates): only those points are
+// planned and executed, and the job produces per-point tallies but no
+// assembled table (a table needs every point). This is the distributed
+// worker's entry point — a lease names a point range of the full plan —
+// but is usable by any caller that wants one slice of a sweep.
+// Checkpoints are not supported for subset jobs; the distributed tier
+// journals at the coordinator instead.
+func (e *Engine) SubmitPoints(ctx context.Context, spec Spec, points []int) (*Job, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("sweep: no points selected")
+	}
+	return e.submit(ctx, spec, points)
+}
+
+func (e *Engine) submit(ctx context.Context, spec Spec, subset []int) (*Job, error) {
+	req, err := spec.Request(e.pool)
 	if err != nil {
 		return nil, err
 	}
@@ -141,18 +160,41 @@ func (e *Engine) Submit(ctx context.Context, spec Spec) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
+	active := make([]int, 0, len(plan.Points))
+	if subset == nil {
+		for i := range plan.Points {
+			active = append(active, i)
+		}
+	} else {
+		if spec.Checkpoint != "" {
+			return nil, fmt.Errorf("sweep: checkpoints are not supported for point-subset jobs")
+		}
+		seen := make(map[int]bool, len(subset))
+		for _, i := range subset {
+			if i < 0 || i >= len(plan.Points) {
+				return nil, fmt.Errorf("sweep: point %d outside [0,%d)", i, len(plan.Points))
+			}
+			if seen[i] {
+				return nil, fmt.Errorf("sweep: point %d selected twice", i)
+			}
+			seen[i] = true
+			active = append(active, i)
+		}
+	}
 
 	jctx, cancel := context.WithCancel(ctx)
 	j := &Job{
 		Spec:   spec,
 		plan:   plan,
+		subset: subset != nil,
+		active: len(active),
 		ctx:    jctx,
 		cancel: cancel,
 		start:  time.Now(),
 		done:   make(chan struct{}),
 	}
 	j.points = make([]*pointState, len(plan.Points))
-	for i := range plan.Points {
+	for _, i := range active {
 		cfg := plan.Points[i].Cfg
 		if cfg.IntraWorkers <= 0 {
 			// The engine's shard pool already occupies every core
@@ -175,7 +217,7 @@ func (e *Engine) Submit(ctx context.Context, spec Spec) (*Job, error) {
 	// the pool's identity in the header: their points are only mergeable
 	// with points drawn from an identically-parameterised pool.
 	if spec.Checkpoint != "" {
-		hdr := checkpointHeader{V: 1, Spec: spec.normalised(), Points: len(j.points)}
+		hdr := JournalHeader{V: 1, Spec: spec.Normalised(), Points: len(j.points)}
 		if spec.Pool {
 			hdr.PoolSize = e.cfg.PoolSize
 			hdr.PoolSeed = e.cfg.PoolSeed
@@ -190,15 +232,19 @@ func (e *Engine) Submit(ctx context.Context, spec Spec) (*Job, error) {
 			ps := j.points[idx]
 			if len(cp.OK) != len(ps.plan.Receivers()) || cp.N != ps.plan.Packets() {
 				cancel()
-				ck.close()
+				ck.Close()
 				return nil, fmt.Errorf("sweep: checkpoint point %d shape mismatch", idx)
 			}
 			ps.ok = cp.OK
 			ps.n = cp.N
 			ps.done = true
 			j.restoredPoints++
-			j.donePoints.Add(1)
 			j.donePackets.Add(int64(cp.N))
+			done := int(j.donePoints.Add(1))
+			j.events = append(j.events, PointEvent{
+				Seq: len(j.events), Point: idx, N: cp.N, OK: cp.OK,
+				DonePoints: done, Points: j.active,
+			})
 		}
 	}
 
@@ -207,7 +253,7 @@ func (e *Engine) Submit(ctx context.Context, spec Spec) (*Job, error) {
 		e.mu.Unlock()
 		cancel()
 		if j.ckpt != nil {
-			j.ckpt.close()
+			j.ckpt.Close()
 		}
 		return nil, fmt.Errorf("sweep: engine is closed")
 	}
@@ -220,7 +266,8 @@ func (e *Engine) Submit(ctx context.Context, spec Spec) (*Job, error) {
 	// Decompose incomplete points into shards and count them before
 	// feeding: completeShard must know each point's shard total.
 	var shards []shard
-	for i, ps := range j.points {
+	for _, i := range active {
+		ps := j.points[i]
 		if ps.done {
 			continue
 		}
@@ -315,9 +362,11 @@ type Job struct {
 
 	plan   *experiments.SweepPlan
 	points []*pointState
+	subset bool
+	active int // points this job executes (== len(points) unless SubmitPoints)
 	ctx    context.Context
 	cancel context.CancelFunc
-	ckpt   *checkpointFile
+	ckpt   *Journal
 	start  time.Time
 
 	totalPackets   int64
@@ -332,10 +381,15 @@ type Job struct {
 	elapsed  time.Duration
 	finished bool
 	done     chan struct{}
+	events   []PointEvent
+	subs     map[int]chan PointEvent
+	nextSub  int
 }
 
 // Result is a completed sweep: the rendered table plus the raw per-point,
-// per-arm counts (aligned with the plan's points).
+// per-arm counts (aligned with the plan's points). Subset jobs
+// (SubmitPoints) have a nil Table and nil rows for the points they did
+// not run.
 type Result struct {
 	Table   *experiments.Table
 	Points  [][]experiments.PSRPoint
@@ -354,6 +408,84 @@ type Progress struct {
 	DonePackets    int64   `json:"done_packets"`
 	ElapsedSec     float64 `json:"elapsed_sec"`
 	Error          string  `json:"error,omitempty"`
+}
+
+// PointEvent is one completed measurement point as published to
+// Subscribe streams (and, over SSE, to dashboards): the point's plan
+// index and tallies plus the job-level completion counters at the moment
+// it finished. Seq numbers a job's events 0,1,… in completion order;
+// checkpoint-restored points replay first.
+type PointEvent struct {
+	Seq        int   `json:"seq"`
+	Point      int   `json:"point"`
+	N          int   `json:"n"`
+	OK         []int `json:"ok"`
+	DonePoints int   `json:"done_points"`
+	Points     int   `json:"points"`
+}
+
+// Plan returns the job's sweep plan. Callers must treat it as read-only;
+// the distributed worker uses it to fingerprint-check a lease against the
+// coordinator's plan before trusting the point indexes.
+func (j *Job) Plan() *experiments.SweepPlan { return j.plan }
+
+// Subscribe returns every point completed so far (in completion order)
+// plus a channel delivering each subsequent completion. The channel is
+// buffered for the job's full point count — sends never block the
+// engine's workers — and is closed when the job finishes (any outcome) or
+// when cancel is called. Callers should pair the stream with Done /
+// Progress to learn the final state.
+func (j *Job) Subscribe() (past []PointEvent, ch <-chan PointEvent, cancel func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	past = append([]PointEvent(nil), j.events...)
+	c := make(chan PointEvent, j.active+1)
+	if j.finished {
+		close(c)
+		return past, c, func() {}
+	}
+	id := j.nextSub
+	j.nextSub++
+	if j.subs == nil {
+		j.subs = make(map[int]chan PointEvent)
+	}
+	j.subs[id] = c
+	return past, c, func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if cc, ok := j.subs[id]; ok {
+			delete(j.subs, id)
+			close(cc)
+		}
+	}
+}
+
+// publishPoint records one completed point and fans it out to
+// subscribers. Sends happen under j.mu, as do subscriber channel closes,
+// so a send can never race a close; the per-subscriber buffer covers
+// every possible event, so sends never block.
+func (j *Job) publishPoint(point, n int, ok []int, donePoints int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.finished {
+		return
+	}
+	ev := PointEvent{
+		Seq: len(j.events), Point: point, N: n, OK: append([]int(nil), ok...),
+		DonePoints: donePoints, Points: j.active,
+	}
+	j.events = append(j.events, ev)
+	for _, c := range j.subs {
+		c <- ev
+	}
+}
+
+// closeSubs closes every subscriber channel. Callers hold j.mu.
+func (j *Job) closeSubs() {
+	for id, c := range j.subs {
+		delete(j.subs, id)
+		close(c)
+	}
 }
 
 // completeShard merges one shard's tallies (or failure) into its point.
@@ -384,12 +516,14 @@ func (j *Job) completeShard(point int, counts []int, n int, err error) {
 		return
 	}
 	if j.ckpt != nil {
-		if err := j.ckpt.append(checkpointPoint{Point: point, N: nTotal, OK: okCopy}); err != nil {
+		if err := j.ckpt.Append(JournalPoint{Point: point, N: nTotal, OK: okCopy}); err != nil {
 			j.fail(err)
 			return
 		}
 	}
-	if int(j.donePoints.Add(1)) == len(j.points) {
+	done := int(j.donePoints.Add(1))
+	j.publishPoint(point, nTotal, okCopy, done)
+	if done == j.active {
 		j.finalize()
 	}
 }
@@ -402,6 +536,7 @@ func (j *Job) fail(err error) {
 		j.finished = true
 		j.err = err
 		j.elapsed = time.Since(j.start)
+		j.closeSubs()
 	}
 	j.mu.Unlock()
 	if already {
@@ -409,15 +544,20 @@ func (j *Job) fail(err error) {
 	}
 	j.cancel()
 	if j.ckpt != nil {
-		j.ckpt.close()
+		j.ckpt.Close()
 	}
 	close(j.done)
 }
 
-// finalize assembles the table once every point is complete.
+// finalize assembles the result once every active point is complete.
+// Subset jobs keep their per-point tallies but skip table assembly — the
+// figure tables need every point of the plan.
 func (j *Job) finalize() {
 	results := make([][]experiments.PSRPoint, len(j.points))
 	for i, ps := range j.points {
+		if ps == nil {
+			continue
+		}
 		arms := ps.plan.Receivers()
 		pts := make([]experiments.PSRPoint, len(arms))
 		for a, k := range arms {
@@ -425,7 +565,11 @@ func (j *Job) finalize() {
 		}
 		results[i] = pts
 	}
-	table, err := j.plan.Assemble(results)
+	var table *experiments.Table
+	var err error
+	if !j.subset {
+		table, err = j.plan.Assemble(results)
+	}
 	j.mu.Lock()
 	if j.finished {
 		j.mu.Unlock()
@@ -436,10 +580,11 @@ func (j *Job) finalize() {
 	j.table = table
 	j.results = results
 	j.elapsed = time.Since(j.start)
+	j.closeSubs()
 	j.mu.Unlock()
 	j.cancel()
 	if j.ckpt != nil {
-		j.ckpt.close()
+		j.ckpt.Close()
 	}
 	close(j.done)
 }
@@ -472,7 +617,7 @@ func (j *Job) Progress() Progress {
 		ID:             j.ID,
 		Experiment:     j.Spec.Experiment,
 		State:          "running",
-		Points:         len(j.points),
+		Points:         j.active,
 		DonePoints:     int(j.donePoints.Load()),
 		RestoredPoints: j.restoredPoints,
 		Packets:        j.totalPackets,

@@ -1,0 +1,228 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"sync"
+)
+
+// Journal file layout (JSON lines):
+//
+//	{"v":1,"spec":{…normalised spec…},"points":N}     ← header, written once
+//	{"point":7,"n":2000,"ok":[1523,1892]}             ← one per completed point
+//
+// The header's spec is the submitted spec with fidelity defaults filled
+// and the checkpoint path cleared (Spec.Normalised), so a file can be
+// moved and still match. Point lines are appended in completion order
+// (not point order) as each point finishes; "ok" is indexed like the
+// point's receiver arms. On replay the file is read line by line: lines
+// for in-range points restore those points, and execution continues with
+// the rest. A truncated trailing line (a crash mid-append) is dropped.
+// Duplicate lines for the same point are legal — the last one wins;
+// every writer in this repo computes point tallies deterministically, so
+// duplicates are bit-identical and the choice is immaterial, but
+// last-wins is the documented, pinned behaviour.
+//
+// The same format backs two consumers: the engine's per-sweep checkpoint
+// (-checkpoint, resume-at-first-incomplete-point) and the distributed
+// coordinator's per-job durable state (internal/sweep/dist), which
+// replays the journal directory on restart.
+
+// JournalHeader is the first line of a journal file. For pooled sweeps it
+// also records the waveform pool's identity: a point computed from one
+// pool must never be merged with points from another (different size or
+// seed means different interferer waveforms AND a different per-tile draw
+// range).
+type JournalHeader struct {
+	V        int   `json:"v"`
+	Spec     Spec  `json:"spec"`
+	Points   int   `json:"points"`
+	PoolSize int   `json:"pool_size,omitempty"`
+	PoolSeed int64 `json:"pool_seed,omitempty"`
+}
+
+// JournalPoint is one completed-point line: the point's plan index, its
+// packet count and its per-arm success tallies. The distributed tier also
+// uses it as the wire form of a finished point (dist.LeaseResult).
+type JournalPoint struct {
+	Point int   `json:"point"`
+	N     int   `json:"n"`
+	OK    []int `json:"ok"`
+}
+
+// Journal appends completed points to an open journal file. Safe for
+// concurrent use; Append after Close is a no-op.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// openCheckpoint opens (or creates) the engine checkpoint at path for a
+// job described by hdr (normalised spec, point count, pool identity).
+// When the file already exists its header must match; the restored map
+// holds its completed points.
+func openCheckpoint(path string, hdr JournalHeader) (map[int]JournalPoint, *Journal, error) {
+	restored := make(map[int]JournalPoint)
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil && len(data) == 0:
+		// A crash between file creation and the header write leaves a
+		// zero-byte file; treat it as fresh rather than refusing resume
+		// forever. (Non-empty unparsable content still refuses below — it
+		// may be a foreign file we must not clobber.)
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_TRUNC, 0o644)
+		if err != nil {
+			return nil, nil, err
+		}
+		ck, err := writeHeader(f, hdr)
+		return restored, ck, err
+	case err == nil:
+		got, restored, validLen, err := parseJournal(data)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sweep: checkpoint %s: %w", path, err)
+		}
+		if !reflect.DeepEqual(got, hdr) {
+			return nil, nil, fmt.Errorf("sweep: checkpoint %s: spec mismatch (checkpoint belongs to a different sweep or pool)", path)
+		}
+		ck, err := ResumeJournal(path, validLen)
+		if err != nil {
+			return nil, nil, err
+		}
+		return restored, ck, nil
+	case os.IsNotExist(err):
+		ck, err := CreateJournal(path, hdr)
+		return restored, ck, err
+	default:
+		return nil, nil, err
+	}
+}
+
+// CreateJournal creates a fresh journal at path (failing if a file exists
+// there) and writes the header line.
+func CreateJournal(path string, hdr JournalHeader) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return writeHeader(f, hdr)
+}
+
+// ReadJournal parses the journal at path: its header, the completed
+// points it records (duplicate lines for a point: last wins), and the
+// byte length of the valid newline-terminated prefix — everything past it
+// is a torn trailing line from an interrupted append. The header is
+// validated structurally (version, point indexes in range) but not
+// against any expected spec; callers resuming a known job compare the
+// header themselves.
+func ReadJournal(path string) (JournalHeader, map[int]JournalPoint, int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return JournalHeader{}, nil, 0, err
+	}
+	hdr, restored, validLen, err := parseJournal(data)
+	if err != nil {
+		return JournalHeader{}, nil, 0, fmt.Errorf("sweep: journal %s: %w", path, err)
+	}
+	return hdr, restored, validLen, nil
+}
+
+// ResumeJournal opens an existing journal for appending, truncating any
+// torn trailing line at validLen (as returned by ReadJournal) so new
+// lines start on a clean boundary.
+func ResumeJournal(path string, validLen int64) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if fi, err := f.Stat(); err == nil && validLen < fi.Size() {
+		if err := f.Truncate(validLen); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return &Journal{f: f}, nil
+}
+
+// writeHeader writes the header line to a fresh (or emptied) journal and
+// wraps the file for appending.
+func writeHeader(f *os.File, hdr JournalHeader) (*Journal, error) {
+	line, err := json.Marshal(hdr)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Journal{f: f}, nil
+}
+
+// parseJournal validates the header structurally and returns it, the
+// completed points recorded in data (last line wins for a repeated point)
+// and the byte length of the valid newline-terminated prefix (a torn
+// final line from an interrupted append is excluded).
+func parseJournal(data []byte) (JournalHeader, map[int]JournalPoint, int64, error) {
+	var hdr JournalHeader
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return hdr, nil, 0, fmt.Errorf("empty or torn journal header")
+	}
+	if err := json.Unmarshal(data[:nl], &hdr); err != nil {
+		return hdr, nil, 0, fmt.Errorf("bad header: %w", err)
+	}
+	if hdr.V != 1 {
+		return hdr, nil, 0, fmt.Errorf("unsupported version %d", hdr.V)
+	}
+	restored := make(map[int]JournalPoint)
+	validLen := int64(nl + 1)
+	rest := data[nl+1:]
+	for len(rest) > 0 {
+		end := bytes.IndexByte(rest, '\n')
+		if end < 0 {
+			break // torn final line: only fully written points count
+		}
+		line := rest[:end]
+		if len(line) > 0 {
+			var cp JournalPoint
+			if err := json.Unmarshal(line, &cp); err != nil {
+				return hdr, nil, 0, fmt.Errorf("corrupt point line: %w", err)
+			}
+			if cp.Point < 0 || cp.Point >= hdr.Points {
+				return hdr, nil, 0, fmt.Errorf("point %d outside [0,%d)", cp.Point, hdr.Points)
+			}
+			restored[cp.Point] = cp
+		}
+		validLen += int64(end + 1)
+		rest = rest[end+1:]
+	}
+	return hdr, restored, validLen, nil
+}
+
+// Append writes one completed-point line.
+func (c *Journal) Append(p JournalPoint) error {
+	line, err := json.Marshal(p)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	_, err = c.f.Write(append(line, '\n'))
+	return err
+}
+
+// Close flushes and closes the file; later appends are no-ops.
+func (c *Journal) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f != nil {
+		c.f.Close()
+		c.f = nil
+	}
+}

@@ -1,0 +1,157 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestJournalDuplicateLastWins pins the documented duplicate-line rule:
+// when a journal records the same point twice (a re-leased point whose
+// first result landed after all, a resumed coordinator re-appending), the
+// LAST line wins — both on ReadJournal and through the engine's
+// checkpoint-restore path.
+func TestJournalDuplicateLastWins(t *testing.T) {
+	e := testEngine()
+	defer e.Close()
+	path := filepath.Join(t.TempDir(), "dup.ckpt")
+	spec := testSpec()
+	spec.Checkpoint = path
+	full := submitAndWait(t, e, spec)
+
+	// Append a doctored duplicate of point 0 with recognisable tallies.
+	arms := len(full.Points[0])
+	doctored := JournalPoint{Point: 0, N: spec.Packets, OK: make([]int, arms)}
+	for a := range doctored.OK {
+		doctored.OK[a] = a + 1
+	}
+	line, err := json.Marshal(doctored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	_, restored, _, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restored[0]; got.OK[0] != 1 || got.OK[1] != 2 {
+		t.Fatalf("ReadJournal point 0 = %+v, want the doctored duplicate", got)
+	}
+
+	// The engine restore path must agree: the resubmitted job restores
+	// the doctored tallies verbatim (no recompute, last line wins).
+	j, err := e.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := j.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := range res.Points[0] {
+		if res.Points[0][a].OK != a+1 {
+			t.Fatalf("restored point 0 = %+v, want doctored last-wins tallies", res.Points[0])
+		}
+	}
+}
+
+// TestReadJournalTornTail pins the torn-tail contract at the API level:
+// ReadJournal excludes a half-written final line from both the restored
+// set and validLen, and ResumeJournal truncates it so the next append
+// starts on a clean boundary.
+func TestReadJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.jsonl")
+	hdr := JournalHeader{V: 1, Spec: Spec{Experiment: "fig8", Packets: 4, PSDUBytes: 60}, Points: 6}
+	jn, err := CreateJournal(path, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jn.Append(JournalPoint{Point: 1, N: 4, OK: []int{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	jn.Close()
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear mid-line, exactly as kill -9 during an append would.
+	torn := append(append([]byte{}, clean...), []byte(`{"point":2,"n":4,"ok":[3`)...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, restored, validLen, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, hdr) {
+		t.Fatalf("header round trip: %+v vs %+v", got, hdr)
+	}
+	if len(restored) != 1 || restored[1].N != 4 {
+		t.Fatalf("restored = %+v, want exactly the clean point", restored)
+	}
+	if validLen != int64(len(clean)) {
+		t.Fatalf("validLen %d, want %d (the clean prefix)", validLen, len(clean))
+	}
+
+	jn2, err := ResumeJournal(path, validLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jn2.Append(JournalPoint{Point: 3, N: 4, OK: []int{0, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	jn2.Close()
+	_, restored, _, err = ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != 2 {
+		t.Fatalf("after truncate+append restored %d points, want 2", len(restored))
+	}
+	if _, torn := restored[2]; torn {
+		t.Fatal("torn point 2 resurrected")
+	}
+}
+
+// TestReadJournalRejectsGarbage pins that foreign or corrupt files are
+// refused with a diagnosable error instead of silently restoring junk.
+func TestReadJournalRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]struct {
+		content string
+		wantErr string
+	}{
+		"no newline":     {`{"v":1`, "torn journal header"},
+		"not json":       {"hello world\n", "bad header"},
+		"bad version":    {`{"v":9,"spec":{},"points":1}` + "\n", "unsupported version"},
+		"corrupt point":  {`{"v":1,"spec":{},"points":2}` + "\nnot-json\n", "corrupt point line"},
+		"out of range":   {`{"v":1,"spec":{},"points":2}` + "\n" + `{"point":7,"n":1,"ok":[0]}` + "\n", "outside [0,2)"},
+		"negative point": {`{"v":1,"spec":{},"points":2}` + "\n" + `{"point":-1,"n":1,"ok":[0]}` + "\n", "outside [0,2)"},
+	}
+	i := 0
+	for name, tc := range cases {
+		i++
+		path := filepath.Join(dir, fmt.Sprintf("j%d.jsonl", i))
+		if err := os.WriteFile(path, []byte(tc.content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, _, _, err := ReadJournal(path)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want substring %q", name, err, tc.wantErr)
+		}
+	}
+}

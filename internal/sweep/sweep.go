@@ -71,8 +71,11 @@ type Spec struct {
 	Checkpoint string `json:"checkpoint,omitempty"`
 }
 
-// request resolves the spec into an experiments.SweepRequest.
-func (s Spec) request(pool *wifi.WaveformPool) (experiments.SweepRequest, error) {
+// Request resolves the spec into an experiments.SweepRequest. pool is
+// consulted only when the spec opts into the waveform pool; the
+// distributed coordinator passes a never-encoded placeholder pool (pool
+// entries encode lazily) because it plans jobs without running packets.
+func (s Spec) Request(pool *wifi.WaveformPool) (experiments.SweepRequest, error) {
 	req := experiments.SweepRequest{
 		Experiment: s.Experiment,
 		Options:    experiments.Options{Packets: s.Packets, PSDUBytes: s.PSDUBytes, Seed: s.Seed},
@@ -99,11 +102,12 @@ func (s Spec) request(pool *wifi.WaveformPool) (experiments.SweepRequest, error)
 	return req, nil
 }
 
-// normalised returns the spec with fidelity defaults filled and the
-// checkpoint path cleared — the form stored in checkpoint headers and
+// Normalised returns the spec with fidelity defaults filled and the
+// checkpoint path cleared — the form stored in journal headers and
 // compared on resume (the same sweep checkpointed to a different path
-// must still match).
-func (s Spec) normalised() Spec {
+// must still match). The distributed coordinator sends this form to
+// workers, so both sides plan from identical fields.
+func (s Spec) Normalised() Spec {
 	if s.Packets == 0 {
 		s.Packets = 2000
 	}

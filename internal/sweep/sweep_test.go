@@ -24,7 +24,7 @@ func testEngine() *Engine {
 // runDirect executes the same sweep on the sequential engine-less path.
 func runDirect(t *testing.T, e *Engine, spec Spec) (*experiments.Table, [][]experiments.PSRPoint) {
 	t.Helper()
-	req, err := spec.request(e.Pool())
+	req, err := spec.Request(e.Pool())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Distributed sweep smoke test (make smoke-dist, CI job dist-smoke):
+# build the binary, launch a coordinator plus two worker processes on
+# localhost, submit the same short fig8 spec `make smoke` runs, consume
+# the SSE stream to completion, and require the streamed run's final
+# table to be byte-identical to the single-process engine's output.
+set -eu
+
+GO=${GO:-go}
+PORT=${SMOKE_DIST_PORT:-18473}
+TOKEN=smoke-dist-token
+SPEC_FLAGS="-experiment fig8 -packets 8 -bytes 60 -seed 1 -pool"
+
+TMP=$(mktemp -d)
+BIN="$TMP/cprecycle-bench"
+PIDS=""
+cleanup() {
+    # shellcheck disable=SC2086
+    [ -n "$PIDS" ] && kill $PIDS 2>/dev/null
+    wait 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "== building =="
+$GO build -o "$BIN" ./cmd/cprecycle-bench
+
+echo "== starting coordinator + 2 workers on 127.0.0.1:$PORT =="
+"$BIN" -coordinator "127.0.0.1:$PORT" -journal "$TMP/jobs" -token "$TOKEN" \
+    >"$TMP/coord.log" 2>&1 &
+PIDS="$PIDS $!"
+"$BIN" -worker -join "http://127.0.0.1:$PORT" -token "$TOKEN" >"$TMP/w1.log" 2>&1 &
+PIDS="$PIDS $!"
+"$BIN" -worker -join "http://127.0.0.1:$PORT" -token "$TOKEN" >"$TMP/w2.log" 2>&1 &
+PIDS="$PIDS $!"
+
+up=0
+for _ in $(seq 1 100); do
+    if (exec 3<>"/dev/tcp/127.0.0.1/$PORT") 2>/dev/null; then
+        up=1
+        break
+    fi
+    sleep 0.1
+done
+if [ "$up" != 1 ]; then
+    echo "coordinator never came up" >&2
+    cat "$TMP/coord.log" >&2
+    exit 1
+fi
+
+echo "== submitting distributed job and consuming its SSE stream =="
+# shellcheck disable=SC2086
+"$BIN" -submit -join "http://127.0.0.1:$PORT" -token "$TOKEN" $SPEC_FLAGS \
+    >"$TMP/dist.out" 2>"$TMP/submit.log" || {
+    echo "distributed submit failed:" >&2
+    cat "$TMP/submit.log" "$TMP/coord.log" "$TMP/w1.log" "$TMP/w2.log" >&2
+    exit 1
+}
+
+points=$(grep -c '^point ' "$TMP/submit.log" || true)
+echo "   streamed $points point events"
+if [ "$points" != 30 ]; then
+    echo "expected 30 SSE point events for the fig8 spec, saw $points:" >&2
+    cat "$TMP/submit.log" >&2
+    exit 1
+fi
+
+echo "== running the single-process engine reference =="
+# shellcheck disable=SC2086
+"$BIN" $SPEC_FLAGS | grep -v -e '^\[' -e '^$' >"$TMP/direct.out"
+
+if ! diff -u "$TMP/direct.out" "$TMP/dist.out"; then
+    echo "distributed table differs from the single-engine table" >&2
+    exit 1
+fi
+echo "== smoke-dist OK: distributed table byte-identical to single engine =="
