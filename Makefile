@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all verify build vet test test-race-sweep smoke smoke-dist bench bench-hotpath bench-json bench-gate fmt-check lint staticcheck
+.PHONY: all verify build vet test test-purego test-race-sweep smoke smoke-dist bench bench-hotpath bench-json bench-gate fmt-check lint staticcheck
 
 all: verify
 
@@ -17,11 +17,20 @@ vet:
 test:
 	$(GO) test ./...
 
+# Full build + test with the SIMD kernels compiled out (the purego build
+# tag), proving the scalar fallback path is complete — this is what
+# machines without AVX2/NEON (or any other GOARCH) run.
+test-purego:
+	$(GO) build -tags purego ./...
+	$(GO) test -tags purego ./...
+
 # Race-detector pass over the concurrent paths: the sweep engine and the
 # distributed coordinator/worker tier (and the packages whose shared
-# caches they exercise) plus the intra-packet parallel symbol decode in rx.
+# caches they exercise), the intra-packet parallel symbol decode in rx
+# (hard and soft), and the dsp kernel dispatch (shared SlideTab/FFT-plan
+# caches + the ForceScalar toggle).
 test-race-sweep:
-	$(GO) test -race ./internal/sweep/... ./internal/wifi/ ./internal/experiments/ ./internal/rx/
+	$(GO) test -race ./internal/sweep/... ./internal/wifi/ ./internal/experiments/ ./internal/rx/ ./internal/dsp/
 
 # Short end-to-end sweep through the engine (sharded workers + waveform
 # pool) plus a 2-worker parallel-decode equivalence check, as run in CI.
@@ -51,24 +60,25 @@ bench-hotpath:
 
 # Machine-readable perf trajectory: run the hot-path benchmarks with
 # allocation reporting and write ns/op, B/op and allocs/op per benchmark
-# to BENCH_PR4.json (CI archives it so future PRs can diff against it).
+# to BENCH_PR5.json (CI archives it so future PRs can diff against it).
 # Each suite runs -count=3 and benchjson keeps the fastest run per
 # benchmark (min ns/op), so one noisy-neighbour blip cannot poison the
-# trajectory or trip the regression gate.
+# trajectory or trip the regression gate. The dsp suite includes the
+# SIMD kernel benchmarks (BenchmarkPlanar*) and their ForceScalar twins.
 bench-json:
 	set -e; tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
 	$(GO) test -bench 'BenchmarkObserve' -benchtime 2000x -count 3 -benchmem -run '^$$' ./internal/rx/ >> "$$tmp"; \
 	$(GO) test -bench 'BenchmarkSegment' -benchtime 2000x -count 3 -benchmem -run '^$$' ./internal/ofdm/ >> "$$tmp"; \
 	$(GO) test -bench 'BenchmarkViterbiDecode' -benchtime 500x -count 3 -benchmem -run '^$$' ./internal/coding/ >> "$$tmp"; \
 	$(GO) test -bench 'BenchmarkSliding|BenchmarkForward|BenchmarkFreqShift|BenchmarkPlanar' -count 3 -benchmem -run '^$$' ./internal/dsp/ >> "$$tmp"; \
-	$(GO) run ./cmd/benchjson -out BENCH_PR4.json < "$$tmp"
-	@echo "wrote BENCH_PR4.json"
+	$(GO) run ./cmd/benchjson -out BENCH_PR5.json < "$$tmp"
+	@echo "wrote BENCH_PR5.json"
 
 # Perf regression gate: regenerate the trajectory on this machine and
-# fail when any hot-path benchmark shared with the committed PR3
+# fail when any hot-path benchmark shared with the committed PR4
 # trajectory regresses ns/op by more than 25%.
 bench-gate: bench-json
-	$(GO) run ./cmd/benchjson -baseline BENCH_PR3.json -compare BENCH_PR4.json -max-regress 25
+	$(GO) run ./cmd/benchjson -baseline BENCH_PR4.json -compare BENCH_PR5.json -max-regress 25
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi

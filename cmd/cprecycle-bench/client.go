@@ -36,7 +36,7 @@ func newSubmitClient(base, token string) *submitClient {
 	}
 }
 
-func (c *submitClient) request(method, path string, body io.Reader) (*http.Response, error) {
+func (c *submitClient) request(method, path string, body io.Reader, headers ...string) (*http.Response, error) {
 	req, err := http.NewRequest(method, c.base+path, body)
 	if err != nil {
 		return nil, err
@@ -46,6 +46,9 @@ func (c *submitClient) request(method, path string, body io.Reader) (*http.Respo
 	}
 	if c.token != "" {
 		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	for i := 0; i+1 < len(headers); i += 2 {
+		req.Header.Set(headers[i], headers[i+1])
 	}
 	return c.http.Do(req)
 }
@@ -93,24 +96,55 @@ func (c *submitClient) run(spec sweep.Spec) error {
 	return c.printTable(prog.ID)
 }
 
-// follow consumes the job's SSE stream to its terminal event.
+// follow consumes the job's SSE stream to its terminal event. A broken
+// stream (the connection dropped mid-sweep) is re-dialled with the
+// standard Last-Event-ID header carrying the last point id seen, so the
+// server resumes mid-stream instead of replaying every completed point.
 func (c *submitClient) follow(id string) (sweep.Progress, error) {
-	var final sweep.Progress
-	resp, err := c.request(http.MethodGet, "/v1/jobs/"+id+"/events", nil)
+	start := time.Now()
+	lastEventID := ""
+	var lastErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		if attempt > 0 {
+			fmt.Fprintf(os.Stderr, "event stream broke (%v); reconnecting after %q\n", lastErr, lastEventID)
+			time.Sleep(time.Duration(attempt) * 500 * time.Millisecond)
+		}
+		final, done, err := c.followOnce(id, &lastEventID, start)
+		if done || err == nil {
+			return final, err
+		}
+		lastErr = err
+	}
+	return sweep.Progress{}, fmt.Errorf("event stream: %w", lastErr)
+}
+
+// followOnce dials the event stream once, resuming after lastEventID if
+// set, and consumes it until the terminal event (done == true), a fatal
+// error (done == true with err), or a retriable stream break (done ==
+// false). lastEventID is updated as point events arrive.
+func (c *submitClient) followOnce(id string, lastEventID *string, start time.Time) (final sweep.Progress, done bool, err error) {
+	var headers []string
+	if *lastEventID != "" {
+		headers = append(headers, "Last-Event-ID", *lastEventID)
+	}
+	resp, err := c.request(http.MethodGet, "/v1/jobs/"+id+"/events", nil, headers...)
 	if err != nil {
-		return final, err
+		return final, false, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return final, fail(resp)
+		// The server answered: a non-OK status (job pruned, auth) will
+		// not improve on retry.
+		return final, true, fail(resp)
 	}
-	start := time.Now()
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	event, data := "", ""
+	event, data, evID := "", "", ""
 	for sc.Scan() {
 		line := sc.Text()
 		switch {
+		case strings.HasPrefix(line, "id: "):
+			evID = strings.TrimPrefix(line, "id: ")
 		case strings.HasPrefix(line, "event: "):
 			event = strings.TrimPrefix(line, "event: ")
 		case strings.HasPrefix(line, "data: "):
@@ -123,22 +157,25 @@ func (c *submitClient) follow(id string) (sweep.Progress, error) {
 			case "point":
 				var ev sweep.PointEvent
 				if err := json.Unmarshal([]byte(data), &ev); err != nil {
-					return final, fmt.Errorf("bad point event %q: %w", data, err)
+					return final, true, fmt.Errorf("bad point event %q: %w", data, err)
+				}
+				if evID != "" {
+					*lastEventID = evID
 				}
 				fmt.Fprintf(os.Stderr, "point %d done (%d/%d, %v)\n", ev.Point, ev.DonePoints, ev.Points, time.Since(start).Round(time.Millisecond))
 			case "done":
 				if err := json.Unmarshal([]byte(data), &final); err != nil {
-					return final, fmt.Errorf("bad terminal event %q: %w", data, err)
+					return final, true, fmt.Errorf("bad terminal event %q: %w", data, err)
 				}
-				return final, nil
+				return final, true, nil
 			}
 			event, data = "", ""
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return final, fmt.Errorf("event stream: %w", err)
+		return final, false, err
 	}
-	return final, fmt.Errorf("event stream ended without a terminal event")
+	return final, false, fmt.Errorf("stream ended without a terminal event")
 }
 
 // printTable fetches the finished job's rendered table to stdout.

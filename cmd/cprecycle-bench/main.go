@@ -46,7 +46,11 @@
 //	GET    /v1/jobs/{id}/events  SSE stream: one "point" event per
 //	                             completed point (completed ones replay
 //	                             first), then one terminal "done" event
-//	                             carrying the final progress/state
+//	                             carrying the final progress/state. Each
+//	                             point event's SSE id is its seq; a
+//	                             reconnect presenting Last-Event-ID
+//	                             resumes after that seq instead of
+//	                             replaying every completed point
 //	DELETE /v1/jobs/{id}   cancel if running, and remove from the backend
 //	GET    /v1/experiments list accepted experiment ids
 //
@@ -89,7 +93,8 @@
 //
 // -submit streams per-point progress to stderr as SSE events arrive and
 // prints the final table to stdout, exactly like a local run of the same
-// experiment.
+// experiment; if the stream drops mid-sweep it reconnects with
+// Last-Event-ID and resumes where it left off.
 package main
 
 import (

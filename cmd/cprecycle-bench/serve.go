@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/experiments"
@@ -180,8 +181,13 @@ func apiMux(b serveBackend) *http.ServeMux {
 
 	// SSE stream: every completed point so far is replayed, then each
 	// subsequent completion arrives as it lands, then a final terminal
-	// event reports the job's outcome and the stream closes. Schema:
+	// event reports the job's outcome and the stream closes. Each point
+	// event carries its sequence number as the SSE event id, and a
+	// reconnecting consumer that presents the standard Last-Event-ID
+	// header resumes mid-stream: points with seq <= Last-Event-ID are
+	// not replayed. Schema:
 	//
+	//	id: 0
 	//	event: point
 	//	data: {"seq":0,"point":3,"n":2000,"ok":[1523,1892],"done_points":1,"points":30}
 	//
@@ -197,6 +203,14 @@ func apiMux(b serveBackend) *http.ServeMux {
 			writeErr(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported by this connection"))
 			return
 		}
+		lastSeq := -1
+		if v := r.Header.Get("Last-Event-ID"); v != "" {
+			// A malformed id is ignored (full replay) rather than
+			// rejected: the header is a resume hint, not a contract.
+			if n, err := strconv.Atoi(v); err == nil {
+				lastSeq = n
+			}
+		}
 		past, ch, cancel := j.Subscribe()
 		defer cancel()
 		h := w.Header()
@@ -206,11 +220,16 @@ func apiMux(b serveBackend) *http.ServeMux {
 		w.WriteHeader(http.StatusOK)
 		// A write error means the subscriber went away; stop streaming
 		// (the deferred cancel releases the subscription either way).
-		emit := func(event string, v any) bool {
+		emit := func(event, id string, v any) bool {
 			data, err := json.Marshal(v)
 			if err != nil {
 				log.Printf("serve: marshalling %s event: %v", event, err)
 				return false
+			}
+			if id != "" {
+				if _, err := fmt.Fprintf(w, "id: %s\n", id); err != nil {
+					return false
+				}
 			}
 			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
 				return false
@@ -218,8 +237,14 @@ func apiMux(b serveBackend) *http.ServeMux {
 			fl.Flush()
 			return true
 		}
+		point := func(ev sweep.PointEvent) bool {
+			if ev.Seq <= lastSeq {
+				return true // already delivered before the reconnect
+			}
+			return emit("point", strconv.Itoa(ev.Seq), ev)
+		}
 		for _, ev := range past {
-			if !emit("point", ev) {
+			if !point(ev) {
 				return
 			}
 		}
@@ -230,10 +255,10 @@ func apiMux(b serveBackend) *http.ServeMux {
 			case ev, open := <-ch:
 				if !open {
 					// Channel closed: the job settled (done or failed).
-					emit("done", j.Progress())
+					emit("done", "", j.Progress())
 					return
 				}
-				if !emit("point", ev) {
+				if !point(ev) {
 					return
 				}
 			}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -133,5 +134,105 @@ func TestServeAPI(t *testing.T) {
 	}
 	if !strings.HasPrefix(table.String(), "== Fig 8") {
 		t.Fatalf("table output starts %q", strings.SplitN(table.String(), "\n", 2)[0])
+	}
+}
+
+// TestServeSSELastEventID pins the SSE resume contract: every point event
+// carries its seq as the event id, and a reconnect presenting
+// Last-Event-ID receives only the points after it (plus the terminal
+// event) instead of the full per-point replay. A malformed id falls back
+// to full replay.
+func TestServeSSELastEventID(t *testing.T) {
+	eng := sweep.New(sweep.Config{Workers: 2, ShardPackets: 2})
+	defer eng.Close()
+	srv := httptest.NewServer(apiMux(engineBackend{eng}))
+	defer srv.Close()
+
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/jobs",
+		strings.NewReader(`{"experiment":"fig8","packets":3,"psdu_bytes":60,"seed":3,"axis":[-10,-20]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prog sweep.Progress
+	if err := json.NewDecoder(resp.Body).Decode(&prog); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// stream connects with the given Last-Event-ID header and returns the
+	// ids of the point events received plus the number of terminal events.
+	stream := func(lastID string) (ids []string, dones int) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, srv.URL+"/v1/jobs/"+prog.ID+"/events", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lastID != "" {
+			req.Header.Set("Last-Event-ID", lastID)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("events: HTTP %d", resp.StatusCode)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		event, id := "", ""
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "id: "):
+				id = strings.TrimPrefix(line, "id: ")
+			case strings.HasPrefix(line, "event: "):
+				event = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				switch event {
+				case "point":
+					ids = append(ids, id)
+				case "done":
+					dones++
+				}
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return ids, dones
+	}
+
+	// First consumer: full replay, ids 0..5 in order.
+	ids, dones := stream("")
+	if len(ids) != 6 || dones != 1 {
+		t.Fatalf("full stream: %d point events (%v), %d terminal", len(ids), ids, dones)
+	}
+	for i, id := range ids {
+		if id != strconv.Itoa(i) {
+			t.Fatalf("event %d carried id %q", i, id)
+		}
+	}
+
+	// Reconnect mid-stream: only the points after Last-Event-ID replay.
+	ids, dones = stream("3")
+	if len(ids) != 2 || ids[0] != "4" || ids[1] != "5" || dones != 1 {
+		t.Fatalf("resume after 3: ids %v, %d terminal", ids, dones)
+	}
+
+	// Reconnect at the end: no replay, just the terminal event.
+	ids, dones = stream("5")
+	if len(ids) != 0 || dones != 1 {
+		t.Fatalf("resume after 5: ids %v, %d terminal", ids, dones)
+	}
+
+	// A malformed id is ignored: full replay.
+	ids, _ = stream("not-a-number")
+	if len(ids) != 6 {
+		t.Fatalf("malformed Last-Event-ID: %d point events", len(ids))
 	}
 }

@@ -25,20 +25,29 @@
 // (rx.Frame.ObserveSegments, core.Receiver). Values convert to
 // complex128 only at the equalizer/constellation boundary, and every
 // planar kernel is pinned value-identical to its interleaved twin.
-// Viterbi survivor memory is bounded by a sliding traceback window for
-// long PSDUs (internal/coding, bit-identical by survivor-merge
-// finalisation, pooled buffers below the window).
+// The hottest planar kernels additionally run hand-written SIMD — AVX2
+// on amd64 (runtime CPUID dispatch) and NEON on arm64 — with the Go
+// loops kept as a complete scalar fallback (purego build tag,
+// dsp.ForceScalar hook) and a bit-exactness contract (no FMA, scalar
+// operation order) pinned by equivalence tests and fuzzing; see the
+// internal/dsp package comment. Viterbi survivor memory is bounded by a
+// sliding traceback window for long PSDUs (internal/coding,
+// bit-identical by survivor-merge finalisation, pooled buffers below
+// the window).
 //
 // Within one packet, rx.DecodeDataParallel fans the per-symbol decisions
 // across a bounded worker pool — each worker on its own Frame.ScratchFork
 // observation scratch and rx.ParallelDecider fork — merging coded bits in
-// symbol order. The determinism contract: parallel decode is bit-identical
-// to serial decode at any worker count; deciders whose state makes
-// decisions order-dependent (CPRecycle's §4.3 continuous model update)
-// refuse to fork and run serially. experiments.RunPacket engages it with
-// the cores packet-level sharding leaves idle. A same-seed regression
-// test (internal/experiments) pins every receiver arm's packet decisions
-// to the pre-optimisation implementation, with parallel decode both off
+// symbol order; rx.DecodeDataSoftParallel does the same for the
+// soft-decision path, merging each symbol's deinterleaved Viterbi bit
+// weights into its slot of the packet-wide LLR stream. The determinism
+// contract: parallel decode is bit-identical to serial decode at any
+// worker count; deciders whose state makes decisions order-dependent
+// (CPRecycle's §4.3 continuous model update) refuse to fork and run
+// serially. experiments.RunPacket engages both with the cores
+// packet-level sharding leaves idle. A same-seed regression test
+// (internal/experiments) pins every receiver arm's packet decisions to
+// the pre-optimisation implementation, with parallel decode both off
 // and forced on.
 //
 // The PSR sweep experiments run as a batch service: internal/sweep is a
@@ -70,7 +79,9 @@
 // package tests and the end-to-end CI smoke (make smoke-dist). The
 // cmd/cprecycle-bench command routes the sweep figures through the engine
 // and serves both tiers over HTTP (-serve, -coordinator / -worker /
-// -submit), with per-point SSE streaming on /v1/jobs/{id}/events; see
-// that package's comment for the spec format, endpoints, protocol and
-// quickstart.
+// -submit), with per-point SSE streaming on /v1/jobs/{id}/events (point
+// events carry their seq as the SSE id; reconnecting consumers present
+// Last-Event-ID and resume mid-stream instead of replaying every
+// point); see that package's comment for the spec format, endpoints,
+// protocol and quickstart.
 package repro

@@ -98,12 +98,19 @@ func (il *Interleaver) DeinterleaveInto(dst, bits []byte) {
 
 // DeinterleaveLLR inverts the permutation on a block of per-bit LLRs.
 func (il *Interleaver) DeinterleaveLLR(llrs []float64) []float64 {
-	if len(llrs) != il.ncbps {
-		panic(fmt.Sprintf("coding: deinterleave block size %d, want %d", len(llrs), il.ncbps))
-	}
 	out := make([]float64, il.ncbps)
-	for j, l := range llrs {
-		out[il.inv[j]] = l
-	}
+	il.DeinterleaveLLRInto(out, llrs)
 	return out
+}
+
+// DeinterleaveLLRInto is DeinterleaveLLR into a caller-provided block of
+// Ncbps weights, avoiding the allocation (the parallel soft decode fans
+// symbol blocks directly into one packet-wide LLR stream).
+func (il *Interleaver) DeinterleaveLLRInto(dst, llrs []float64) {
+	if len(llrs) != il.ncbps || len(dst) != il.ncbps {
+		panic(fmt.Sprintf("coding: deinterleave block sizes %d/%d, want %d", len(dst), len(llrs), il.ncbps))
+	}
+	for j, l := range llrs {
+		dst[il.inv[j]] = l
+	}
 }

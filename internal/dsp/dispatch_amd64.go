@@ -1,0 +1,40 @@
+//go:build !purego
+
+package dsp
+
+// asmLanes is the vector width (in float64 lanes) of the amd64 kernels:
+// one 256-bit AVX2 register. The vector twiddle schedules (SlideTab.twV,
+// FFTPlan.fwdV/invV) are laid out in groups of this many lanes.
+const asmLanes = 4
+
+// cpuid and xgetbv are implemented in asm_amd64.s.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+// initASM detects AVX2 the standard way: OSXSAVE + AVX advertised by
+// CPUID.1:ECX, YMM state enabled in XCR0, and AVX2 in CPUID.7.0:EBX.
+// Anything missing leaves the scalar fallback in charge.
+func initASM() {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return
+	}
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	_, _, c1, _ := cpuid(1, 0)
+	if c1&osxsave == 0 || c1&avx == 0 {
+		return
+	}
+	// XCR0 bits 1 (SSE) and 2 (YMM) must both be OS-enabled.
+	xlo, _ := xgetbv()
+	if xlo&0x6 != 0x6 {
+		return
+	}
+	const avx2 = 1 << 5
+	_, b7, _, _ := cpuid(7, 0)
+	if b7&avx2 == 0 {
+		return
+	}
+	asmOK = true
+	asmName = "avx2"
+}

@@ -1,0 +1,16 @@
+//go:build !purego
+
+package dsp
+
+// asmLanes is the vector width (in float64 lanes) of the arm64 kernels:
+// one 128-bit NEON register. The vector twiddle schedules (SlideTab.twV,
+// FFTPlan.fwdV/invV) are laid out in groups of this many lanes.
+const asmLanes = 2
+
+// initASM enables the NEON kernels unconditionally: advanced SIMD with
+// 64-bit floating point lanes is baseline on arm64, so there is nothing
+// to detect.
+func initASM() {
+	asmOK = true
+	asmName = "neon"
+}

@@ -6,6 +6,38 @@
 // Everything operates on []complex128 in place where it safely can, and all
 // transforms are deterministic: there is no hidden global state.
 //
+// # SIMD dispatch
+//
+// The three hottest planar kernels — SlidingDFT.SlideRotatedTab, the
+// FFTPlan.ForwardPlanar/InversePlanar butterfly stages, and
+// FreqShiftPlanar — have hand-written assembly fast paths: AVX2 on amd64
+// (selected at package init by CPUID feature detection: OSXSAVE + AVX +
+// YMM-enabled XCR0 + AVX2) and NEON on arm64 (baseline, always on). The
+// Go loops remain the complete, universal fallback: builds tagged purego
+// (and every other GOARCH) compile only the scalar code, and the
+// ForceScalar test hook flips a live process onto the fallback at any
+// time.
+//
+// The dispatch contract is bit-exactness: the SIMD kernels perform the
+// same floating-point operations in the same per-element order as the
+// scalar twins — plain vector multiply/add/subtract only, never FMA,
+// never reassociation — so for finite inputs every result is
+// bit-identical to the fallback (NaN payload propagation is the one
+// place x86 vector semantics depend on operand order, which the
+// contract does not constrain). Lanes always hold independent bins or
+// samples; anything inherently serial (the FreqShiftPlanar phasor
+// recurrence, bit-reversal) stays scalar inside the dispatched path.
+// The equivalence tests and the FuzzForwardPlanar /
+// FuzzSlideRotatedTab / FuzzFreqShiftPlanar targets pin dispatched
+// against forced-scalar results bitwise, and the same-seed regression
+// pins hold with SIMD enabled.
+//
+// To feed the vector loads as linear streams, the twiddle schedules are
+// re-laid-out at build time (dsp.SlideTab splits its bin selection into
+// dense runs of consecutive bins with lane-transposed twiddles;
+// FFTPlan keeps stage-major vector twiddle tables). All vector memory
+// access is unaligned; callers need no padding or alignment.
+//
 // # Planar layout
 //
 // The receiver hot kernels additionally exist in planar (split re/im,
@@ -66,6 +98,15 @@ type FFTPlan struct {
 	// Copies of fwd/inv as adjacent (re, im) float pairs for the planar
 	// transforms (same values).
 	fwdP, invP []float64
+	// revPairs lists the (i, r) swaps of the bit-reversal permutation
+	// (i < r only), so the planar transforms apply it without the
+	// per-index comparison.
+	revPairs []int32
+	// Stage-major vector twiddle layouts for the SIMD butterfly stages
+	// (see dispatch_asm.go); nil on scalar-only builds/machines or for
+	// plans below 8 points. The values are copies of fwdP/invP.
+	fwdV, invV   []float64
+	fwdS2, invS2 []float64
 }
 
 // NewFFTPlan creates a plan for transforms of the given power-of-two size.
@@ -88,6 +129,11 @@ func NewFFTPlan(n int) (*FFTPlan, error) {
 		}
 		p.rev[i] = r
 	}
+	for i, r := range p.rev {
+		if i < r {
+			p.revPairs = append(p.revPairs, int32(i), int32(r))
+		}
+	}
 	half := n / 2
 	p.fwd = make([]complex128, half)
 	p.inv = make([]complex128, half)
@@ -101,7 +147,18 @@ func NewFFTPlan(n int) (*FFTPlan, error) {
 		p.fwdP[2*k], p.fwdP[2*k+1] = c, -s
 		p.invP[2*k], p.invP[2*k+1] = c, s
 	}
+	p.buildVecTwiddles()
 	return p, nil
+}
+
+// bitrevPlanar applies the bit-reversal permutation to both planes via
+// the precomputed swap list.
+func bitrevPlanar(pairs []int32, re, im []float64) {
+	for p := 0; p < len(pairs); p += 2 {
+		i, r := pairs[p], pairs[p+1]
+		re[i], re[r] = re[r], re[i]
+		im[i], im[r] = im[r], im[i]
+	}
 }
 
 // MustFFTPlan is NewFFTPlan but panics on error; intended for fixed,

@@ -85,12 +85,14 @@ func (p Planar) Scale(g float64) {
 
 // ForwardPlanar is Forward on planar data: the same radix-2 butterflies in
 // the same order on split planes, so the output is bit-identical to the
-// interleaved transform.
+// interleaved transform. On machines with SIMD support the butterfly
+// stages run in assembly (see dispatch.go); the result is bit-identical
+// either way.
 func (p *FFTPlan) ForwardPlanar(x Planar) {
 	if x.Len() != p.n {
 		panic(fmt.Sprintf("dsp: ForwardPlanar length %d, plan size %d", x.Len(), p.n))
 	}
-	p.transformPlanar(x.Re, x.Im, p.fwdP)
+	p.transformPlanar(x.Re, x.Im, true)
 }
 
 // InversePlanar is Inverse on planar data, including the 1/N scaling.
@@ -98,23 +100,24 @@ func (p *FFTPlan) InversePlanar(x Planar) {
 	if x.Len() != p.n {
 		panic(fmt.Sprintf("dsp: InversePlanar length %d, plan size %d", x.Len(), p.n))
 	}
-	p.transformPlanar(x.Re, x.Im, p.invP)
+	p.transformPlanar(x.Re, x.Im, false)
 	x.Scale(1 / float64(p.n))
 }
 
 // transformPlanar mirrors transform butterfly-for-butterfly: each complex
 // operation is expanded to the float operations the compiler emits for the
 // interleaved form ((ac−bd, ad+bc) products, adds/subs in the same order),
-// so the two paths produce identical values. twP holds the twiddles as
-// (re, im) pairs.
-func (p *FFTPlan) transformPlanar(re, im, twP []float64) {
-	n := p.n
-	for i, r := range p.rev {
-		if i < r {
-			re[i], re[r] = re[r], re[i]
-			im[i], im[r] = im[r], im[i]
-		}
+// so the two paths produce identical values.
+func (p *FFTPlan) transformPlanar(re, im []float64, fwd bool) {
+	if p.transformPlanarSIMD(re, im, fwd) {
+		return
 	}
+	twP := p.fwdP
+	if !fwd {
+		twP = p.invP
+	}
+	n := p.n
+	bitrevPlanar(p.revPairs, re, im)
 	if n < 2 {
 		return
 	}
@@ -154,11 +157,16 @@ func (p *FFTPlan) transformPlanar(re, im, twP []float64) {
 
 // FreqShiftPlanar is FreqShift on planar data: the same phasor recurrence
 // with the same resynchronisation cadence, value-identical to the
-// interleaved kernel.
+// interleaved kernel. On machines with SIMD support the per-sample
+// rotation runs in assembly (the recurrence itself stays scalar, so the
+// rotator values — and therefore the output — are bit-identical).
 func FreqShiftPlanar(x Planar, shiftBins float64, n int, startSample int) {
 	w := 2 * math.Pi * shiftBins / float64(n)
 	ss, cs := math.Sincos(w)
 	stepR, stepI := cs, ss
+	if freqShiftPlanarSIMD(x, w, stepR, stepI, startSample) {
+		return
+	}
 	var rotR, rotI float64
 	re, im := x.Re, x.Im
 	for t := range re {

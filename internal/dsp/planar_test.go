@@ -286,6 +286,45 @@ func BenchmarkPlanarSlideRotatedTab(b *testing.B) {
 	}
 }
 
+// BenchmarkPlanarForward256Scalar is BenchmarkPlanarForward256 with the
+// SIMD dispatch forced off — the trajectory records both paths so the
+// speedup (and any scalar regression) stays visible.
+func BenchmarkPlanarForward256Scalar(b *testing.B) {
+	ForceScalar(true)
+	defer ForceScalar(false)
+	BenchmarkPlanarForward256(b)
+}
+
+// BenchmarkPlanarSlideRotatedTabScalar is BenchmarkPlanarSlideRotatedTab
+// with the SIMD dispatch forced off.
+func BenchmarkPlanarSlideRotatedTabScalar(b *testing.B) {
+	ForceScalar(true)
+	defer ForceScalar(false)
+	BenchmarkPlanarSlideRotatedTab(b)
+}
+
+// BenchmarkPlanarFreqShift measures the planar frequency shift over one
+// data-symbol-sized window (compare BenchmarkFreqShift, which covers a
+// whole packet).
+func BenchmarkPlanarFreqShift(b *testing.B) {
+	const n = 320
+	r := NewRand(1)
+	x := planarOf(randSignal(r, n))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FreqShiftPlanar(x, 3.7, 256, i*n)
+	}
+}
+
+// BenchmarkPlanarFreqShiftScalar is BenchmarkPlanarFreqShift with the
+// SIMD dispatch forced off.
+func BenchmarkPlanarFreqShiftScalar(b *testing.B) {
+	ForceScalar(true)
+	defer ForceScalar(false)
+	BenchmarkPlanarFreqShift(b)
+}
+
 // CorrectTestRamp applies the rotated-domain ramp used by the SlideRotated
 // tests: bins[k] *= e^{+i 2π k delta / n}.
 func CorrectTestRamp(bins []complex128, delta, n int) {

@@ -17,6 +17,19 @@ type SlideTab struct {
 	m   int
 	sel []int
 	tw  []float64 // len(sel)*m re/im pairs
+	// SIMD layout (built by buildVec when assembly kernels are
+	// available). Receiver bin selections are dominated by contiguous
+	// subcarrier runs, so the schedule is split into dense vector runs —
+	// maximal stretches of consecutive bins, in groups of asmLanes, with
+	// their twiddles transposed to j-major lane vectors in twV so
+	// slideTabASM reads one linear stream and needs no gathers. runs
+	// holds (k0, twOff, groups) int triples, one per dense run, consumed
+	// by the single slideTabASM call; scalarPos holds the positions
+	// (indexes into sel) of every bin left over, which SlideRotatedTab
+	// updates with the scalar loop. nil / empty on scalar-only builds.
+	twV       []float64
+	runs      []int
+	scalarPos []int32
 }
 
 // Step returns the slide step m the table was built for.
@@ -45,7 +58,10 @@ func selHash(sel []int) int {
 
 // SlideTabFor returns the (process-cached, immutable) twiddle schedule for
 // a rotated slide of step m with pre-slide ramp slope delta, restricted to
-// the listed bins. All bins must be in [0, n); m must be in [1, n].
+// the listed bins. All bins must be distinct and in [0, n); m must be in
+// [1, n]. (A duplicated bin would make the result depend on update order
+// when dst aliases src in SlideRotatedTab — and the SIMD layout processes
+// bins in dense-run order, not sel order — so it is rejected here.)
 func (s *SlidingDFT) SlideTabFor(delta, m int, sel []int) (*SlideTab, error) {
 	n := s.n
 	if m <= 0 || m > n {
@@ -62,6 +78,15 @@ func (s *SlidingDFT) SlideTabFor(delta, m int, sel []int) (*SlideTab, error) {
 			return t, nil
 		}
 		// Hash collision: fall through and build an uncached table.
+	}
+	// Validation runs on the build path only — a cache hit already
+	// guarantees a validated selection.
+	seen := make(map[int]struct{}, len(sel))
+	for _, k := range sel {
+		if _, dup := seen[k]; dup {
+			return nil, fmt.Errorf("dsp: SlideTabFor duplicate bin %d", k)
+		}
+		seen[k] = struct{}{}
 	}
 	t := &SlideTab{m: m, sel: slices.Clone(sel), tw: make([]float64, 0, 2*m*len(sel))}
 	for _, k := range sel {
@@ -80,6 +105,7 @@ func (s *SlidingDFT) SlideTabFor(delta, m int, sel []int) (*SlideTab, error) {
 			}
 		}
 	}
+	t.buildVec()
 	if v, loaded := s.tabs.LoadOrStore(key, t); loaded {
 		if prev := v.(*SlideTab); slices.Equal(prev.sel, sel) {
 			return prev, nil
@@ -107,6 +133,55 @@ func (s *SlidingDFT) SlideRotatedTab(dst, src, diffs Planar, tab *SlideTab) {
 	sre, sim := src.Re, src.Im
 	dre, dim := dst.Re, dst.Im
 	tw := tab.tw
+	if tab.runs != nil && simdEnabled() {
+		// Vectorised path: the dense runs of consecutive bins in one
+		// assembly call, then the scalar loop over the leftover bins —
+		// arithmetic identical to the all-scalar path (bins are
+		// independent and the j walk keeps the scalar operation order).
+		slideTabASM(&dre[0], &dim[0], &sre[0], &sim[0],
+			&diffs.Re[0], &diffs.Im[0], &tab.twV[0], &tab.runs[0], m, len(tab.runs)/3)
+		if m == 4 {
+			// Same unrolled shape as the scalar m == 4 specialisation
+			// below (identical j order, so identical values).
+			d0r, d0i := diffs.Re[0], diffs.Im[0]
+			d1r, d1i := diffs.Re[1], diffs.Im[1]
+			d2r, d2i := diffs.Re[2], diffs.Im[2]
+			d3r, d3i := diffs.Re[3], diffs.Im[3]
+			for _, b := range tab.scalarPos {
+				k := tab.sel[b]
+				p := 8 * int(b)
+				t := tw[p : p+8 : p+8]
+				accR, accI := sre[k], sim[k]
+				accR += d0r*t[0] - d0i*t[1]
+				accI += d0r*t[1] + d0i*t[0]
+				accR += d1r*t[2] - d1i*t[3]
+				accI += d1r*t[3] + d1i*t[2]
+				accR += d2r*t[4] - d2i*t[5]
+				accI += d2r*t[5] + d2i*t[4]
+				accR += d3r*t[6] - d3i*t[7]
+				accI += d3r*t[7] + d3i*t[6]
+				dre[k] = accR
+				dim[k] = accI
+			}
+			return
+		}
+		dfr, dfi := diffs.Re, diffs.Im
+		for _, b := range tab.scalarPos {
+			k := tab.sel[b]
+			accR, accI := sre[k], sim[k]
+			p := 2 * m * int(b)
+			for j := 0; j < m; j++ {
+				tr, ti := tw[p], tw[p+1]
+				dr, di := dfr[j], dfi[j]
+				accR += dr*tr - di*ti
+				accI += dr*ti + di*tr
+				p += 2
+			}
+			dre[k] = accR
+			dim[k] = accI
+		}
+		return
+	}
 	switch m {
 	case 4:
 		// The dominant receiver shape (native-sample stride on an

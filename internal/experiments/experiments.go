@@ -423,6 +423,12 @@ func (p *PSRPlan) RunPacket(pkt int, ok []bool) error {
 		var res rx.Result
 		var err error
 		switch {
+		case soft && p.intra > 1:
+			// The soft path fans over the same ParallelDecider pool with
+			// the same symbol-ordered merge contract; deciders whose
+			// state forbids forking fall back to serial inside, so
+			// results are bit-identical either way.
+			res, err = rx.DecodeDataSoftParallel(f, cfg.MCS, len(psdu), decider, p.intra)
 		case soft:
 			res, err = rx.DecodeDataSoft(f, cfg.MCS, len(psdu), decider)
 		case p.intra > 1:

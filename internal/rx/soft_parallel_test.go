@@ -1,0 +1,92 @@
+package rx
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/modem"
+)
+
+// TestDecodeDataSoftParallelMatchesSerial pins the parallel soft decode
+// to the serial one bit for bit across worker counts, including worker
+// counts that exceed the symbol count. The low-SNR case makes some
+// subcarrier confidences genuinely informative (and some symbols carry
+// bit errors), so the symbol-ordered LLR merge is exercised on weights
+// that actually change the trellis, not just on a clean packet.
+func TestDecodeDataSoftParallelMatchesSerial(t *testing.T) {
+	for _, snr := range []float64{30, 4} {
+		f, m, _ := parallelTestFrame(t, snr)
+		want, err := DecodeDataSoft(f, m, 100, StandardDecider{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 3, 7, 1000} {
+			got, err := DecodeDataSoftParallel(f, m, 100, StandardDecider{}, workers)
+			if err != nil {
+				t.Fatalf("snr=%v workers=%d: %v", snr, workers, err)
+			}
+			if !bytes.Equal(got.PSDU, want.PSDU) || got.FCSOK != want.FCSOK || got.ScramblerSeed != want.ScramblerSeed {
+				t.Fatalf("snr=%v workers=%d: parallel soft decode diverged from serial", snr, workers)
+			}
+		}
+	}
+}
+
+// hardOnlyDecider implements ParallelDecider but not SoftSymbolDecider,
+// so DecodeDataSoftParallel must route it to the hard-decision
+// DecodeDataParallel (mirroring DecodeDataSoft's hard fallback).
+type hardOnlyDecider struct{}
+
+func (hardOnlyDecider) DecideSymbol(f *Frame, symIdx int, cons *modem.Constellation) ([]int, error) {
+	return StandardDecider{}.DecideSymbol(f, symIdx, cons)
+}
+func (d hardOnlyDecider) ForkDecider() (SymbolDecider, bool) { return d, true }
+
+// softForkRefuser is a soft decider whose ForkDecider refuses, forcing
+// the serial soft fallback.
+type softForkRefuser struct{ StandardDecider }
+
+func (softForkRefuser) ForkDecider() (SymbolDecider, bool) { return nil, false }
+
+// softForkLoser forks successfully but its fork is hard-only, so the
+// parallel soft path must fall back to serial soft decoding rather than
+// silently dropping the confidences.
+type softForkLoser struct{ StandardDecider }
+
+func (softForkLoser) ForkDecider() (SymbolDecider, bool) { return hardOnlyDecider{}, true }
+
+func TestDecodeDataSoftParallelFallbacks(t *testing.T) {
+	f, m, _ := parallelTestFrame(t, 4)
+	wantSoft, err := DecodeDataSoft(f, m, 100, StandardDecider{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHard, err := DecodeData(f, m, 100, StandardDecider{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := DecodeDataSoftParallel(f, m, 100, hardOnlyDecider{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.PSDU, wantHard.PSDU) || got.FCSOK != wantHard.FCSOK {
+		t.Fatal("hard-only decider did not match the hard parallel path")
+	}
+
+	got, err = DecodeDataSoftParallel(f, m, 100, softForkRefuser{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.PSDU, wantSoft.PSDU) || got.FCSOK != wantSoft.FCSOK {
+		t.Fatal("fork-refusing soft decider did not match serial soft decode")
+	}
+
+	got, err = DecodeDataSoftParallel(f, m, 100, softForkLoser{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.PSDU, wantSoft.PSDU) || got.FCSOK != wantSoft.FCSOK {
+		t.Fatal("soft-losing fork did not fall back to serial soft decode")
+	}
+}
