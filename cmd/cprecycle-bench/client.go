@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/sweep"
+	"repro/internal/sweep/dist"
 )
 
 // submitClient drives a remote serve-mode or coordinator instance: it
@@ -176,6 +177,56 @@ func (c *submitClient) followOnce(id string, lastEventID *string, start time.Tim
 		return final, false, err
 	}
 	return final, false, fmt.Errorf("stream ended without a terminal event")
+}
+
+// listWorkers prints the coordinator's worker registry (-fleet).
+func (c *submitClient) listWorkers() error {
+	resp, err := c.request(http.MethodGet, "/v1/dist/workers", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fail(resp)
+	}
+	var infos []dist.WorkerInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		return fmt.Errorf("decoding worker list: %w", err)
+	}
+	if len(infos) == 0 {
+		fmt.Println("no registered workers")
+		return nil
+	}
+	for _, wi := range infos {
+		fmt.Printf("%-4s %-20s %-9s leases=%-3d granted=%-5d age=%s idle=%s\n",
+			wi.ID, wi.Name, wi.State, wi.Leases, wi.Granted,
+			(time.Duration(wi.AgeSec) * time.Second).Round(time.Second),
+			(time.Duration(wi.IdleSec) * time.Second).Round(time.Second))
+	}
+	return nil
+}
+
+// drainWorker / revokeWorker drive the coordinator's worker-lifecycle
+// admin endpoints (-drain / -revoke).
+func (c *submitClient) drainWorker(id string) error {
+	return c.workerAction(id, "drain", "draining (finishes its in-flight lease, then deregisters)")
+}
+
+func (c *submitClient) revokeWorker(id string) error {
+	return c.workerAction(id, "revoke", "revoked (token dead, leases re-queued)")
+}
+
+func (c *submitClient) workerAction(id, action, desc string) error {
+	resp, err := c.request(http.MethodPost, "/v1/dist/workers/"+id+"/"+action, strings.NewReader("{}"))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fail(resp)
+	}
+	fmt.Printf("worker %s %s\n", id, desc)
+	return nil
 }
 
 // printTable fetches the finished job's rendered table to stdout.

@@ -26,6 +26,8 @@
 //	cprecycle-bench -coordinator :8080 -journal jobs/        # distributed
 //	cprecycle-bench -worker -join http://host:8080           # …its workers
 //	cprecycle-bench -submit -join http://host:8080 -experiment fig8
+//	cprecycle-bench -fleet -join http://host:8080            # list workers
+//	cprecycle-bench -drain w1 -join http://host:8080         # graceful scale-down
 //	cprecycle-bench -list
 //
 // Checkpoints (-checkpoint, sweep experiments only) are JSON-lines files:
@@ -61,27 +63,36 @@
 //
 // # Distributed mode
 //
-// The coordinator decomposes each job into point-range leases and serves
-// them to workers on POST /v1/dist/lease; workers run leases on a local
-// sweep engine (with their own waveform pool built from the lease's pool
-// identity), heartbeat on /v1/dist/heartbeat, and report per-point
-// tallies on /v1/dist/result. A lease that misses its TTL — worker
-// crash, kill -9, partition — is re-issued to the next poller; results
-// are idempotent and tallies deterministic, so duplicated work merges
+// Workers join the fleet with POST /v1/dist/register, exchanging the
+// join secret (-token) for a per-worker revocable bearer token, then
+// long-poll POST /v1/dist/lease for work: the coordinator parks the
+// request (bounded, ~30s) and wakes it the moment work appears — no
+// fixed-interval polling anywhere. Leases are sized adaptively from the
+// job's observed per-point latency toward a wall-clock target (~4× the
+// heartbeat interval); -lease-points pins a fixed size instead. Workers
+// run leases on a local sweep engine (with their own waveform pool built
+// from the lease's pool identity), heartbeat on /v1/dist/heartbeat, and
+// report per-point tallies on /v1/dist/result, retrying transient
+// transport failures with capped jittered backoff. A lease that misses
+// its TTL — worker crash, kill -9, partition — is re-issued; results are
+// idempotent and tallies deterministic, so duplicated work merges
 // bit-identically. Leases carry the sweep plan's fingerprint and workers
 // refuse leases their own build plans differently, so coordinator/worker
 // version skew is rejected instead of silently blended. The determinism
-// contract (pinned by internal/sweep/dist tests): a coordinator plus any
-// number of workers renders the byte-identical table a single in-process
+// contract (pinned by internal/sweep/dist chaos tests): a coordinator
+// plus any number of workers — under transport faults, kills, drains and
+// revocations — renders the byte-identical table a single in-process
 // engine produces for the same spec and seed. See internal/sweep/dist
 // for the full protocol.
 //
-// -token T sets a bearer token: the coordinator (and -serve) then
-// requires "Authorization: Bearer T" on every request, and -worker /
-// -submit send it. -journal DIR makes coordinator jobs durable — each
-// job appends completed points to DIR/<id>.jsonl and a restarted
-// coordinator replays the directory, resuming every job at its first
-// unjournalled point.
+// -token S sets the fleet join secret: the coordinator requires it on
+// registration and admin calls (and -serve requires it on everything),
+// -worker presents it to register, and -submit/-fleet/-drain/-revoke
+// send it. -journal DIR makes coordinator jobs durable — each job
+// appends completed points to DIR/<id>.jsonl and a restarted coordinator
+// replays the directory, resuming every job at its first unjournalled
+// point (workers notice the restart via 401 and re-register on their
+// own).
 //
 // Two-machine quickstart (machine A coordinates and serves results,
 // machine B computes; add workers anywhere for more throughput):
@@ -95,6 +106,25 @@
 // prints the final table to stdout, exactly like a local run of the same
 // experiment; if the stream drops mid-sweep it reconnects with
 // Last-Event-ID and resumes where it left off.
+//
+// Scale-down is graceful: either signal the worker —
+//
+//	B$ kill -TERM <worker pid>    # finish in-flight lease, deregister, exit
+//
+// — or drive it from the coordinator side:
+//
+//	A$ cprecycle-bench -fleet -join http://localhost:8080 -token S
+//	w1  B:4242  active    leases=1  granted=12  age=1h2m
+//	A$ cprecycle-bench -drain w1 -join http://localhost:8080 -token S
+//
+// Either way the worker completes its in-flight lease (the result is
+// accepted), takes no new ones, and deregisters — nothing waits for a
+// lease TTL. -revoke w1 is the abrupt variant for a misbehaving worker:
+// its token dies immediately, its leases re-queue, and any late result
+// it sends is refused. GET /v1/dist/events (join-secret auth) streams
+// fleet-wide lifecycle events (worker join/drain/revoke/leave, lease
+// grant/expiry, job submit/done) as SSE with Last-Event-ID resume, for
+// dashboards.
 package main
 
 import (
@@ -103,7 +133,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -157,11 +189,16 @@ func main() {
 		coordAddr = flag.String("coordinator", "", "serve a distributed sweep coordinator on this address (no local compute; workers join with -worker -join)")
 		workerFlg = flag.Bool("worker", false, "run as a distributed sweep worker polling the -join coordinator")
 		submitFlg = flag.Bool("submit", false, "submit the selected sweep experiment to the -join server, stream per-point progress and print the table")
-		join      = flag.String("join", "", "server base URL (e.g. http://host:8080) for -worker and -submit")
-		token     = flag.String("token", "", "bearer token: enforced by -serve/-coordinator when set, sent by -worker/-submit")
+		join      = flag.String("join", "", "server base URL (e.g. http://host:8080) for -worker, -submit and the fleet admin flags")
+		token     = flag.String("token", "", "fleet join secret: enforced by -serve/-coordinator when set, presented by -worker/-submit and the fleet admin flags")
 		journal   = flag.String("journal", "", "coordinator journal directory: jobs persist here and a restarted coordinator resumes them")
-		leasePts  = flag.Int("lease-points", 0, "plan points per worker lease; 0 = default (1)")
+		leasePts  = flag.Int("lease-points", 0, "pin every worker lease to this many plan points; 0 = adaptive sizing toward -lease-target of wall-clock work")
+		leaseTgt  = flag.Duration("lease-target", 0, "wall-clock work an adaptive lease aims for; 0 = default (4× heartbeat interval)")
 		leaseTTL  = flag.Duration("lease-ttl", 0, "re-issue a lease after this long without a heartbeat; 0 = default (30s)")
+
+		fleetFlg = flag.Bool("fleet", false, "list the -join coordinator's registered workers and exit")
+		drainID  = flag.String("drain", "", "gracefully drain worker ID on the -join coordinator (finish in-flight lease, deregister) and exit")
+		revokeID = flag.String("revoke", "", "revoke worker ID on the -join coordinator (cut it off, re-queue its leases now) and exit")
 	)
 	flag.Parse()
 
@@ -184,6 +221,7 @@ func main() {
 	if *coordAddr != "" {
 		c, err := dist.New(dist.Config{
 			LeasePoints: *leasePts,
+			LeaseTarget: *leaseTgt,
 			LeaseTTL:    *leaseTTL,
 			PoolSize:    *poolSize,
 			PoolSeed:    *seed,
@@ -218,8 +256,45 @@ func main() {
 			os.Exit(1)
 		}
 		defer w.Close()
-		fmt.Printf("worker polling %s\n", *join)
-		select {} // serve leases until killed
+		fmt.Printf("worker serving %s (SIGTERM drains: in-flight lease finishes, then deregister)\n", *join)
+		sigc := make(chan os.Signal, 2)
+		signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+		for {
+			select {
+			case s := <-sigc:
+				if s == syscall.SIGTERM && !w.Draining() {
+					log.Printf("worker: SIGTERM, draining (send again or SIGINT to hard-stop)")
+					w.Drain()
+					continue
+				}
+				log.Printf("worker: hard stop (in-flight lease abandoned to TTL re-issue)")
+				return // deferred Close cancels the lease loop
+			case <-w.Done():
+				return // drained (or revoked) and deregistered
+			}
+		}
+	}
+
+	if *fleetFlg || *drainID != "" || *revokeID != "" {
+		if *join == "" {
+			fmt.Fprintln(os.Stderr, "fleet admin flags require -join URL")
+			os.Exit(1)
+		}
+		cl := newSubmitClient(*join, *token)
+		var err error
+		switch {
+		case *drainID != "":
+			err = cl.drainWorker(*drainID)
+		case *revokeID != "":
+			err = cl.revokeWorker(*revokeID)
+		default:
+			err = cl.listWorkers()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *submitFlg {

@@ -296,8 +296,10 @@ func runServe(addr, token string, eng *sweep.Engine) error {
 }
 
 // runCoordinator exposes a distributed coordinator: the client API plus
-// the /v1/dist/ worker tier (lease/result/heartbeat). One bearer token
-// guards both when set.
+// the /v1/dist/ worker tier. The client API is join-secret-guarded as a
+// whole; the worker tier runs its own two-tier auth (join secret on
+// registration and admin/fleet endpoints, per-worker minted tokens on
+// the long-polling data plane) so it must NOT sit behind BearerAuth.
 func runCoordinator(addr, token string, c *dist.Coordinator) error {
 	root := http.NewServeMux()
 	root.Handle("/v1/dist/", c.Handler())

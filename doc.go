@@ -66,22 +66,35 @@
 // The service scales across processes and machines through
 // internal/sweep/dist: a coordinator decomposes each job into point-range
 // leases (identified against the plan's fingerprint,
-// experiments.SweepPlan.Fingerprint) and hands them to HTTP workers under
-// bearer-token auth; workers run leases on local engines
+// experiments.SweepPlan.Fingerprint); workers exchange the cluster join
+// secret for a per-worker revocable token at registration, then draw
+// leases over a long-polling dispatch endpoint — the coordinator parks
+// the request until work or a directive arrives, so an idle fleet issues
+// no fixed-interval polls — and run them on local engines
 // (Engine.SubmitPoints) with their waveform pool rebuilt from the lease's
-// pool identity, heartbeat while running, and report per-point tallies
-// that merge bit-identically to a single in-process engine — leases that
-// miss their TTL are re-issued, results are idempotent, and jobs journal
-// to disk so a kill -9'd coordinator replays its journal directory and
-// resumes at the first unleased point. The determinism contract —
-// coordinator + N workers renders the byte-identical table of one direct
-// engine, including under mid-sweep worker death — is pinned by the dist
-// package tests and the end-to-end CI smoke (make smoke-dist). The
-// cmd/cprecycle-bench command routes the sweep figures through the engine
-// and serves both tiers over HTTP (-serve, -coordinator / -worker /
-// -submit), with per-point SSE streaming on /v1/jobs/{id}/events (point
-// events carry their seq as the SSE id; reconnecting consumers present
-// Last-Event-ID and resume mid-stream instead of replaying every
-// point); see that package's comment for the spec format, endpoints,
-// protocol and quickstart.
+// pool identity. Lease sizes adapt to observed per-point latency and the
+// live worker count, targeting a fixed slice of wall-clock work per
+// lease; workers heartbeat while running and report per-point tallies
+// that merge bit-identically to a single in-process engine. Leases that
+// miss their TTL are re-issued, results are idempotent, transient
+// transport faults retry under jittered exponential backoff, and jobs
+// journal to disk so a kill -9'd coordinator replays its journal
+// directory and resumes at the first unleased point (workers re-register
+// transparently). Workers leave the fleet two ways: graceful drain
+// (admin endpoint or SIGTERM, piggy-backed on heartbeat and lease
+// responses — the worker finishes its in-flight lease, deregisters, and
+// nothing is re-queued via TTL expiry) and revocation (the token dies
+// immediately, live leases re-queue, late results are refused). The
+// determinism contract — coordinator + N workers renders the
+// byte-identical table of one direct engine, including under injected
+// transport chaos, mid-sweep worker death, drain and revocation — is
+// pinned by the dist package tests and the end-to-end chaos smoke (make
+// smoke-dist). The cmd/cprecycle-bench command routes the sweep figures
+// through the engine and serves both tiers over HTTP (-serve,
+// -coordinator / -worker / -submit, fleet admin via -fleet / -drain /
+// -revoke), with per-point SSE streaming on /v1/jobs/{id}/events and a
+// fleet-wide lifecycle stream on /v1/dist/events (events carry their seq
+// as the SSE id; reconnecting consumers present Last-Event-ID and resume
+// mid-stream instead of replaying every event); see that package's
+// comment for the spec format, endpoints, protocol and quickstart.
 package repro

@@ -2,6 +2,9 @@ package dist
 
 import (
 	"context"
+	"crypto/rand"
+	"crypto/subtle"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -20,14 +23,26 @@ import (
 
 // Config parameterises a Coordinator.
 type Config struct {
-	// LeasePoints is the maximum plan points per lease (default 1): the
-	// load-balancing granularity. Larger leases amortise HTTP round trips
-	// for cheap points; smaller leases re-distribute faster on failure.
+	// LeasePoints, when > 0, pins every lease to a fixed point count
+	// (the pre-adaptive behaviour; useful to force granularity in
+	// tests). Zero — the default — sizes leases adaptively: each lease
+	// targets LeaseTarget of wall-clock work based on the job's observed
+	// per-point latency, starting from a single-point probe.
 	LeasePoints int
+	// LeaseTarget is the wall-clock duration an adaptive lease aims for
+	// (default 4× Heartbeat): long enough to amortise HTTP round trips,
+	// short enough that a worker loss re-queues little work.
+	LeaseTarget time.Duration
 	// LeaseTTL is how long a lease may go without a heartbeat before its
-	// points are re-issued (default 30s). Workers heartbeat at a fraction
-	// of this.
+	// points are re-issued (default 30s).
 	LeaseTTL time.Duration
+	// Heartbeat is the interval the coordinator advertises to workers at
+	// registration (default LeaseTTL/6, at most 5s) — comfortably under
+	// LeaseTTL so one dropped heartbeat cannot expire a lease.
+	Heartbeat time.Duration
+	// LongPoll bounds how long a lease request may be parked waiting for
+	// work (default 30s). Workers are told this bound at registration.
+	LongPoll time.Duration
 	// PoolSize/PoolSeed pin the waveform-pool identity pooled jobs are
 	// computed under; every worker builds its pool from these (default
 	// wifi.DefaultPoolSize, seed 0).
@@ -37,8 +52,11 @@ type Config struct {
 	// completed points to <dir>/<id>.jsonl and New replays the directory,
 	// resuming interrupted jobs at their first unjournalled point.
 	JournalDir string
-	// Token, when set, is required as "Authorization: Bearer <Token>" on
-	// every worker-tier request.
+	// Token is the fleet join secret: required (as "Authorization:
+	// Bearer <Token>") on registration and on admin calls. Data-plane
+	// calls authenticate with the per-worker token minted at
+	// registration instead. An empty Token leaves registration and admin
+	// open (localhost experimentation).
 	Token string
 	// Logf receives operational log lines (lease grants, re-issues,
 	// failures). Nil discards them.
@@ -46,11 +64,20 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	if c.LeasePoints <= 0 {
-		c.LeasePoints = 1
-	}
 	if c.LeaseTTL <= 0 {
 		c.LeaseTTL = 30 * time.Second
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = c.LeaseTTL / 6
+		if c.Heartbeat > 5*time.Second {
+			c.Heartbeat = 5 * time.Second
+		}
+	}
+	if c.LeaseTarget <= 0 {
+		c.LeaseTarget = 4 * c.Heartbeat
+	}
+	if c.LongPoll <= 0 {
+		c.LongPoll = 30 * time.Second
 	}
 	if c.PoolSize <= 0 {
 		c.PoolSize = wifi.DefaultPoolSize
@@ -61,14 +88,41 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// maxAdaptiveLease caps adaptive lease sizing: beyond this the HTTP
+// round trip is already fully amortised and a worker loss would re-queue
+// too much work.
+const maxAdaptiveLease = 128
+
+// Worker lifecycle states.
+const (
+	workerActive   = "active"
+	workerDraining = "draining"
+	workerRevoked  = "revoked"
+)
+
+// workerState is one registered worker. All fields are guarded by
+// Coordinator.wmu.
+type workerState struct {
+	id       string // coordinator-assigned ("w3")
+	name     string // self-reported (host:pid)
+	token    string // per-worker bearer token ("w3.<hex>")
+	state    string // workerActive | workerDraining | workerRevoked
+	joined   time.Time
+	lastSeen time.Time
+	leases   map[string]string // live lease id → job id
+	granted  int64             // leases ever granted
+}
+
 // Coordinator owns distributed sweep jobs: it decomposes submitted specs
-// into per-point work, hands point-range leases to polling workers
-// (Handler), merges their tallies bit-identically to a single in-process
-// engine, journals completed points for crash recovery, and publishes
-// per-point events to subscribers. It runs no sweep computation itself
-// and spawns no goroutines: all state advances inside worker HTTP
-// requests and Submit calls, so a coordinator is cheap enough to colocate
-// with anything.
+// into per-point work, hands adaptively-sized point-range leases to
+// registered workers over long-polling HTTP (Handler), merges their
+// tallies bit-identically to a single in-process engine, journals
+// completed points for crash recovery, and publishes per-point and
+// fleet-wide events to subscribers. It runs no sweep computation itself
+// and spawns no goroutines of its own: all state advances inside worker
+// HTTP requests and Submit calls (long-polled lease requests park on the
+// caller's goroutine), so a coordinator is cheap enough to colocate with
+// anything.
 type Coordinator struct {
 	cfg Config
 
@@ -83,13 +137,34 @@ type Coordinator struct {
 	leaseJobs map[string]string // lease id → job id
 	nextID    int
 	closed    bool
+
+	// Worker registry. Lock order: j.mu may be held when taking wmu;
+	// never take j.mu or c.mu while holding wmu.
+	wmu        sync.Mutex
+	workers    map[string]*workerState
+	nextWorker int
+
+	// wake broadcast for parked long-poll lease requests: wakeCh is
+	// closed and replaced whenever work may have appeared (job submit,
+	// points re-queued, drain/revoke) — waiters re-check and re-park.
+	wakeMu sync.Mutex
+	wakeCh chan struct{}
+
+	// Fleet-wide event stream (fleet.go).
+	fmu       sync.Mutex
+	fleet     []FleetEvent
+	fleetSeq  int // seq of the next event
+	fleetSubs map[int]chan FleetEvent
+	nextFSub  int
 }
 
 // New creates a coordinator. With cfg.JournalDir set the directory is
 // created if missing and its journals are replayed: every *.jsonl file
 // becomes a job (same ID as its previous life) with its completed points
 // restored; fully-journalled jobs come back as done, partial ones resume
-// leasing at their first missing point.
+// leasing at their first missing point. The worker registry starts empty
+// in every life — workers of a previous life re-register on their first
+// 401.
 func New(cfg Config) (*Coordinator, error) {
 	cfg = cfg.withDefaults()
 	c := &Coordinator{
@@ -97,6 +172,9 @@ func New(cfg Config) (*Coordinator, error) {
 		planPool:  wifi.NewWaveformPool(cfg.PoolSize, cfg.PoolSeed),
 		jobs:      make(map[string]*Job),
 		leaseJobs: make(map[string]string),
+		workers:   make(map[string]*workerState),
+		wakeCh:    make(chan struct{}),
+		fleetSubs: make(map[int]chan FleetEvent),
 	}
 	if cfg.JournalDir != "" {
 		if err := os.MkdirAll(cfg.JournalDir, 0o755); err != nil {
@@ -109,8 +187,9 @@ func New(cfg Config) (*Coordinator, error) {
 	return c, nil
 }
 
-// Close closes every job's journal and stops accepting work. Pending
-// points stay journalled (when durable) for the next coordinator life.
+// Close closes every job's journal, ends the fleet event stream and
+// stops accepting work. Pending points stay journalled (when durable)
+// for the next coordinator life.
 func (c *Coordinator) Close() {
 	c.mu.Lock()
 	if c.closed {
@@ -130,6 +209,26 @@ func (c *Coordinator) Close() {
 		}
 		j.mu.Unlock()
 	}
+	c.closeFleetSubs()
+	c.wake() // release parked long-polls promptly
+}
+
+// wake releases every parked long-poll lease request so it re-checks for
+// work (or for a drain/revoke directive).
+func (c *Coordinator) wake() {
+	c.wakeMu.Lock()
+	close(c.wakeCh)
+	c.wakeCh = make(chan struct{})
+	c.wakeMu.Unlock()
+}
+
+// wakeWait returns the channel a parked request should select on. Must
+// be fetched BEFORE re-checking for work, so a wake between check and
+// park is never lost.
+func (c *Coordinator) wakeWait() <-chan struct{} {
+	c.wakeMu.Lock()
+	defer c.wakeMu.Unlock()
+	return c.wakeCh
 }
 
 // journalPath returns the durable state file of job id ("" when the
@@ -292,7 +391,9 @@ func (c *Coordinator) Submit(spec sweep.Spec) (*Job, error) {
 		j.finalizeLocked()
 		j.mu.Unlock()
 	}
+	c.emit(FleetEvent{Type: "job-submit", Job: j.ID, Points: len(j.points), Detail: j.Spec.Experiment})
 	c.cfg.Logf("dist: job %s submitted (%s, %d points)", j.ID, j.Spec.Experiment, len(j.points))
+	c.wake() // parked lease requests should see the new work now
 	return j, nil
 }
 
@@ -349,26 +450,313 @@ func (c *Coordinator) Remove(id string) bool {
 	return true
 }
 
-// nextLease finds work for a polling worker: jobs are scanned in
-// submission order, expired leases are reaped first, and the first job
-// with pending points yields a lease.
-func (c *Coordinator) nextLease(worker string) *Lease {
+// ---- worker registry ----
+
+// registerWorker mints a new fleet member: a unique id and a revocable
+// bearer token. Exported to the HTTP layer via POST /v1/dist/register.
+func (c *Coordinator) registerWorker(name string) (*workerState, RegisterResponse, error) {
+	raw := make([]byte, 16)
+	if _, err := rand.Read(raw); err != nil {
+		return nil, RegisterResponse{}, fmt.Errorf("dist: minting worker token: %w", err)
+	}
+	now := time.Now()
+	c.wmu.Lock()
+	c.pruneWorkersLocked(now)
+	c.nextWorker++
+	ws := &workerState{
+		id:       fmt.Sprintf("w%d", c.nextWorker),
+		name:     name,
+		state:    workerActive,
+		joined:   now,
+		lastSeen: now,
+		leases:   make(map[string]string),
+	}
+	ws.token = ws.id + "." + hex.EncodeToString(raw)
+	c.workers[ws.id] = ws
+	c.wmu.Unlock()
+	c.emit(FleetEvent{Type: "worker-join", Worker: ws.id, Detail: name})
+	c.cfg.Logf("dist: worker %s registered (%s)", ws.id, name)
+	resp := RegisterResponse{
+		Worker:       ws.id,
+		Token:        ws.token,
+		HeartbeatSec: c.cfg.Heartbeat.Seconds(),
+		LongPollSec:  c.cfg.LongPoll.Seconds(),
+		TTLSec:       c.cfg.LeaseTTL.Seconds(),
+	}
+	return ws, resp, nil
+}
+
+// pruneWorkersLocked forgets workers with no live leases that have not
+// been heard from for 10 lease TTLs: crashed workers that never
+// deregistered, and old revocation tombstones. Callers hold c.wmu.
+func (c *Coordinator) pruneWorkersLocked(now time.Time) {
+	horizon := 10 * c.cfg.LeaseTTL
+	for id, ws := range c.workers {
+		if len(ws.leases) == 0 && now.Sub(ws.lastSeen) > horizon {
+			delete(c.workers, id)
+			c.cfg.Logf("dist: pruned silent worker %s (%s, last seen %v ago)", id, ws.name, now.Sub(ws.lastSeen).Round(time.Second))
+		}
+	}
+}
+
+// authWorker resolves a request's bearer token to a registered worker.
+// The returned status is 200 on success, 401 for unknown/absent tokens
+// (the worker should re-register) and 403 for revoked workers (the
+// worker should terminate). Token comparison is constant-time.
+func (c *Coordinator) authWorker(r *http.Request) (*workerState, int) {
+	const prefix = "Bearer "
+	h := r.Header.Get("Authorization")
+	if !strings.HasPrefix(h, prefix) {
+		return nil, http.StatusUnauthorized
+	}
+	tok := strings.TrimPrefix(h, prefix)
+	id, _, ok := strings.Cut(tok, ".")
+	if !ok {
+		return nil, http.StatusUnauthorized
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	ws := c.workers[id]
+	if ws == nil || subtle.ConstantTimeCompare([]byte(tok), []byte(ws.token)) != 1 {
+		return nil, http.StatusUnauthorized
+	}
+	if ws.state == workerRevoked {
+		return nil, http.StatusForbidden
+	}
+	ws.lastSeen = time.Now()
+	return ws, http.StatusOK
+}
+
+// workerDirective reports the worker's current lifecycle flags.
+func (c *Coordinator) workerDirective(ws *workerState) (draining, revoked bool) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return ws.state == workerDraining, ws.state == workerRevoked
+}
+
+// activeWorkers counts workers eligible for new leases.
+func (c *Coordinator) activeWorkers() int {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	n := 0
+	for _, ws := range c.workers {
+		if ws.state == workerActive {
+			n++
+		}
+	}
+	return n
+}
+
+// trackLease / untrackLease maintain the worker→lease index. Both may
+// be called with j.mu held (j.mu → wmu is the sanctioned order).
+func (c *Coordinator) trackLease(workerID, leaseID, jobID string) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if ws := c.workers[workerID]; ws != nil {
+		ws.leases[leaseID] = jobID
+		ws.granted++
+	}
+}
+
+func (c *Coordinator) untrackLease(workerID, leaseID string) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if ws := c.workers[workerID]; ws != nil {
+		delete(ws.leases, leaseID)
+	}
+}
+
+// WorkerInfos snapshots the registry for the admin API, ordered by
+// registration.
+func (c *Coordinator) WorkerInfos() []WorkerInfo {
+	now := time.Now()
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	out := make([]WorkerInfo, 0, len(c.workers))
+	for _, ws := range c.workers {
+		out = append(out, WorkerInfo{
+			ID: ws.id, Name: ws.name, State: ws.state,
+			Leases: len(ws.leases), Granted: ws.granted,
+			AgeSec:  now.Sub(ws.joined).Seconds(),
+			IdleSec: now.Sub(ws.lastSeen).Seconds(),
+		})
+	}
+	sort.Slice(out, func(a, b int) bool { return jobSeq(out[a].ID) < jobSeq(out[b].ID) })
+	return out
+}
+
+// DrainWorker marks a worker draining: it finishes its in-flight lease,
+// takes no new ones, deregisters and exits. The signal reaches it on its
+// next heartbeat or (immediately, via wake) parked lease request.
+// Reports whether the worker is known.
+func (c *Coordinator) DrainWorker(id string) bool {
+	c.wmu.Lock()
+	ws := c.workers[id]
+	if ws == nil || ws.state != workerActive {
+		known := ws != nil
+		c.wmu.Unlock()
+		return known
+	}
+	ws.state = workerDraining
+	name := ws.name
+	c.wmu.Unlock()
+	c.emit(FleetEvent{Type: "worker-drain", Worker: id, Detail: name})
+	c.cfg.Logf("dist: worker %s (%s) draining", id, name)
+	c.wake() // its parked long-poll should return the drain directive now
+	return true
+}
+
+// RevokeWorker cuts a worker off: its token is invalidated (kept as a
+// tombstone so late calls see 403, not 401), and its live leases are
+// dropped with their points re-queued immediately — a replacement can
+// pick them up without waiting for the TTL. Reports whether the worker
+// is known.
+func (c *Coordinator) RevokeWorker(id string) bool {
+	c.wmu.Lock()
+	ws := c.workers[id]
+	if ws == nil {
+		c.wmu.Unlock()
+		return false
+	}
+	ws.state = workerRevoked
+	name := ws.name
+	orphans := make(map[string]string, len(ws.leases))
+	for lid, jid := range ws.leases {
+		orphans[lid] = jid
+	}
+	ws.leases = make(map[string]string)
+	c.wmu.Unlock()
+	c.emit(FleetEvent{Type: "worker-revoke", Worker: id, Detail: name})
+	c.cfg.Logf("dist: worker %s (%s) revoked, re-queuing %d lease(s)", id, name, len(orphans))
+	c.requeueOrphans(orphans, "worker revoked")
+	c.wake()
+	return true
+}
+
+// deregisterWorker removes a worker from the fleet (the drain endgame,
+// or an explicit leave). Any leases it still holds re-queue immediately.
+func (c *Coordinator) deregisterWorker(ws *workerState) {
+	c.wmu.Lock()
+	delete(c.workers, ws.id)
+	orphans := make(map[string]string, len(ws.leases))
+	for lid, jid := range ws.leases {
+		orphans[lid] = jid
+	}
+	ws.leases = make(map[string]string)
+	c.wmu.Unlock()
+	c.emit(FleetEvent{Type: "worker-leave", Worker: ws.id, Detail: ws.name})
+	c.cfg.Logf("dist: worker %s (%s) deregistered", ws.id, ws.name)
+	if len(orphans) > 0 {
+		c.requeueOrphans(orphans, "worker deregistered")
+		c.wake()
+	}
+}
+
+// requeueOrphans drops a departed worker's leases job-side so their
+// points go back to pending without waiting for the TTL.
+func (c *Coordinator) requeueOrphans(orphans map[string]string, reason string) {
+	for lid, jid := range orphans {
+		if j := c.Job(jid); j != nil {
+			j.dropLease(lid, reason)
+		} else {
+			c.forgetLease(lid)
+		}
+	}
+}
+
+// ---- lease dispatch ----
+
+// awaitLease finds work for a registered worker, parking the request up
+// to wait when none is pending. It returns a granted lease, or
+// drain=true when the worker should wind down, or (nil, false) when the
+// deadline passed with no work. Wakeups: job submit, point re-queue,
+// drain/revoke, and lease-TTL expiry (via a timer aimed at the earliest
+// outstanding deadline, so expired leases re-issue promptly even on an
+// otherwise idle fleet).
+func (c *Coordinator) awaitLease(ctx context.Context, ws *workerState, wait time.Duration) (l *Lease, drain bool) {
+	deadline := time.Now().Add(wait)
+	for {
+		wch := c.wakeWait() // fetch before checking: no lost wakeups
+		draining, revoked := c.workerDirective(ws)
+		if revoked {
+			return nil, false
+		}
+		if draining {
+			return nil, true
+		}
+		if l := c.tryLease(ws); l != nil {
+			return l, false
+		}
+		now := time.Now()
+		if !now.Before(deadline) {
+			return nil, false
+		}
+		sleep := deadline.Sub(now)
+		if exp := c.nextExpiry(); !exp.IsZero() {
+			// Re-check just past the earliest lease deadline so its
+			// points re-issue without waiting out the long poll.
+			if d := exp.Sub(now) + 5*time.Millisecond; d < sleep {
+				if d < time.Millisecond {
+					d = time.Millisecond
+				}
+				sleep = d
+			}
+		}
+		t := time.NewTimer(sleep)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, false
+		case <-wch:
+			t.Stop()
+		case <-t.C:
+		}
+	}
+}
+
+// tryLease scans jobs in submission order (reaping expired leases as it
+// goes) and grants the first available work to ws.
+func (c *Coordinator) tryLease(ws *workerState) *Lease {
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
 	jobs := make([]*Job, 0, len(c.order))
 	for _, id := range c.order {
 		jobs = append(jobs, c.jobs[id])
 	}
 	c.mu.Unlock()
 	now := time.Now()
+	share := c.activeWorkers()
 	for _, j := range jobs {
-		if l := j.grantLease(worker, now); l != nil {
-			c.mu.Lock()
-			c.leaseJobs[l.ID] = l.Job
-			c.mu.Unlock()
+		if l := j.grantLease(ws, now, share); l != nil {
 			return l
 		}
 	}
 	return nil
+}
+
+// nextExpiry returns the earliest outstanding lease deadline across all
+// jobs (zero time when none).
+func (c *Coordinator) nextExpiry() time.Time {
+	c.mu.Lock()
+	jobs := make([]*Job, 0, len(c.order))
+	for _, id := range c.order {
+		jobs = append(jobs, c.jobs[id])
+	}
+	c.mu.Unlock()
+	var min time.Time
+	for _, j := range jobs {
+		j.mu.Lock()
+		for _, l := range j.leases {
+			if min.IsZero() || l.expires.Before(min) {
+				min = l.expires
+			}
+		}
+		j.mu.Unlock()
+	}
+	return min
 }
 
 // jobForLease resolves a lease id to its job (nil when unknown — e.g.
@@ -401,8 +789,9 @@ type distPoint struct {
 // lease is the coordinator-side record of a granted lease.
 type lease struct {
 	id      string
-	worker  string
+	worker  string // assigned worker id
 	points  []int
+	granted time.Time
 	expires time.Time
 	// hbPackets is the worker's last heartbeat-reported packet count,
 	// folded into Progress.DonePackets while the lease runs.
@@ -428,16 +817,21 @@ type Job struct {
 	nextLease  int
 	donePoints int
 	restored   int
-	journal    *sweep.Journal
-	events     []sweep.PointEvent
-	subs       map[int]chan sweep.PointEvent
-	nextSub    int
-	err        error
-	table      *experiments.Table
-	results    [][]experiments.PSRPoint
-	elapsed    time.Duration
-	finished   bool
-	done       chan struct{}
+	// estPerPoint is the moving estimate of wall-clock seconds one plan
+	// point costs, fed by result timing and heartbeat packet progress;
+	// zero until the first observation (adaptive sizing probes with a
+	// single point until then).
+	estPerPoint float64
+	journal     *sweep.Journal
+	events      []sweep.PointEvent
+	subs        map[int]chan sweep.PointEvent
+	nextSub     int
+	err         error
+	table       *experiments.Table
+	results     [][]experiments.PSRPoint
+	elapsed     time.Duration
+	finished    bool
+	done        chan struct{}
 }
 
 // Plan returns the job's sweep plan (read-only).
@@ -463,10 +857,56 @@ func (j *Job) rebuildPending() {
 	}
 }
 
+// observeLatencyLocked folds one per-point wall-clock sample (seconds)
+// into the adaptive-sizing estimate. Callers hold j.mu.
+func (j *Job) observeLatencyLocked(perPoint float64) {
+	if perPoint <= 0 {
+		return
+	}
+	if j.estPerPoint <= 0 {
+		j.estPerPoint = perPoint
+		return
+	}
+	j.estPerPoint = 0.7*j.estPerPoint + 0.3*perPoint
+}
+
+// leaseSizeLocked decides how many points the next lease may carry.
+// Fixed when Config.LeasePoints > 0; otherwise sized so the lease runs
+// for ~LeaseTarget at the job's observed per-point latency, never more
+// than this worker's fair share of the pending queue (activeWorkers
+// live workers splitting it), and probing with 1 point until a latency
+// estimate exists. Callers hold j.mu.
+func (j *Job) leaseSizeLocked(activeWorkers int) int {
+	cfg := j.coord.cfg
+	if cfg.LeasePoints > 0 {
+		return cfg.LeasePoints
+	}
+	if j.estPerPoint <= 0 {
+		return 1
+	}
+	n := int(cfg.LeaseTarget.Seconds()/j.estPerPoint + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	if n > maxAdaptiveLease {
+		n = maxAdaptiveLease
+	}
+	if activeWorkers > 1 {
+		share := (len(j.pending) + activeWorkers - 1) / activeWorkers
+		if share < 1 {
+			share = 1
+		}
+		if n > share {
+			n = share
+		}
+	}
+	return n
+}
+
 // grantLease reaps expired leases and carves the next lease off the
 // pending queue: the longest run of consecutive point indexes from its
-// head, capped at LeasePoints.
-func (j *Job) grantLease(worker string, now time.Time) *Lease {
+// head, capped at the adaptive (or pinned) lease size.
+func (j *Job) grantLease(ws *workerState, now time.Time, activeWorkers int) *Lease {
 	cfg := j.coord.cfg
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -478,6 +918,8 @@ func (j *Job) grantLease(worker string, now time.Time) *Lease {
 			cfg.Logf("dist: job %s: lease %s (worker %s) expired, re-issuing %d point(s)", j.ID, id, l.worker, len(l.points))
 			delete(j.leases, id)
 			j.coord.forgetLease(id)
+			j.coord.untrackLease(l.worker, id)
+			j.coord.emit(FleetEvent{Type: "lease-expire", Worker: l.worker, Job: j.ID, Lease: id, Points: len(l.points), Detail: "ttl expired"})
 			j.rebuildPending()
 		}
 	}
@@ -485,7 +927,8 @@ func (j *Job) grantLease(worker string, now time.Time) *Lease {
 		return nil
 	}
 	take := 1
-	for take < len(j.pending) && take < cfg.LeasePoints && j.pending[take] == j.pending[take-1]+1 {
+	size := j.leaseSizeLocked(activeWorkers)
+	for take < len(j.pending) && take < size && j.pending[take] == j.pending[take-1]+1 {
 		take++
 	}
 	points := append([]int(nil), j.pending[:take]...)
@@ -493,11 +936,16 @@ func (j *Job) grantLease(worker string, now time.Time) *Lease {
 	j.nextLease++
 	l := &lease{
 		id:      fmt.Sprintf("%s-l%d", j.ID, j.nextLease),
-		worker:  worker,
+		worker:  ws.id,
 		points:  points,
+		granted: now,
 		expires: now.Add(cfg.LeaseTTL),
 	}
 	j.leases[l.id] = l
+	j.coord.mu.Lock()
+	j.coord.leaseJobs[l.id] = j.ID
+	j.coord.mu.Unlock()
+	j.coord.trackLease(ws.id, l.id, j.ID)
 	out := &Lease{
 		ID:          l.id,
 		Job:         j.ID,
@@ -510,12 +958,43 @@ func (j *Job) grantLease(worker string, now time.Time) *Lease {
 		out.PoolSize = cfg.PoolSize
 		out.PoolSeed = cfg.PoolSeed
 	}
-	cfg.Logf("dist: job %s: leased points %v to %s as %s", j.ID, points, worker, l.id)
+	j.coord.emit(FleetEvent{Type: "lease-grant", Worker: ws.id, Job: j.ID, Lease: l.id, Points: len(points)})
+	cfg.Logf("dist: job %s: leased points %v to %s as %s", j.ID, points, ws.id, l.id)
 	return out
 }
 
-// heartbeat re-arms a live lease. It reports false when the lease is
-// unknown or already resolved — the worker should abandon that work.
+// dropLease removes one live lease (revocation, deregistration) and
+// re-queues its points immediately.
+func (j *Job) dropLease(leaseID, reason string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	l, ok := j.leases[leaseID]
+	if !ok {
+		return
+	}
+	delete(j.leases, leaseID)
+	j.coord.forgetLease(leaseID)
+	j.coord.emit(FleetEvent{Type: "lease-expire", Worker: l.worker, Job: j.ID, Lease: leaseID, Points: len(l.points), Detail: reason})
+	j.coord.cfg.Logf("dist: job %s: lease %s dropped (%s), re-queuing %d point(s)", j.ID, leaseID, reason, len(l.points))
+	j.rebuildPending()
+}
+
+// avgPacketsLocked is the mean packet count of the lease's points.
+// Callers hold j.mu.
+func (j *Job) avgPacketsLocked(l *lease) float64 {
+	if len(l.points) == 0 {
+		return 0
+	}
+	total := 0
+	for _, p := range l.points {
+		total += j.points[p].packets
+	}
+	return float64(total) / float64(len(l.points))
+}
+
+// heartbeat re-arms a live lease and feeds packet progress into the
+// latency estimate. It reports false when the lease is unknown or
+// already resolved — the worker should abandon that work.
 func (j *Job) heartbeat(hb Heartbeat, now time.Time) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -526,6 +1005,12 @@ func (j *Job) heartbeat(hb Heartbeat, now time.Time) bool {
 	l.expires = now.Add(j.coord.cfg.LeaseTTL)
 	if hb.DonePackets > l.hbPackets {
 		l.hbPackets = hb.DonePackets
+	}
+	if hb.DonePackets > 0 {
+		if avg := j.avgPacketsLocked(l); avg > 0 {
+			perPacket := now.Sub(l.granted).Seconds() / float64(hb.DonePackets)
+			j.observeLatencyLocked(perPacket * avg)
+		}
 	}
 	return true
 }
@@ -576,11 +1061,13 @@ func (j *Job) markDoneLocked(idx int, p sweep.JournalPoint, journal bool) {
 // result fails the job only while its lease is live; stale errors are
 // dropped.
 func (j *Job) result(res LeaseResult) error {
+	now := time.Now()
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	l, live := j.leases[res.Lease]
 	if live {
 		delete(j.leases, res.Lease)
+		j.coord.untrackLease(l.worker, res.Lease)
 		defer j.coord.forgetLease(res.Lease)
 	}
 	if j.finished {
@@ -600,8 +1087,12 @@ func (j *Job) result(res LeaseResult) error {
 		// recoverable state. Refuse the tallies and put the points back.
 		if live {
 			j.rebuildPending()
+			j.coord.wake()
 		}
 		return fmt.Errorf("dist: job %s: result fingerprint %s does not match plan %s", j.ID, res.Fingerprint, j.fingerprint)
+	}
+	if live && len(l.points) > 0 {
+		j.observeLatencyLocked(now.Sub(l.granted).Seconds() / float64(len(l.points)))
 	}
 	inLease := make(map[int]bool)
 	if live {
@@ -623,6 +1114,7 @@ func (j *Job) result(res LeaseResult) error {
 	// Leased points the result did not cover go back to pending.
 	if live && len(inLease) > 0 {
 		j.rebuildPending()
+		j.coord.wake()
 	}
 	if j.donePoints == len(j.points) {
 		j.finalizeLocked()
@@ -661,6 +1153,7 @@ func (j *Job) finalizeLocked() {
 	if j.journal != nil {
 		j.journal.Close()
 	}
+	j.coord.emit(FleetEvent{Type: "job-done", Job: j.ID, Points: len(j.points)})
 	close(j.done)
 }
 
@@ -677,16 +1170,18 @@ func (j *Job) failLocked(err error) {
 	if j.journal != nil {
 		j.journal.Close()
 	}
+	j.coord.emit(FleetEvent{Type: "job-failed", Job: j.ID, Detail: err.Error()})
 	close(j.done)
 }
 
-// dropLeasesLocked forgets every outstanding lease, job- and
-// coordinator-side. Callers hold j.mu (the j.mu → c.mu nesting matches
-// grantLease's expiry reaping).
+// dropLeasesLocked forgets every outstanding lease, job-, worker- and
+// coordinator-side. Callers hold j.mu (the j.mu → c.mu/c.wmu nesting
+// matches grantLease's expiry reaping).
 func (j *Job) dropLeasesLocked() {
-	for id := range j.leases {
+	for id, l := range j.leases {
 		delete(j.leases, id)
 		j.coord.forgetLease(id)
+		j.coord.untrackLease(l.worker, id)
 	}
 }
 
@@ -779,8 +1274,11 @@ func (j *Job) Progress() sweep.Progress {
 	return p
 }
 
-// Handler returns the worker-tier HTTP API (the /v1/dist/ endpoints),
-// guarded by the configured bearer token.
+// ---- HTTP layer ----
+
+// Handler returns the worker-tier HTTP API (the /v1/dist/ endpoints).
+// Registration and admin routes are guarded by the join secret; the
+// data-plane routes by the per-worker tokens it mints.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	writeJSON := func(w http.ResponseWriter, status int, v any) {
@@ -799,25 +1297,80 @@ func (c *Coordinator) Handler() http.Handler {
 		}
 		return true
 	}
+	// worker wraps a data-plane handler with per-worker token auth.
+	worker := func(h func(ws *workerState, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			ws, status := c.authWorker(r)
+			if status != http.StatusOK {
+				w.Header().Set("WWW-Authenticate", `Bearer realm="cprecycle-dist"`)
+				msg := "unknown worker token (re-register)"
+				if status == http.StatusForbidden {
+					msg = "worker revoked"
+				}
+				writeJSON(w, status, map[string]string{"error": msg})
+				return
+			}
+			h(ws, w, r)
+		}
+	}
+	// admin wraps a control-plane handler with join-secret auth.
+	admin := func(h http.HandlerFunc) http.HandlerFunc {
+		if c.cfg.Token == "" {
+			return h
+		}
+		want := []byte("Bearer " + c.cfg.Token)
+		return func(w http.ResponseWriter, r *http.Request) {
+			if subtle.ConstantTimeCompare([]byte(r.Header.Get("Authorization")), want) != 1 {
+				w.Header().Set("WWW-Authenticate", `Bearer realm="cprecycle"`)
+				http.Error(w, "unauthorized", http.StatusUnauthorized)
+				return
+			}
+			h(w, r)
+		}
+	}
 
-	mux.HandleFunc("POST /v1/dist/lease", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/dist/register", admin(func(w http.ResponseWriter, r *http.Request) {
+		var req RegisterRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		_, resp, err := c.registerWorker(req.Worker)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}))
+
+	mux.HandleFunc("POST /v1/dist/lease", worker(func(ws *workerState, w http.ResponseWriter, r *http.Request) {
 		var req LeaseRequest
 		if !readJSON(w, r, &req) {
 			return
 		}
-		l := c.nextLease(req.Worker)
-		if l == nil {
-			w.WriteHeader(http.StatusNoContent)
-			return
+		wait := time.Duration(req.WaitSec * float64(time.Second))
+		if wait < 0 {
+			wait = 0
 		}
-		writeJSON(w, http.StatusOK, l)
-	})
+		if wait > c.cfg.LongPoll {
+			wait = c.cfg.LongPoll
+		}
+		l, drain := c.awaitLease(r.Context(), ws, wait)
+		switch {
+		case drain:
+			writeJSON(w, http.StatusOK, LeaseResponse{Drain: true})
+		case l != nil:
+			writeJSON(w, http.StatusOK, LeaseResponse{Lease: l})
+		default:
+			w.WriteHeader(http.StatusNoContent)
+		}
+	}))
 
-	mux.HandleFunc("POST /v1/dist/result", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/dist/result", worker(func(ws *workerState, w http.ResponseWriter, r *http.Request) {
 		var res LeaseResult
 		if !readJSON(w, r, &res) {
 			return
 		}
+		res.Worker = ws.id
 		j := c.Job(res.Job)
 		if j == nil {
 			// Unknown job: removed, or from a journal-less previous life.
@@ -830,9 +1383,9 @@ func (c *Coordinator) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	}))
 
-	mux.HandleFunc("POST /v1/dist/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/dist/heartbeat", worker(func(ws *workerState, w http.ResponseWriter, r *http.Request) {
 		var hb Heartbeat
 		if !readJSON(w, r, &hb) {
 			return
@@ -842,22 +1395,51 @@ func (c *Coordinator) Handler() http.Handler {
 			writeJSON(w, http.StatusGone, map[string]string{"error": "lease revoked"})
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+		draining, _ := c.workerDirective(ws)
+		writeJSON(w, http.StatusOK, HeartbeatResponse{Status: "ok", Drain: draining})
+	}))
 
-	return BearerAuth(c.cfg.Token, mux)
+	mux.HandleFunc("POST /v1/dist/deregister", worker(func(ws *workerState, w http.ResponseWriter, r *http.Request) {
+		c.deregisterWorker(ws)
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	}))
+
+	mux.HandleFunc("GET /v1/dist/workers", admin(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.WorkerInfos())
+	}))
+
+	mux.HandleFunc("POST /v1/dist/workers/{id}/drain", admin(func(w http.ResponseWriter, r *http.Request) {
+		if !c.DrainWorker(r.PathValue("id")) {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such worker"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "draining"})
+	}))
+
+	mux.HandleFunc("POST /v1/dist/workers/{id}/revoke", admin(func(w http.ResponseWriter, r *http.Request) {
+		if !c.RevokeWorker(r.PathValue("id")) {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such worker"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "revoked"})
+	}))
+
+	mux.HandleFunc("GET /v1/dist/events", admin(c.fleetEventsHandler))
+
+	return mux
 }
 
 // BearerAuth wraps h so every request must carry
 // "Authorization: Bearer <token>". An empty token disables the check
-// (for localhost experimentation; production coordinators set one).
+// (for localhost experimentation; production coordinators set one). The
+// comparison is constant-time.
 func BearerAuth(token string, h http.Handler) http.Handler {
 	if token == "" {
 		return h
 	}
-	want := "Bearer " + token
+	want := []byte("Bearer " + token)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.Header.Get("Authorization") != want {
+		if subtle.ConstantTimeCompare([]byte(r.Header.Get("Authorization")), want) != 1 {
 			w.Header().Set("WWW-Authenticate", `Bearer realm="cprecycle"`)
 			http.Error(w, "unauthorized", http.StatusUnauthorized)
 			return

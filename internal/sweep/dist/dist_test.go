@@ -62,8 +62,9 @@ func testWorker(t *testing.T, url, token string) *Worker {
 		Coordinator: url,
 		Token:       token,
 		Engine:      sweep.Config{Workers: 2, ShardPackets: 2},
-		Poll:        10 * time.Millisecond,
 		Heartbeat:   50 * time.Millisecond,
+		RetryBase:   10 * time.Millisecond,
+		RetryMax:    100 * time.Millisecond,
 		Logf:        t.Logf,
 	})
 	if err != nil {
@@ -71,6 +72,31 @@ func testWorker(t *testing.T, url, token string) *Worker {
 	}
 	t.Cleanup(w.Close)
 	return w
+}
+
+// registerManual registers a hand-driven fake worker and returns its
+// assigned id and data-plane token.
+func registerManual(t *testing.T, url, secret, name string) (id, token string) {
+	t.Helper()
+	var resp RegisterResponse
+	if status := postJSON(t, url, secret, "/v1/dist/register", RegisterRequest{Worker: name}, &resp); status != http.StatusOK {
+		t.Fatalf("registering %s: HTTP %d", name, status)
+	}
+	return resp.Worker, resp.Token
+}
+
+// manualLease asks for work with a manual worker's token (no long-poll)
+// and fails the test when none is granted.
+func manualLease(t *testing.T, url, token, name string) Lease {
+	t.Helper()
+	var resp LeaseResponse
+	if status := postJSON(t, url, token, "/v1/dist/lease", LeaseRequest{Worker: name}, &resp); status != http.StatusOK {
+		t.Fatalf("%s lease request: HTTP %d", name, status)
+	}
+	if resp.Lease == nil {
+		t.Fatalf("%s lease request: no lease granted (drain=%v)", name, resp.Drain)
+	}
+	return *resp.Lease
 }
 
 func waitTable(t *testing.T, j *Job) string {
@@ -210,10 +236,8 @@ func TestWorkerKilledMidSweep(t *testing.T) {
 
 	// The zombie leases one point and goes silent: this lease MUST be
 	// re-issued for the job to finish.
-	var zombieLease Lease
-	if status := postJSON(t, srv.URL, "", "/v1/dist/lease", LeaseRequest{Worker: "zombie"}, &zombieLease); status != http.StatusOK {
-		t.Fatalf("zombie lease poll: HTTP %d", status)
-	}
+	_, zombieToken := registerManual(t, srv.URL, "", "zombie")
+	zombieLease := manualLease(t, srv.URL, zombieToken, "zombie")
 
 	// A real worker that is killed once it has work in flight.
 	doomed := testWorker(t, srv.URL, "")
@@ -232,7 +256,7 @@ func TestWorkerKilledMidSweep(t *testing.T) {
 	}
 
 	// The zombie's late heartbeat must be told its lease is gone.
-	if status := postJSON(t, srv.URL, "", "/v1/dist/heartbeat", Heartbeat{Lease: zombieLease.ID, Worker: "zombie"}, nil); status != http.StatusGone {
+	if status := postJSON(t, srv.URL, zombieToken, "/v1/dist/heartbeat", Heartbeat{Lease: zombieLease.ID, Worker: "zombie"}, nil); status != http.StatusGone {
 		t.Fatalf("stale heartbeat: HTTP %d, want 410", status)
 	}
 }
@@ -349,17 +373,43 @@ func TestJournalReplaySkipsUnparsable(t *testing.T) {
 	}
 }
 
-// TestLeaseAuth pins the bearer-token gate on the worker tier.
+// TestLeaseAuth pins the two-tier auth model: the join secret gates
+// registration and admin calls, the minted per-worker token gates the
+// data plane, and the join secret itself is NOT a data-plane credential.
 func TestLeaseAuth(t *testing.T) {
-	_, srv := testCoordinator(t, Config{Token: "s3cret"})
-	if status := postJSON(t, srv.URL, "", "/v1/dist/lease", LeaseRequest{Worker: "w"}, nil); status != http.StatusUnauthorized {
-		t.Fatalf("tokenless lease poll: HTTP %d, want 401", status)
+	c, srv := testCoordinator(t, Config{Token: "s3cret"})
+	if status := postJSON(t, srv.URL, "", "/v1/dist/register", RegisterRequest{Worker: "w"}, nil); status != http.StatusUnauthorized {
+		t.Fatalf("secretless register: HTTP %d, want 401", status)
 	}
-	if status := postJSON(t, srv.URL, "wrong", "/v1/dist/lease", LeaseRequest{Worker: "w"}, nil); status != http.StatusUnauthorized {
-		t.Fatalf("wrong-token lease poll: HTTP %d, want 401", status)
+	if status := postJSON(t, srv.URL, "wrong", "/v1/dist/register", RegisterRequest{Worker: "w"}, nil); status != http.StatusUnauthorized {
+		t.Fatalf("wrong-secret register: HTTP %d, want 401", status)
 	}
-	if status := postJSON(t, srv.URL, "s3cret", "/v1/dist/lease", LeaseRequest{Worker: "w"}, nil); status != http.StatusNoContent {
-		t.Fatalf("authorized idle poll: HTTP %d, want 204", status)
+	id, token := registerManual(t, srv.URL, "s3cret", "w")
+	if id == "" || !strings.HasPrefix(token, id+".") {
+		t.Fatalf("registered as id=%q token=%q, want token prefixed by the id", id, token)
+	}
+	// The join secret must not work on the data plane, nor a token on no
+	// registered worker.
+	if status := postJSON(t, srv.URL, "s3cret", "/v1/dist/lease", LeaseRequest{Worker: "w"}, nil); status != http.StatusUnauthorized {
+		t.Fatalf("join-secret lease request: HTTP %d, want 401", status)
+	}
+	if status := postJSON(t, srv.URL, "w99.deadbeef", "/v1/dist/lease", LeaseRequest{Worker: "w"}, nil); status != http.StatusUnauthorized {
+		t.Fatalf("unknown-token lease request: HTTP %d, want 401", status)
+	}
+	if status := postJSON(t, srv.URL, token, "/v1/dist/lease", LeaseRequest{Worker: "w"}, nil); status != http.StatusNoContent {
+		t.Fatalf("worker-token idle request: HTTP %d, want 204", status)
+	}
+	// Admin endpoints take the join secret, not worker tokens.
+	if status := postJSON(t, srv.URL, token, "/v1/dist/workers/"+id+"/drain", struct{}{}, nil); status != http.StatusUnauthorized {
+		t.Fatalf("worker-token admin call: HTTP %d, want 401", status)
+	}
+	// Revocation flips the data plane to 403 — distinct from 401 so the
+	// worker knows to terminate rather than re-register.
+	if !c.RevokeWorker(id) {
+		t.Fatalf("revoking %s failed", id)
+	}
+	if status := postJSON(t, srv.URL, token, "/v1/dist/lease", LeaseRequest{Worker: "w"}, nil); status != http.StatusForbidden {
+		t.Fatalf("revoked-token lease request: HTTP %d, want 403", status)
 	}
 }
 
@@ -377,10 +427,8 @@ func TestResultMergeEdgeCases(t *testing.T) {
 			t.Fatal(err)
 		}
 		// Manually work one lease and deliver its result twice.
-		var l Lease
-		if status := postJSON(t, srv.URL, "", "/v1/dist/lease", LeaseRequest{Worker: "manual"}, &l); status != http.StatusOK {
-			t.Fatalf("lease poll: HTTP %d", status)
-		}
+		_, manualToken := registerManual(t, srv.URL, "", "manual")
+		l := manualLease(t, srv.URL, manualToken, "manual")
 		eng := sweep.New(sweep.Config{Workers: 2, ShardPackets: 2})
 		defer eng.Close()
 		job, err := eng.SubmitPoints(context.Background(), l.Spec, l.Points)
@@ -400,13 +448,13 @@ func TestResultMergeEdgeCases(t *testing.T) {
 			out.Points = append(out.Points, jp)
 		}
 		for i := 0; i < 2; i++ {
-			if status := postJSON(t, srv.URL, "", "/v1/dist/result", out, nil); status != http.StatusOK {
+			if status := postJSON(t, srv.URL, manualToken, "/v1/dist/result", out, nil); status != http.StatusOK {
 				t.Fatalf("result POST %d: HTTP %d", i, status)
 			}
 		}
 		// A stale error for the now-resolved lease must not fail the job.
 		stale := LeaseResult{Lease: l.ID, Job: l.Job, Worker: "manual", Fingerprint: l.Fingerprint, Error: "boom"}
-		if status := postJSON(t, srv.URL, "", "/v1/dist/result", stale, nil); status != http.StatusOK {
+		if status := postJSON(t, srv.URL, manualToken, "/v1/dist/result", stale, nil); status != http.StatusOK {
 			t.Fatalf("stale error POST: HTTP %d", status)
 		}
 		if p := j.Progress(); p.State != "running" || p.DonePoints != len(l.Points) {
@@ -424,10 +472,10 @@ func TestResultMergeEdgeCases(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var l Lease
-		postJSON(t, srv.URL, "", "/v1/dist/lease", LeaseRequest{Worker: "broken"}, &l)
+		_, brokenToken := registerManual(t, srv.URL, "", "broken")
+		l := manualLease(t, srv.URL, brokenToken, "broken")
 		res := LeaseResult{Lease: l.ID, Job: l.Job, Worker: "broken", Fingerprint: l.Fingerprint, Error: "decoder exploded"}
-		if status := postJSON(t, srv.URL, "", "/v1/dist/result", res, nil); status != http.StatusOK {
+		if status := postJSON(t, srv.URL, brokenToken, "/v1/dist/result", res, nil); status != http.StatusOK {
 			t.Fatalf("error result POST: HTTP %d", status)
 		}
 		if _, err := j.Wait(context.Background()); err == nil || !strings.Contains(err.Error(), "decoder exploded") {
@@ -444,11 +492,11 @@ func TestResultMergeEdgeCases(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var l Lease
-		postJSON(t, srv.URL, "", "/v1/dist/lease", LeaseRequest{Worker: "skewed"}, &l)
+		_, skewedToken := registerManual(t, srv.URL, "", "skewed")
+		l := manualLease(t, srv.URL, skewedToken, "skewed")
 		res := LeaseResult{Lease: l.ID, Job: l.Job, Worker: "skewed", Fingerprint: "deadbeef",
 			Points: []sweep.JournalPoint{{Point: l.Points[0], N: spec.Packets, OK: []int{0, 0}}}}
-		if status := postJSON(t, srv.URL, "", "/v1/dist/result", res, nil); status != http.StatusConflict {
+		if status := postJSON(t, srv.URL, skewedToken, "/v1/dist/result", res, nil); status != http.StatusConflict {
 			t.Fatalf("skewed result POST: HTTP %d, want 409", status)
 		}
 		if p := j.Progress(); p.State != "running" || p.DonePoints != 0 {

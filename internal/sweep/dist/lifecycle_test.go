@@ -1,0 +1,347 @@
+package dist
+
+// Lifecycle corner cases: drain during an in-flight lease, revocation
+// mid-lease, a coordinator restart while a worker is draining, and a
+// late result from an already-drained worker — plus the fleet event
+// stream they are all observable on.
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// collectFleet subscribes to the fleet stream and returns a fetch
+// function that yields every event seen so far.
+func collectFleet(t *testing.T, c *Coordinator) func() []FleetEvent {
+	t.Helper()
+	past, ch, cancel := c.SubscribeFleet(-1)
+	t.Cleanup(cancel)
+	var mu = make(chan struct{}, 1)
+	mu <- struct{}{}
+	events := append([]FleetEvent(nil), past...)
+	go func() {
+		for ev := range ch {
+			<-mu
+			events = append(events, ev)
+			mu <- struct{}{}
+		}
+	}()
+	return func() []FleetEvent {
+		<-mu
+		out := append([]FleetEvent(nil), events...)
+		mu <- struct{}{}
+		return out
+	}
+}
+
+// waitFleet blocks until an event of the given type (and, when non-empty,
+// detail substring) has been seen.
+func waitFleet(t *testing.T, fetch func() []FleetEvent, typ, detail string) FleetEvent {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		for _, ev := range fetch() {
+			if ev.Type == typ && (detail == "" || strings.Contains(ev.Detail, detail)) {
+				return ev
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no %q fleet event (detail~%q); saw %+v", typ, detail, fetch())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDrainDuringInFlightLease pins the graceful scale-down contract: a
+// worker drained (the SIGTERM path) while a lease is in flight finishes
+// that lease, has its result accepted, deregisters, and NOTHING goes
+// back through TTL expiry — the lease TTL is a minute, so any
+// TTL-dependent re-queue would stall the test far past its deadlines.
+func TestDrainDuringInFlightLease(t *testing.T) {
+	spec := testSpec()
+	spec.Packets = 12
+	want := directTable(t, spec)
+
+	c, srv := testCoordinator(t, Config{LeasePoints: 2, LeaseTTL: 60 * time.Second})
+	fetch := collectFleet(t, c)
+	j, err := c.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := testWorker(t, srv.URL, "")
+	grant := waitFleet(t, fetch, "lease-grant", "")
+	w.Drain() // SIGTERM equivalent, mid-lease
+
+	select {
+	case <-w.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatal("drained worker never exited")
+	}
+	leave := waitFleet(t, fetch, "worker-leave", "")
+	if leave.Worker != grant.Worker {
+		t.Fatalf("worker %s left, expected the drained %s", leave.Worker, grant.Worker)
+	}
+	// The in-flight lease's result must have been accepted before the
+	// deregistration — not dropped, not re-queued.
+	if p := j.Progress(); p.DonePoints < 2 {
+		t.Fatalf("drained worker's in-flight lease was not merged: %+v", p)
+	}
+	for _, ev := range fetch() {
+		if ev.Type == "lease-expire" {
+			t.Fatalf("drain path re-queued a lease: %+v", ev)
+		}
+	}
+	if infos := c.WorkerInfos(); len(infos) != 0 {
+		t.Fatalf("drained worker still registered: %+v", infos)
+	}
+
+	// A fresh worker finishes the rest; the table is still byte-exact.
+	testWorker(t, srv.URL, "")
+	if got := waitTable(t, j); got != want {
+		t.Fatalf("table after drain differs from direct:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestRevokeMidLease pins the abrupt cut: revoking a worker mid-lease
+// re-queues its points immediately (no TTL wait — the TTL here is a
+// minute), its late result bounces off the auth layer with 403 and never
+// reaches the merge, and the sweep still finishes byte-identical.
+func TestRevokeMidLease(t *testing.T) {
+	spec := testSpec()
+	want := directTable(t, spec)
+
+	c, srv := testCoordinator(t, Config{LeasePoints: 2, LeaseTTL: 60 * time.Second})
+	fetch := collectFleet(t, c)
+	j, err := c.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, token := registerManual(t, srv.URL, "", "rogue")
+	l := manualLease(t, srv.URL, token, "rogue")
+
+	if !c.RevokeWorker(id) {
+		t.Fatal("revoke failed")
+	}
+	waitFleet(t, fetch, "worker-revoke", "")
+	requeued := waitFleet(t, fetch, "lease-expire", "revoked")
+	if requeued.Lease != l.ID {
+		t.Fatalf("re-queued lease %s, want the revoked worker's %s", requeued.Lease, l.ID)
+	}
+
+	// The rogue's result — correct tallies or not — must be rejected at
+	// the door, and nothing may merge.
+	res := LeaseResult{Lease: l.ID, Job: l.Job, Worker: "rogue", Fingerprint: l.Fingerprint}
+	if status := postJSON(t, srv.URL, token, "/v1/dist/result", res, nil); status != http.StatusForbidden {
+		t.Fatalf("revoked worker's result: HTTP %d, want 403", status)
+	}
+	if p := j.Progress(); p.DonePoints != 0 {
+		t.Fatalf("revoked worker's work merged anyway: %+v", p)
+	}
+
+	testWorker(t, srv.URL, "")
+	if got := waitTable(t, j); got != want {
+		t.Fatalf("table after revocation differs from direct:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestCoordinatorRestartWhileDraining pins the ugliest overlap: the
+// coordinator dies (kill -9: no shutdown, registry lost) while a worker
+// is mid-drain with a lease in flight. The replacement coordinator
+// replays the journal; the draining worker hits 401, re-registers
+// transparently, finishes its drain (its lease either merges or is
+// re-issued — both are sound) and exits; a fresh worker completes the
+// job byte-identically.
+func TestCoordinatorRestartWhileDraining(t *testing.T) {
+	spec := testSpec()
+	spec.Packets = 12
+	want := directTable(t, spec)
+	dir := t.TempDir()
+
+	// The worker sees one stable URL; the coordinator behind it is
+	// swappable — that is what a restart looks like from outside.
+	var handler atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handler.Load().(http.Handler).ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+
+	first, err := New(Config{LeasePoints: 2, LeaseTTL: 60 * time.Second, JournalDir: dir, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler.Store(first.Handler())
+	fetchFirst := collectFleet(t, first)
+	j1, err := first.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := testWorker(t, srv.URL, "")
+	waitFleet(t, fetchFirst, "lease-grant", "")
+	w.Drain()
+
+	// Kill -9 the first coordinator: swap the handler, never Close it.
+	second, err := New(Config{LeasePoints: 2, LeaseTTL: 60 * time.Second, JournalDir: dir, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(second.Close)
+	handler.Store(second.Handler())
+
+	select {
+	case <-w.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatal("draining worker never exited across the coordinator restart")
+	}
+
+	j2 := second.Job(j1.ID)
+	if j2 == nil {
+		t.Fatalf("job %s not replayed by the second coordinator", j1.ID)
+	}
+	testWorker(t, srv.URL, "")
+	if got := waitTable(t, j2); got != want {
+		t.Fatalf("table after restart-while-draining differs from direct:\n%s\nvs\n%s", got, want)
+	}
+	if infos := second.WorkerInfos(); len(infos) != 1 {
+		// Only the finishing worker may remain; the drained one must have
+		// deregistered from the NEW coordinator it re-registered with.
+		for _, wi := range infos {
+			if wi.State == workerDraining {
+				t.Fatalf("draining worker leaked into the new registry: %+v", infos)
+			}
+		}
+	}
+}
+
+// TestLateResultFromDrainedWorker pins the post-drain door: once a
+// drained worker deregisters, its points re-queue immediately and any
+// result it still sends is refused (401 — it is no longer registered)
+// and never merges.
+func TestLateResultFromDrainedWorker(t *testing.T) {
+	spec := testSpec()
+	want := directTable(t, spec)
+
+	c, srv := testCoordinator(t, Config{LeasePoints: 2, LeaseTTL: 60 * time.Second})
+	fetch := collectFleet(t, c)
+	j, err := c.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, token := registerManual(t, srv.URL, "", "laggard")
+	l := manualLease(t, srv.URL, token, "laggard")
+
+	// Server-side drain; the directive must piggy-back on the heartbeat.
+	if !c.DrainWorker(id) {
+		t.Fatal("drain failed")
+	}
+	var hb HeartbeatResponse
+	if status := postJSON(t, srv.URL, token, "/v1/dist/heartbeat", Heartbeat{Lease: l.ID, Worker: "laggard"}, &hb); status != http.StatusOK || !hb.Drain {
+		t.Fatalf("heartbeat after drain: HTTP %d drain=%v, want 200 with the drain flag", status, hb.Drain)
+	}
+
+	// The laggard deregisters WITHOUT reporting (an operator impatient
+	// with a wedged lease): its points must re-queue now, not at TTL.
+	if status := postJSON(t, srv.URL, token, "/v1/dist/deregister", struct{}{}, nil); status != http.StatusOK {
+		t.Fatalf("deregister: HTTP %d", status)
+	}
+	waitFleet(t, fetch, "lease-expire", "deregistered")
+
+	// Its late result must bounce (the registration is gone) and merge
+	// nothing.
+	res := LeaseResult{Lease: l.ID, Job: l.Job, Worker: "laggard", Fingerprint: l.Fingerprint}
+	if status := postJSON(t, srv.URL, token, "/v1/dist/result", res, nil); status != http.StatusUnauthorized {
+		t.Fatalf("late result from drained worker: HTTP %d, want 401", status)
+	}
+	if p := j.Progress(); p.DonePoints != 0 {
+		t.Fatalf("late result merged anyway: %+v", p)
+	}
+
+	testWorker(t, srv.URL, "")
+	if got := waitTable(t, j); got != want {
+		t.Fatalf("table after late-result drop differs from direct:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestFleetEventStream pins the dashboard surface: the in-process
+// subscription replays history with strictly increasing sequence
+// numbers, and the SSE endpoint authenticates with the join secret and
+// honours Last-Event-ID resume.
+func TestFleetEventStream(t *testing.T) {
+	c, srv := testCoordinator(t, Config{LeasePoints: 2, Token: "admin"})
+	j, err := c.Submit(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	testWorker(t, srv.URL, "admin")
+	waitTable(t, j)
+
+	past, _, cancel := c.SubscribeFleet(-1)
+	cancel()
+	seen := map[string]bool{}
+	for i, ev := range past {
+		if ev.Seq != i {
+			t.Fatalf("event %d has seq %d; want dense increasing seqs", i, ev.Seq)
+		}
+		seen[ev.Type] = true
+	}
+	for _, typ := range []string{"job-submit", "worker-join", "lease-grant", "job-done"} {
+		if !seen[typ] {
+			t.Fatalf("no %q event in %+v", typ, past)
+		}
+	}
+
+	// SSE: secret-gated, Last-Event-ID honoured, one SSE frame per event
+	// with the seq as its id and the type as its event name.
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/v1/dist/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("secretless SSE: HTTP %d, want 401", resp.StatusCode)
+		}
+	}
+	ctx, cancelReq := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancelReq()
+	req = req.Clone(ctx)
+	req.Header.Set("Authorization", "Bearer admin")
+	req.Header.Set("Last-Event-ID", "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Type") != "text/event-stream" {
+		t.Fatalf("SSE response: HTTP %d %s", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var ids, types []string
+	for sc.Scan() && (len(ids) < 3 || len(types) < 3) {
+		line := sc.Text()
+		if v, ok := strings.CutPrefix(line, "id: "); ok {
+			ids = append(ids, v)
+		}
+		if v, ok := strings.CutPrefix(line, "event: "); ok {
+			types = append(types, v)
+		}
+	}
+	if len(ids) < 3 || len(types) < 3 {
+		t.Fatalf("SSE replay too short: ids=%v types=%v", ids, types)
+	}
+	if ids[0] != "2" {
+		t.Fatalf("first replayed id %s, want 2 (Last-Event-ID: 1 must skip 0 and 1)", ids[0])
+	}
+	for i, typ := range types {
+		if typ != past[i+2].Type {
+			t.Fatalf("SSE event %d is %q, subscription saw %q", i, typ, past[i+2].Type)
+		}
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"strings"
@@ -20,25 +22,33 @@ import (
 type WorkerConfig struct {
 	// Coordinator is the coordinator's base URL (e.g. "http://host:8080").
 	Coordinator string
-	// Token is the bearer token the coordinator requires (may be empty
-	// for unauthenticated coordinators).
+	// Token is the fleet join secret presented at registration (may be
+	// empty for unauthenticated coordinators). Data-plane calls use the
+	// per-worker token minted in exchange.
 	Token string
-	// ID names this worker in leases and logs (default "host:pid").
+	// ID is the self-reported worker name, used in logs and fleet events
+	// alongside the coordinator-assigned id (default "host:pid").
 	ID string
 	// Engine configures the local execution engine. Workers and
 	// ShardPackets are honoured; PoolSize and PoolSeed are overridden per
 	// lease so the worker's waveform pool always matches the
 	// coordinator's pool identity.
 	Engine sweep.Config
-	// Poll is the idle delay between lease polls when the coordinator has
-	// no work (default 500ms).
-	Poll time.Duration
-	// Heartbeat is the interval between lease heartbeats while a lease
-	// runs (default 5s; must be comfortably under the coordinator's
-	// LeaseTTL).
+	// Heartbeat overrides the coordinator-advertised heartbeat interval
+	// (tests; zero uses the advertised value).
 	Heartbeat time.Duration
+	// LongPoll overrides the coordinator-advertised long-poll bound the
+	// worker asks for on each lease request (tests; zero uses the
+	// advertised value).
+	LongPoll time.Duration
+	// RetryBase/RetryMax bound the jittered exponential backoff applied
+	// to failed coordinator calls (defaults 200ms and 5s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
 	// HTTPClient overrides the default client (tests inject the
-	// httptest transport; production tunes timeouts).
+	// httptest transport or a chaos RoundTripper; production tunes
+	// timeouts). Client-level timeouts should exceed the long-poll
+	// bound; per-request deadlines are set via contexts.
 	HTTPClient *http.Client
 	// Logf receives operational log lines. Nil discards them.
 	Logf func(format string, args ...any)
@@ -56,14 +66,16 @@ func (c WorkerConfig) withDefaults() (WorkerConfig, error) {
 		}
 		c.ID = fmt.Sprintf("%s:%d", host, os.Getpid())
 	}
-	if c.Poll <= 0 {
-		c.Poll = 500 * time.Millisecond
+	if c.RetryBase <= 0 {
+		c.RetryBase = 200 * time.Millisecond
 	}
-	if c.Heartbeat <= 0 {
-		c.Heartbeat = 5 * time.Second
+	if c.RetryMax <= 0 {
+		c.RetryMax = 5 * time.Second
 	}
 	if c.HTTPClient == nil {
-		c.HTTPClient = &http.Client{Timeout: 30 * time.Second}
+		// No client-level timeout: lease requests legitimately park for
+		// the long-poll bound. Per-request contexts carry the deadlines.
+		c.HTTPClient = &http.Client{}
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -71,34 +83,65 @@ func (c WorkerConfig) withDefaults() (WorkerConfig, error) {
 	return c, nil
 }
 
-// Worker polls a coordinator for point-range leases and executes them on
-// a local sweep.Engine. Its waveform pool is rebuilt whenever a lease
-// names a different pool identity, so pooled tallies are always drawn
-// from the exact pool the coordinator journalled. Start with StartWorker,
-// stop with Close; a closed worker abandons its in-flight lease (no
-// result is sent) and the coordinator re-issues it after the lease TTL —
-// the crash-equivalent path the protocol is built around.
+// errRevoked marks a 403 from the coordinator: this worker's token was
+// revoked and it must terminate.
+var errRevoked = errors.New("dist: worker revoked by coordinator")
+
+// Worker registers with a coordinator, long-polls it for point-range
+// leases and executes them on a local sweep.Engine. Its waveform pool is
+// rebuilt whenever a lease names a different pool identity, so pooled
+// tallies are always drawn from the exact pool the coordinator
+// journalled. Every coordinator call retries transient transport
+// failures with capped, jittered exponential backoff; a 401 triggers
+// transparent re-registration (a restarted coordinator loses its
+// registry), and a 403 — revocation — terminates the worker.
+//
+// Start with StartWorker. Drain stops it gracefully: the in-flight lease
+// finishes and is reported, no new leases are taken, the worker
+// deregisters (re-queuing nothing) and Done closes. Close is the hard
+// stop: the in-flight lease is abandoned without a result and the
+// coordinator re-issues it at TTL expiry — the crash-equivalent path the
+// protocol is built around.
 type Worker struct {
 	cfg    WorkerConfig
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+	doneCh chan struct{}
 
 	leases atomic.Int64
+	polls  atomic.Int64
+	drain  atomic.Bool
+
+	// pollCancel interrupts a parked long-poll so a drain takes effect
+	// immediately instead of after the poll deadline.
+	pollMu     sync.Mutex
+	pollCancel context.CancelFunc
+
+	// Registered identity; zero until the first successful registration,
+	// cleared on 401 to force a re-register.
+	authMu     sync.Mutex
+	workerID   string
+	token      string
+	advHB      time.Duration
+	advPoll    time.Duration
+	registered bool
 
 	mu      sync.Mutex
 	engine  *sweep.Engine
 	poolKey [2]int64 // (size, seed) identity of engine's pool
 }
 
-// StartWorker validates cfg and starts the polling loop.
+// StartWorker validates cfg and starts the lease loop (registration
+// happens in-loop, with backoff, so a worker may start before its
+// coordinator is up).
 func StartWorker(cfg WorkerConfig) (*Worker, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	w := &Worker{cfg: cfg, ctx: ctx, cancel: cancel}
+	w := &Worker{cfg: cfg, ctx: ctx, cancel: cancel, doneCh: make(chan struct{})}
 	w.wg.Add(1)
 	go w.loop()
 	return w, nil
@@ -108,8 +151,46 @@ func StartWorker(cfg WorkerConfig) (*Worker, error) {
 // monitoring hook).
 func (w *Worker) Leases() int64 { return w.leases.Load() }
 
-// Close stops the polling loop, cancels any in-flight lease and shuts
-// down the local engine.
+// Polls reports how many lease requests the worker has issued — the
+// no-idle-polling pin: an idle long-polling worker issues a handful of
+// these per long-poll period, not one per fixed interval.
+func (w *Worker) Polls() int64 { return w.polls.Load() }
+
+// WorkerID returns the coordinator-assigned id ("w3"; empty before the
+// first successful registration).
+func (w *Worker) WorkerID() string {
+	w.authMu.Lock()
+	defer w.authMu.Unlock()
+	return w.workerID
+}
+
+// Done closes when the worker's loop has exited — after deregistration
+// on a drain, immediately on a hard Close or revocation.
+func (w *Worker) Done() <-chan struct{} { return w.doneCh }
+
+// Draining reports whether a drain has been requested.
+func (w *Worker) Draining() bool { return w.drain.Load() }
+
+// Drain begins a graceful shutdown: the in-flight lease (if any) runs to
+// completion and is reported, no new leases are taken, and the worker
+// deregisters and stops (Done closes). Safe to call repeatedly and from
+// signal handlers.
+func (w *Worker) Drain() {
+	if w.drain.Swap(true) {
+		return
+	}
+	w.cfg.Logf("dist: worker %s: draining", w.cfg.ID)
+	// Unpark a waiting long-poll so the drain is immediate.
+	w.pollMu.Lock()
+	if w.pollCancel != nil {
+		w.pollCancel()
+	}
+	w.pollMu.Unlock()
+}
+
+// Close hard-stops the worker: the lease loop ends, any in-flight lease
+// is cancelled without a result (the coordinator re-issues it at TTL
+// expiry) and the local engine shuts down.
 func (w *Worker) Close() {
 	w.cancel()
 	w.wg.Wait()
@@ -121,25 +202,154 @@ func (w *Worker) Close() {
 	w.mu.Unlock()
 }
 
+// loop is the worker's life: register (lazily), long-poll for leases,
+// run them, drain or die.
 func (w *Worker) loop() {
+	defer close(w.doneCh)
 	defer w.wg.Done()
-	for w.ctx.Err() == nil {
-		lease, err := w.requestLease()
-		if err != nil {
-			w.cfg.Logf("dist: worker %s: lease poll: %v", w.cfg.ID, err)
-		}
-		if lease == nil {
-			select {
-			case <-w.ctx.Done():
+	attempt := 0
+	for w.ctx.Err() == nil && !w.drain.Load() {
+		lease, drain, err := w.requestLease()
+		switch {
+		case err != nil:
+			if errors.Is(err, errRevoked) {
+				w.cfg.Logf("dist: worker %s: revoked, terminating", w.cfg.ID)
 				return
-			case <-time.After(w.cfg.Poll):
 			}
-			continue
+			if w.ctx.Err() == nil && !w.drain.Load() {
+				w.cfg.Logf("dist: worker %s: lease request: %v", w.cfg.ID, err)
+				w.backoff(&attempt)
+			}
+		case drain:
+			w.cfg.Logf("dist: worker %s: coordinator requested drain", w.cfg.ID)
+			w.drain.Store(true)
+		case lease != nil:
+			attempt = 0
+			w.leases.Add(1)
+			w.runLease(lease)
+		default:
+			// 204: the long poll timed out with no work — ask again
+			// immediately; the coordinator parks us, we don't spin.
+			attempt = 0
 		}
-		w.leases.Add(1)
-		w.runLease(lease)
+	}
+	if w.drain.Load() && w.ctx.Err() == nil {
+		w.deregister()
 	}
 }
+
+// backoff sleeps for a capped, jittered exponential delay:
+// d = RetryBase·2^attempt capped at RetryMax, slept in [d/2, d).
+func (w *Worker) backoff(attempt *int) {
+	d := w.cfg.RetryBase << *attempt
+	if d > w.cfg.RetryMax || d <= 0 {
+		d = w.cfg.RetryMax
+	} else {
+		*attempt++
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	select {
+	case <-w.ctx.Done():
+	case <-time.After(d):
+	}
+}
+
+// ---- registration ----
+
+// register exchanges the join secret for this worker's identity and
+// token, retrying with backoff until it succeeds, the worker stops, or
+// the coordinator rejects the join secret outright.
+func (w *Worker) register(ctx context.Context) error {
+	attempt := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := w.ctx.Err(); err != nil {
+			return err
+		}
+		var resp RegisterResponse
+		status, err := w.rawPost(ctx, "/v1/dist/register", "Bearer "+w.cfg.Token, RegisterRequest{Worker: w.cfg.ID}, &resp)
+		if err == nil && status == http.StatusOK {
+			w.authMu.Lock()
+			w.workerID = resp.Worker
+			w.token = resp.Token
+			w.advHB = time.Duration(resp.HeartbeatSec * float64(time.Second))
+			w.advPoll = time.Duration(resp.LongPollSec * float64(time.Second))
+			w.registered = true
+			w.authMu.Unlock()
+			w.cfg.Logf("dist: worker %s: registered as %s (heartbeat %v, long-poll %v)",
+				w.cfg.ID, resp.Worker, w.advHB, w.advPoll)
+			return nil
+		}
+		if err == nil && (status == http.StatusUnauthorized || status == http.StatusForbidden) {
+			// The join secret itself was rejected: permanent misconfig.
+			return fmt.Errorf("dist: registration rejected with HTTP %d (bad join secret?)", status)
+		}
+		if ctx.Err() != nil {
+			return ctx.Err() // the caller's deadline or a drain unpark, not a coordinator fault
+		}
+		w.cfg.Logf("dist: worker %s: registration failed (err=%v status=%d), retrying", w.cfg.ID, err, status)
+		w.backoff(&attempt)
+	}
+}
+
+// bearer returns the current data-plane token, registering first if
+// needed.
+func (w *Worker) bearer(ctx context.Context) (string, error) {
+	w.authMu.Lock()
+	tok, ok := w.token, w.registered
+	w.authMu.Unlock()
+	if ok {
+		return "Bearer " + tok, nil
+	}
+	if err := w.register(ctx); err != nil {
+		return "", err
+	}
+	w.authMu.Lock()
+	tok = w.token
+	w.authMu.Unlock()
+	return "Bearer " + tok, nil
+}
+
+// forgetRegistration clears the worker identity after a 401 so the next
+// call re-registers (the coordinator restarted and lost its registry).
+func (w *Worker) forgetRegistration() {
+	w.authMu.Lock()
+	w.registered = false
+	w.token = ""
+	w.authMu.Unlock()
+}
+
+// heartbeatInterval returns the effective heartbeat cadence (config
+// override, else advertised, else 5s).
+func (w *Worker) heartbeatInterval() time.Duration {
+	if w.cfg.Heartbeat > 0 {
+		return w.cfg.Heartbeat
+	}
+	w.authMu.Lock()
+	defer w.authMu.Unlock()
+	if w.advHB > 0 {
+		return w.advHB
+	}
+	return 5 * time.Second
+}
+
+// longPoll returns the effective lease-request park bound (config
+// override, else advertised, else 30s).
+func (w *Worker) longPoll() time.Duration {
+	if w.cfg.LongPoll > 0 {
+		return w.cfg.LongPoll
+	}
+	w.authMu.Lock()
+	defer w.authMu.Unlock()
+	if w.advPoll > 0 {
+		return w.advPoll
+	}
+	return 30 * time.Second
+}
+
+// ---- lease execution ----
 
 // engineFor returns the local engine, rebuilding it when the lease's
 // pool identity differs from the current engine's.
@@ -178,13 +388,15 @@ func (w *Worker) runLease(l *Lease) {
 		return
 	}
 
-	// Heartbeat until the job settles; a revoked lease (410) cancels the
-	// local job — the coordinator has already re-issued its points.
+	// Heartbeat until the job settles. A 410 (lease re-issued) cancels
+	// the local job; a 403 (revoked) cancels it and terminates the
+	// worker; a drain directive piggy-backed on the response lets the
+	// lease finish and stops the loop afterwards.
 	hbDone := make(chan struct{})
 	w.wg.Add(1)
 	go func() {
 		defer w.wg.Done()
-		t := time.NewTicker(w.cfg.Heartbeat)
+		t := time.NewTicker(w.heartbeatInterval())
 		defer t.Stop()
 		for {
 			select {
@@ -193,15 +405,26 @@ func (w *Worker) runLease(l *Lease) {
 			case <-w.ctx.Done():
 				return
 			case <-t.C:
-				ok, err := w.heartbeat(Heartbeat{Lease: l.ID, Worker: w.cfg.ID, DonePackets: job.Progress().DonePackets})
-				if err != nil {
+				resp, status, err := w.heartbeat(Heartbeat{Lease: l.ID, Worker: w.cfg.ID, DonePackets: job.Progress().DonePackets})
+				switch {
+				case errors.Is(err, errRevoked):
+					w.cfg.Logf("dist: worker %s: revoked mid-lease, abandoning %s", w.cfg.ID, l.ID)
+					job.Cancel()
+					w.drain.Store(true) // loop exits; deregister will 403 and be dropped
+					w.cancel()
+					return
+				case err != nil:
+					// Transient: the next tick is the retry; the lease TTL
+					// is several heartbeats deep, so occasional misses are
+					// harmless.
 					w.cfg.Logf("dist: worker %s: heartbeat %s: %v", w.cfg.ID, l.ID, err)
-					continue
-				}
-				if !ok {
-					w.cfg.Logf("dist: worker %s: lease %s revoked, abandoning", w.cfg.ID, l.ID)
+				case status == http.StatusGone:
+					w.cfg.Logf("dist: worker %s: lease %s re-issued elsewhere, abandoning", w.cfg.ID, l.ID)
 					job.Cancel()
 					return
+				case resp.Drain && !w.drain.Load():
+					w.cfg.Logf("dist: worker %s: drain requested mid-lease, finishing %s first", w.cfg.ID, l.ID)
+					w.drain.Store(true)
 				}
 			}
 		}
@@ -210,9 +433,8 @@ func (w *Worker) runLease(l *Lease) {
 	close(hbDone)
 	if err != nil {
 		if w.ctx.Err() != nil || err == context.Canceled {
-			// Worker shutdown or lease revocation: abandon silently; the
-			// lease TTL (or the revocation that caused this) handles
-			// re-issue.
+			// Worker shutdown or lease re-issue/revocation: abandon
+			// silently; re-issue (already done, or at TTL) covers it.
 			return
 		}
 		w.report(&LeaseResult{Lease: l.ID, Job: l.Job, Worker: w.cfg.ID, Fingerprint: l.Fingerprint,
@@ -231,78 +453,153 @@ func (w *Worker) runLease(l *Lease) {
 	w.report(out)
 }
 
-// report POSTs a lease result, retrying transient failures a few times;
+// report POSTs a lease result, retrying transient failures with backoff;
 // a result that cannot be delivered is dropped and the lease TTL
 // re-issues the work.
 func (w *Worker) report(res *LeaseResult) {
-	for attempt := 0; ; attempt++ {
-		status, err := w.post("/v1/dist/result", res, nil)
+	attempt := 0
+	for tries := 0; ; tries++ {
+		ctx, cancelReq := context.WithTimeout(w.ctx, 30*time.Second)
+		status, err := w.authPost(ctx, "/v1/dist/result", res, nil)
+		cancelReq()
+		if errors.Is(err, errRevoked) {
+			w.cfg.Logf("dist: worker %s: result %s refused: revoked", w.cfg.ID, res.Lease)
+			return
+		}
 		if err == nil && status < 500 {
 			if status >= 400 {
 				w.cfg.Logf("dist: worker %s: result %s rejected with %d", w.cfg.ID, res.Lease, status)
 			}
 			return
 		}
-		if attempt >= 3 || w.ctx.Err() != nil {
+		if tries >= 6 || w.ctx.Err() != nil {
 			w.cfg.Logf("dist: worker %s: dropping result %s after %d attempts (err=%v status=%d)",
-				w.cfg.ID, res.Lease, attempt+1, err, status)
+				w.cfg.ID, res.Lease, tries+1, err, status)
 			return
 		}
-		select {
-		case <-w.ctx.Done():
-			return
-		case <-time.After(w.cfg.Poll):
-		}
+		w.backoff(&attempt)
 	}
 }
 
-// requestLease polls for work; nil means the coordinator has none.
-func (w *Worker) requestLease() (*Lease, error) {
-	var l Lease
-	status, err := w.post("/v1/dist/lease", LeaseRequest{Worker: w.cfg.ID}, &l)
+// requestLease long-polls for work. All three results zero means the
+// poll deadline passed with no work (ask again).
+func (w *Worker) requestLease() (l *Lease, drain bool, err error) {
+	wait := w.longPoll()
+	// The request context outlives the asked-for wait by a margin so a
+	// healthy-but-busy coordinator isn't cut off mid-park, and it is
+	// cancellable so Drain can unpark immediately.
+	ctx, cancelPoll := context.WithTimeout(w.ctx, wait+15*time.Second)
+	w.pollMu.Lock()
+	w.pollCancel = cancelPoll
+	w.pollMu.Unlock()
+	defer func() {
+		w.pollMu.Lock()
+		w.pollCancel = nil
+		w.pollMu.Unlock()
+		cancelPoll()
+	}()
+	if w.drain.Load() {
+		return nil, true, nil
+	}
+	w.polls.Add(1)
+	var resp LeaseResponse
+	status, err := w.authPost(ctx, "/v1/dist/lease", LeaseRequest{Worker: w.cfg.ID, WaitSec: wait.Seconds()}, &resp)
 	if err != nil {
-		return nil, err
+		if w.drain.Load() && w.ctx.Err() == nil {
+			return nil, true, nil // Drain unparked the poll, not a real fault
+		}
+		return nil, false, err
 	}
 	switch status {
 	case http.StatusOK:
-		return &l, nil
+		return resp.Lease, resp.Drain, nil
 	case http.StatusNoContent:
-		return nil, nil
+		return nil, false, nil
 	default:
-		return nil, fmt.Errorf("lease poll: HTTP %d", status)
+		return nil, false, fmt.Errorf("lease request: HTTP %d", status)
 	}
 }
 
-// heartbeat reports progress; ok=false means the lease was revoked.
-func (w *Worker) heartbeat(hb Heartbeat) (ok bool, err error) {
-	status, err := w.post("/v1/dist/heartbeat", hb, nil)
+// heartbeat reports progress and picks up piggy-backed directives.
+func (w *Worker) heartbeat(hb Heartbeat) (resp HeartbeatResponse, status int, err error) {
+	ctx, cancel := context.WithTimeout(w.ctx, 15*time.Second)
+	defer cancel()
+	status, err = w.authPost(ctx, "/v1/dist/heartbeat", hb, &resp)
 	if err != nil {
-		return false, err
+		return resp, status, err
 	}
 	switch status {
-	case http.StatusOK:
-		return true, nil
-	case http.StatusGone:
-		return false, nil
+	case http.StatusOK, http.StatusGone:
+		return resp, status, nil
 	default:
-		return false, fmt.Errorf("heartbeat: HTTP %d", status)
+		return resp, status, fmt.Errorf("heartbeat: HTTP %d", status)
 	}
 }
 
-// post sends one JSON request to the coordinator and decodes the
-// response into out when the status is 200 and out is non-nil.
-func (w *Worker) post(path string, body, out any) (int, error) {
+// deregister tells the coordinator this worker is leaving (the drain
+// endgame). Best-effort with a short retry: a missed deregister only
+// costs the registry a stale entry that prunes itself.
+func (w *Worker) deregister() {
+	w.authMu.Lock()
+	registered := w.registered
+	id := w.workerID
+	w.authMu.Unlock()
+	if !registered {
+		return
+	}
+	attempt := 0
+	for tries := 0; tries < 3; tries++ {
+		ctx, cancel := context.WithTimeout(w.ctx, 10*time.Second)
+		status, err := w.authPost(ctx, "/v1/dist/deregister", struct{}{}, nil)
+		cancel()
+		if errors.Is(err, errRevoked) || (err == nil && status < 500) {
+			w.cfg.Logf("dist: worker %s: deregistered (%s)", w.cfg.ID, id)
+			return
+		}
+		w.backoff(&attempt)
+	}
+	w.cfg.Logf("dist: worker %s: deregister never reached the coordinator (registry will prune)", w.cfg.ID)
+}
+
+// ---- HTTP plumbing ----
+
+// authPost sends one data-plane call with the per-worker token,
+// transparently re-registering once on 401 (coordinator restart) and
+// mapping 403 to errRevoked.
+func (w *Worker) authPost(ctx context.Context, path string, body, out any) (int, error) {
+	auth, err := w.bearer(ctx)
+	if err != nil {
+		return 0, err
+	}
+	status, err := w.rawPost(ctx, path, auth, body, out)
+	if err == nil && status == http.StatusUnauthorized {
+		w.cfg.Logf("dist: worker %s: token unknown (coordinator restart?), re-registering", w.cfg.ID)
+		w.forgetRegistration()
+		if auth, err = w.bearer(ctx); err != nil {
+			return 0, err
+		}
+		status, err = w.rawPost(ctx, path, auth, body, out)
+	}
+	if err == nil && status == http.StatusForbidden {
+		return status, errRevoked
+	}
+	return status, err
+}
+
+// rawPost sends one JSON request and decodes 2xx responses into out
+// (when non-nil).
+func (w *Worker) rawPost(ctx context.Context, path, auth string, body, out any) (int, error) {
 	payload, err := json.Marshal(body)
 	if err != nil {
 		return 0, err
 	}
-	req, err := http.NewRequestWithContext(w.ctx, http.MethodPost, w.cfg.Coordinator+path, bytes.NewReader(payload))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.Coordinator+path, bytes.NewReader(payload))
 	if err != nil {
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	if w.cfg.Token != "" {
-		req.Header.Set("Authorization", "Bearer "+w.cfg.Token)
+	if auth != "Bearer " { // bare prefix: no secret and no token to present
+		req.Header.Set("Authorization", auth)
 	}
 	resp, err := w.cfg.HTTPClient.Do(req)
 	if err != nil {

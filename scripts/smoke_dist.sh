@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
-# Distributed sweep smoke test (make smoke-dist, CI job dist-smoke):
+# Distributed sweep chaos smoke test (make smoke-dist, CI job dist-smoke):
 # build the binary, launch a coordinator plus two worker processes on
-# localhost, submit the same short fig8 spec `make smoke` runs, consume
-# the SSE stream to completion, and require the streamed run's final
-# table to be byte-identical to the single-process engine's output.
+# localhost, submit the same short fig8 spec `make smoke` runs — then,
+# mid-sweep, kill -9 one worker (its lease must be re-issued via TTL
+# expiry), kill -TERM the other (the SIGTERM drain path: it must finish
+# its in-flight lease, deregister and exit on its own), and join a
+# replacement worker that carries the sweep home. The streamed run's
+# final table must still be byte-identical to the single-process
+# engine's output.
 set -eu
 
 GO=${GO:-go}
@@ -26,13 +30,17 @@ echo "== building =="
 $GO build -o "$BIN" ./cmd/cprecycle-bench
 
 echo "== starting coordinator + 2 workers on 127.0.0.1:$PORT =="
+# Short lease TTL so the kill -9'd worker's lease re-queues within the
+# smoke budget instead of the 30s default.
 "$BIN" -coordinator "127.0.0.1:$PORT" -journal "$TMP/jobs" -token "$TOKEN" \
-    >"$TMP/coord.log" 2>&1 &
+    -lease-ttl 3s >"$TMP/coord.log" 2>&1 &
 PIDS="$PIDS $!"
 "$BIN" -worker -join "http://127.0.0.1:$PORT" -token "$TOKEN" >"$TMP/w1.log" 2>&1 &
-PIDS="$PIDS $!"
+W1=$!
+PIDS="$PIDS $W1"
 "$BIN" -worker -join "http://127.0.0.1:$PORT" -token "$TOKEN" >"$TMP/w2.log" 2>&1 &
-PIDS="$PIDS $!"
+W2=$!
+PIDS="$PIDS $W2"
 
 up=0
 for _ in $(seq 1 100); do
@@ -48,14 +56,72 @@ if [ "$up" != 1 ]; then
     exit 1
 fi
 
-echo "== submitting distributed job and consuming its SSE stream =="
+echo "== submitting distributed job (SSE stream in background) =="
 # shellcheck disable=SC2086
 "$BIN" -submit -join "http://127.0.0.1:$PORT" -token "$TOKEN" $SPEC_FLAGS \
-    >"$TMP/dist.out" 2>"$TMP/submit.log" || {
-    echo "distributed submit failed:" >&2
-    cat "$TMP/submit.log" "$TMP/coord.log" "$TMP/w1.log" "$TMP/w2.log" >&2
+    >"$TMP/dist.out" 2>"$TMP/submit.log" &
+SUBMIT=$!
+PIDS="$PIDS $SUBMIT"
+
+dump_logs() {
+    cat "$TMP/submit.log" "$TMP/coord.log" "$TMP/w1.log" "$TMP/w2.log" \
+        "$TMP/w3.log" 2>/dev/null >&2 || true
+}
+
+# wait_points N: block until the SSE consumer has logged >= N completed
+# points (or the submit client exits, meaning the sweep settled early).
+wait_points() {
+    want=$1
+    for _ in $(seq 1 600); do
+        got=$(grep -c '^point ' "$TMP/submit.log" 2>/dev/null || true)
+        [ "${got:-0}" -ge "$want" ] && return 0
+        kill -0 "$SUBMIT" 2>/dev/null || return 0
+        sleep 0.1
+    done
+    echo "timed out waiting for $want streamed points" >&2
+    dump_logs
     exit 1
 }
+
+wait_points 3
+echo "== chaos: kill -9 worker 1 (lease abandoned to TTL re-issue) =="
+kill -9 "$W1" 2>/dev/null || true
+
+wait_points 6
+echo "== chaos: kill -TERM worker 2 (graceful drain) =="
+kill -TERM "$W2" 2>/dev/null || true
+
+echo "== joining replacement worker =="
+"$BIN" -worker -join "http://127.0.0.1:$PORT" -token "$TOKEN" >"$TMP/w3.log" 2>&1 &
+PIDS="$PIDS $!"
+
+# The drained worker must exit on its own once its in-flight lease is
+# done and it has deregistered — no second signal, no kill -9.
+drained=0
+for _ in $(seq 1 600); do
+    if ! kill -0 "$W2" 2>/dev/null; then
+        drained=1
+        break
+    fi
+    sleep 0.1
+done
+if [ "$drained" != 1 ]; then
+    echo "drained worker never exited" >&2
+    dump_logs
+    exit 1
+fi
+if ! grep -q 'draining' "$TMP/w2.log"; then
+    echo "drained worker log is missing the SIGTERM drain message:" >&2
+    dump_logs
+    exit 1
+fi
+echo "   worker 2 drained and exited cleanly"
+
+if ! wait "$SUBMIT"; then
+    echo "distributed submit failed:" >&2
+    dump_logs
+    exit 1
+fi
 
 points=$(grep -c '^point ' "$TMP/submit.log" || true)
 echo "   streamed $points point events"
@@ -65,6 +131,9 @@ if [ "$points" != 30 ]; then
     exit 1
 fi
 
+echo "== fleet registry after the dust settles =="
+"$BIN" -fleet -join "http://127.0.0.1:$PORT" -token "$TOKEN" || true
+
 echo "== running the single-process engine reference =="
 # shellcheck disable=SC2086
 "$BIN" $SPEC_FLAGS | grep -v -e '^\[' -e '^$' >"$TMP/direct.out"
@@ -73,4 +142,4 @@ if ! diff -u "$TMP/direct.out" "$TMP/dist.out"; then
     echo "distributed table differs from the single-engine table" >&2
     exit 1
 fi
-echo "== smoke-dist OK: distributed table byte-identical to single engine =="
+echo "== smoke-dist OK: table byte-identical to single engine despite worker kill, drain and replacement =="
