@@ -23,6 +23,17 @@
 // status is non-zero when any regresses by more than -max-regress
 // percent. Benchmarks present in only one file are listed but never
 // fail the gate (they are new or retired, not regressed).
+//
+// Trajectory files are recorded on whatever machine ran the PR's CI, so
+// a candidate measured on a uniformly slower machine would trip every
+// benchmark at once. Compare mode therefore discounts uniform slowdown:
+// when the median candidate/baseline ratio across shared benchmarks is
+// above 1, each benchmark is judged relative to that median (the drift
+// is printed, never hidden). A real regression moves one benchmark
+// against the pack; machine drift moves them all together. Speed-ups
+// are never normalized away — a median below 1 is left at 1 so a PR
+// that accelerates most of the suite isn't charged for the benchmarks
+// it left alone.
 package main
 
 import (
@@ -33,6 +44,7 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -168,7 +180,8 @@ func benchKey(r Result) string {
 
 // runCompare diffs candidate against baseline on ns/op and reports every
 // shared benchmark; it errors when any regresses beyond maxRegress
-// percent. Deliberately one-sided: speedups and new/retired benchmarks
+// percent after discounting uniform machine drift (see the package
+// comment). Deliberately one-sided: speedups and new/retired benchmarks
 // are informational only.
 func runCompare(baselinePath, candidatePath string, maxRegress float64) error {
 	base, err := loadDoc(baselinePath)
@@ -182,6 +195,10 @@ func runCompare(baselinePath, candidatePath string, maxRegress float64) error {
 	baseBy := make(map[string]Result, len(base.Benchmarks))
 	for _, r := range base.Benchmarks {
 		baseBy[benchKey(r)] = r
+	}
+	drift := medianDrift(base, cand)
+	if drift > 1 {
+		fmt.Printf("machine drift: candidate median %+.1f%% vs baseline; judging benchmarks relative to it\n", 100*(drift-1))
 	}
 	var regressed []string
 	shared := 0
@@ -197,10 +214,11 @@ func runCompare(baselinePath, candidatePath string, maxRegress float64) error {
 			continue
 		}
 		deltaPct := 100 * (r.NsPerOp - b.NsPerOp) / b.NsPerOp
+		relPct := 100 * (r.NsPerOp/(b.NsPerOp*drift) - 1)
 		verdict := "ok"
-		if deltaPct > maxRegress {
+		if relPct > maxRegress {
 			verdict = "REGRESSION"
-			regressed = append(regressed, fmt.Sprintf("%s %+.1f%%", r.Name, deltaPct))
+			regressed = append(regressed, fmt.Sprintf("%s %+.1f%%", r.Name, relPct))
 		}
 		fmt.Printf("%-10s %-40s %12.0f → %12.0f ns/op (%+.1f%%)\n", verdict, r.Name, b.NsPerOp, r.NsPerOp, deltaPct)
 	}
@@ -211,9 +229,37 @@ func runCompare(baselinePath, candidatePath string, maxRegress float64) error {
 		return fmt.Errorf("no shared benchmarks between %s and %s — the gate compared nothing", baselinePath, candidatePath)
 	}
 	if len(regressed) > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% vs %s: %s",
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% vs %s (drift-adjusted): %s",
 			len(regressed), maxRegress, baselinePath, strings.Join(regressed, ", "))
 	}
 	fmt.Printf("gate OK: %d shared benchmarks within %.0f%% of %s\n", shared, maxRegress, baselinePath)
 	return nil
+}
+
+// medianDrift estimates uniform machine drift as the median
+// candidate/baseline ns-per-op ratio over shared benchmarks, floored at
+// 1 so only slowdowns are discounted.
+func medianDrift(base, cand Document) float64 {
+	baseBy := make(map[string]Result, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		baseBy[benchKey(r)] = r
+	}
+	var ratios []float64
+	for _, r := range cand.Benchmarks {
+		if b, ok := baseBy[benchKey(r)]; ok && b.NsPerOp > 0 && r.NsPerOp > 0 {
+			ratios = append(ratios, r.NsPerOp/b.NsPerOp)
+		}
+	}
+	if len(ratios) == 0 {
+		return 1
+	}
+	sort.Float64s(ratios)
+	m := ratios[len(ratios)/2]
+	if len(ratios)%2 == 0 {
+		m = (m + ratios[len(ratios)/2-1]) / 2
+	}
+	if m < 1 {
+		return 1
+	}
+	return m
 }

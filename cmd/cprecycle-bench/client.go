@@ -179,6 +179,40 @@ func (c *submitClient) followOnce(id string, lastEventID *string, start time.Tim
 	return final, false, fmt.Errorf("stream ended without a terminal event")
 }
 
+// showStatus renders the /v1/status snapshot as a dashboard header for
+// -fleet. A 404 means an older server without the endpoint: skip
+// silently, the worker table below still works.
+func (c *submitClient) showStatus() error {
+	resp, err := c.request(http.MethodGet, "/v1/status", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fail(resp)
+	}
+	var s statusSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		return fmt.Errorf("decoding status: %w", err)
+	}
+	fmt.Printf("%s up %s  jobs: %d running / %d done / %d failed\n",
+		s.Mode, (time.Duration(s.UptimeSec) * time.Second).Round(time.Second),
+		s.Jobs.Running, s.Jobs.Done, s.Jobs.Failed)
+	if f := s.Fleet; f != nil {
+		fmt.Printf("workers: %d active / %d draining  leases: %d in flight (%d granted, %d expired, %d pts re-queued)\n",
+			f.WorkersActive, f.WorkersDraining, f.LeasesInflight, f.LeasesGranted, f.LeaseExpiries, f.RequeuedPoints)
+		fmt.Printf("queue: %d points pending", f.QueueDepth)
+		if f.LeaseEstSeconds > 0 {
+			fmt.Printf("  est %.2gs/point", f.LeaseEstSeconds)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
 // listWorkers prints the coordinator's worker registry (-fleet).
 func (c *submitClient) listWorkers() error {
 	resp, err := c.request(http.MethodGet, "/v1/dist/workers", nil)

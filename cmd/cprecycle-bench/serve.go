@@ -4,7 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"log"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
@@ -33,6 +33,7 @@ type serveBackend interface {
 	LookupJob(id string) (serveJob, bool)
 	ListJobs() []serveJob
 	RemoveJob(id string) bool
+	Status() statusSnapshot
 }
 
 // engineBackend adapts the in-process sweep engine.
@@ -56,6 +57,7 @@ func (b engineBackend) ListJobs() []serveJob {
 	return out
 }
 func (b engineBackend) RemoveJob(id string) bool { return b.eng.Remove(id) }
+func (b engineBackend) Status() statusSnapshot   { return newStatus("engine", b.ListJobs()) }
 
 // coordBackend adapts the distributed coordinator.
 type coordBackend struct{ c *dist.Coordinator }
@@ -74,6 +76,13 @@ func (b coordBackend) ListJobs() []serveJob {
 	return out
 }
 func (b coordBackend) RemoveJob(id string) bool { return b.c.Remove(id) }
+func (b coordBackend) Status() statusSnapshot {
+	s := newStatus("coordinator", b.ListJobs())
+	fs := b.c.Stats()
+	s.Fleet = &fs
+	s.Workers = b.c.WorkerInfos()
+	return s
+}
 
 // asJob converts a concrete (job, err) pair to the interface without the
 // classic non-nil-interface-around-nil-pointer trap.
@@ -92,7 +101,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		log.Printf("serve: writing response: %v", err)
+		lg.Warn("writing response", "err", err)
 	}
 }
 
@@ -100,9 +109,12 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
-// apiMux builds the client API over a backend.
-func apiMux(b serveBackend) *http.ServeMux {
+// apiMux builds the client API over a backend. Extra metric collectors
+// (e.g. a coordinator's fleet gauges) are appended to /metrics.
+func apiMux(b serveBackend, extras ...func(io.Writer)) *http.ServeMux {
 	mux := http.NewServeMux()
+
+	obsRoutes(mux, b.Status, extras...)
 
 	mux.HandleFunc("GET /v1/experiments", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, experiments.SweepExperiments())
@@ -174,7 +186,7 @@ func apiMux(b serveBackend) *http.ServeMux {
 			}
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			if _, err := fmt.Fprint(w, res.Table.Render()); err != nil {
-				log.Printf("serve: writing table: %v", err)
+				lg.Warn("writing table", "err", err)
 			}
 		}
 	})
@@ -198,11 +210,11 @@ func apiMux(b serveBackend) *http.ServeMux {
 		if !ok {
 			return
 		}
-		fl, ok := w.(http.Flusher)
-		if !ok {
+		if _, ok := w.(http.Flusher); !ok {
 			writeErr(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported by this connection"))
 			return
 		}
+		rc := http.NewResponseController(w)
 		lastSeq := -1
 		if v := r.Header.Get("Last-Event-ID"); v != "" {
 			// A malformed id is ignored (full replay) rather than
@@ -223,7 +235,7 @@ func apiMux(b serveBackend) *http.ServeMux {
 		emit := func(event, id string, v any) bool {
 			data, err := json.Marshal(v)
 			if err != nil {
-				log.Printf("serve: marshalling %s event: %v", event, err)
+				lg.Warn("marshalling event", "event", event, "err", err)
 				return false
 			}
 			if id != "" {
@@ -234,8 +246,9 @@ func apiMux(b serveBackend) *http.ServeMux {
 			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
 				return false
 			}
-			fl.Flush()
-			return true
+			// Flush errors mean the client is gone: stop now instead of
+			// spinning until the next event's write fails.
+			return rc.Flush() == nil
 		}
 		point := func(ev sweep.PointEvent) bool {
 			if ev.Seq <= lastSeq {
@@ -303,6 +316,6 @@ func runServe(addr, token string, eng *sweep.Engine) error {
 func runCoordinator(addr, token string, c *dist.Coordinator) error {
 	root := http.NewServeMux()
 	root.Handle("/v1/dist/", c.Handler())
-	root.Handle("/", dist.BearerAuth(token, apiMux(coordBackend{c})))
+	root.Handle("/", dist.BearerAuth(token, apiMux(coordBackend{c}, c.WritePrometheus)))
 	return listen(addr, root, "sweep coordinator")
 }

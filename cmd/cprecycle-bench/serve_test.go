@@ -2,7 +2,9 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -234,5 +236,143 @@ func TestServeSSELastEventID(t *testing.T) {
 	ids, _ = stream("not-a-number")
 	if len(ids) != 6 {
 		t.Fatalf("malformed Last-Event-ID: %d point events", len(ids))
+	}
+}
+
+// TestServeMetricsAndStatus checks the observability surface of the
+// engine backend: /metrics serves valid-looking Prometheus text with
+// the engine families present, and /v1/status returns a coherent
+// snapshot after a job has run.
+func TestServeMetricsAndStatus(t *testing.T) {
+	eng := sweep.New(sweep.Config{Workers: 2, ShardPackets: 2})
+	defer eng.Close()
+	mux := apiMux(engineBackend{eng})
+
+	job, err := eng.Submit(context.Background(), sweep.Spec{
+		Experiment: "fig8", Packets: 2, PSDUBytes: 60, Seed: 3, Axis: []float64{-10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics: HTTP %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics Content-Type %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE cpr_sweep_packets_total counter",
+		"# TYPE cpr_sweep_stage_seconds histogram",
+		`cpr_sweep_stage_seconds_bucket{le="+Inf",stage="decode"}`,
+		"# TYPE cpr_sweep_jobs_total counter",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics body missing %q", want)
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/status", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/v1/status: HTTP %d", rec.Code)
+	}
+	var s statusSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Mode != "engine" {
+		t.Errorf("status mode %q, want engine", s.Mode)
+	}
+	if s.Jobs.Done != 1 || s.Jobs.Running != 0 {
+		t.Errorf("status jobs %+v, want 1 done", s.Jobs)
+	}
+	if s.Metrics["cpr_sweep_packets_total"] <= 0 {
+		t.Errorf("status metrics cpr_sweep_packets_total = %v, want > 0", s.Metrics["cpr_sweep_packets_total"])
+	}
+	if s.Runtime.GoVersion == "" || s.UptimeSec <= 0 {
+		t.Errorf("status runtime %+v uptime %v", s.Runtime, s.UptimeSec)
+	}
+}
+
+// TestServeCoordinatorStatusHasFleet checks the coordinator backend's
+// status snapshot carries the fleet section.
+func TestServeCoordinatorStatusHasFleet(t *testing.T) {
+	c, err := dist.New(dist.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s := coordBackend{c}.Status()
+	if s.Mode != "coordinator" {
+		t.Errorf("status mode %q, want coordinator", s.Mode)
+	}
+	if s.Fleet == nil {
+		t.Fatal("coordinator status has no fleet section")
+	}
+	if s.Fleet.WorkersActive != 0 || s.Fleet.JobsRunning != 0 {
+		t.Errorf("idle coordinator fleet stats %+v", *s.Fleet)
+	}
+}
+
+// sseFailFlushWriter implements http.ResponseWriter, http.Flusher and
+// FlushError; every flush fails, simulating a disconnected SSE client
+// whose writes still land in the kernel buffer.
+type sseFailFlushWriter struct {
+	hdr     http.Header
+	code    int
+	writes  int
+	flushes int
+}
+
+func (w *sseFailFlushWriter) Header() http.Header {
+	if w.hdr == nil {
+		w.hdr = make(http.Header)
+	}
+	return w.hdr
+}
+func (w *sseFailFlushWriter) Write(p []byte) (int, error) { w.writes++; return len(p), nil }
+func (w *sseFailFlushWriter) WriteHeader(code int)        { w.code = code }
+func (w *sseFailFlushWriter) Flush()                      {}
+func (w *sseFailFlushWriter) FlushError() error {
+	w.flushes++
+	return errors.New("client gone")
+}
+
+// TestServeSSEStopsOnFlushError pins the disconnect fix: when the
+// client is gone (every flush fails), the job event stream ends at the
+// first failed flush instead of replaying the remaining points — or
+// worse, parking in the live-tail select until the next point lands.
+func TestServeSSEStopsOnFlushError(t *testing.T) {
+	eng := sweep.New(sweep.Config{Workers: 2, ShardPackets: 2})
+	defer eng.Close()
+	mux := apiMux(engineBackend{eng})
+
+	job, err := eng.Submit(context.Background(), sweep.Spec{
+		Experiment: "fig8", Packets: 2, PSDUBytes: 60, Seed: 3, Axis: []float64{-10, -20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	w := &sseFailFlushWriter{}
+	req := httptest.NewRequest(http.MethodGet, "/v1/jobs/"+job.Progress().ID+"/events", nil)
+	mux.ServeHTTP(w, req)
+	if w.flushes != 1 {
+		t.Errorf("flush attempts = %d, want 1 (stream must end at the first failed flush)", w.flushes)
+	}
+	// One replayed point is two writes (id line, then event+data); the
+	// second point must never be written.
+	if w.writes != 2 {
+		t.Errorf("event writes = %d, want 2 (id + body of the first point only)", w.writes)
 	}
 }

@@ -1,0 +1,284 @@
+// Command promcheck validates a Prometheus text-format (0.0.4)
+// exposition and optionally asserts that named series are present with
+// a positive value. It exists so shell-level smoke tests (see
+// scripts/smoke_dist.sh) can scrape a live /metrics endpoint and fail
+// loudly on malformed output or missing activity, without pulling a
+// Prometheus toolchain into the build.
+//
+// Usage:
+//
+//	promcheck -url http://host:8080/metrics -token SECRET \
+//	    -require cpr_dist_leases_granted_total -retries 50
+//	promcheck metrics.txt
+//	curl -s host/metrics | promcheck
+//
+// Each -require NAME (repeatable) demands at least one sample whose
+// metric name is exactly NAME with a value > 0. -retries N re-fetches
+// a -url up to N times (200ms apart) until the parse and every
+// requirement pass, absorbing scrape-vs-progress races in smoke tests.
+// Exit status is 0 on success, 1 with a diagnostic on stderr otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+var (
+	nameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+var metricTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true,
+}
+
+// sample is one parsed series: a metric name (label part stripped) and
+// its value.
+type sample struct {
+	name  string
+	value float64
+}
+
+// parse validates a full exposition and returns its samples. The line
+// grammar checked here is the subset every real scraper relies on:
+// HELP/TYPE comments with known types, and sample lines
+// name[{labels}] value [timestamp] with valid names, quoted/escaped
+// label values and float-parseable values.
+func parse(text string) ([]sample, error) {
+	var samples []sample
+	typed := map[string]string{}
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 2 {
+				continue // free-form comment
+			}
+			switch fields[1] {
+			case "TYPE":
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: malformed TYPE comment: %q", lineNo, line)
+				}
+				if !nameRe.MatchString(fields[2]) {
+					return nil, fmt.Errorf("line %d: bad metric name %q in TYPE", lineNo, fields[2])
+				}
+				if !metricTypes[fields[3]] {
+					return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+				}
+				if prev, ok := typed[fields[2]]; ok {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %s (already %s)", lineNo, fields[2], prev)
+				}
+				typed[fields[2]] = fields[3]
+			case "HELP":
+				if len(fields) < 3 {
+					return nil, fmt.Errorf("line %d: malformed HELP comment: %q", lineNo, line)
+				}
+				if !nameRe.MatchString(fields[2]) {
+					return nil, fmt.Errorf("line %d: bad metric name %q in HELP", lineNo, fields[2])
+				}
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		samples = append(samples, s)
+	}
+	return samples, nil
+}
+
+// parseSample validates one sample line: name[{labels}] value [ts].
+func parseSample(line string) (sample, error) {
+	rest := line
+	// Metric name runs to the first '{' or space.
+	end := strings.IndexAny(rest, "{ ")
+	if end < 0 {
+		return sample{}, fmt.Errorf("no value: %q", line)
+	}
+	name := rest[:end]
+	if !nameRe.MatchString(name) {
+		return sample{}, fmt.Errorf("bad metric name %q", name)
+	}
+	rest = rest[end:]
+	if strings.HasPrefix(rest, "{") {
+		close := strings.LastIndex(rest, "}")
+		if close < 0 {
+			return sample{}, fmt.Errorf("unterminated label set: %q", line)
+		}
+		if err := checkLabels(rest[1:close]); err != nil {
+			return sample{}, fmt.Errorf("%w in %q", err, line)
+		}
+		rest = rest[close+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return sample{}, fmt.Errorf("want 'value [timestamp]' after name, got %q", strings.TrimSpace(rest))
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return sample{}, fmt.Errorf("bad value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return sample{}, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return sample{name: name, value: v}, nil
+}
+
+// checkLabels validates the inside of a {...} label set:
+// name="value",... with backslash-escaped quotes in values.
+func checkLabels(s string) error {
+	for s != "" {
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			return fmt.Errorf("bad label pair %q", s)
+		}
+		name := s[:eq]
+		if !labelRe.MatchString(name) {
+			return fmt.Errorf("bad label name %q", name)
+		}
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return fmt.Errorf("unquoted value for label %q", name)
+		}
+		s = s[1:]
+		// Scan to the closing quote, honouring backslash escapes.
+		i, ok := 0, false
+		for i < len(s) {
+			switch s[i] {
+			case '\\':
+				i += 2
+				continue
+			case '"':
+				ok = true
+			}
+			if ok {
+				break
+			}
+			i++
+		}
+		if !ok {
+			return fmt.Errorf("unterminated value for label %q", name)
+		}
+		s = s[i+1:]
+		if s == "" {
+			return nil
+		}
+		if !strings.HasPrefix(s, ",") {
+			return fmt.Errorf("junk after label %q", name)
+		}
+		s = s[1:]
+	}
+	return nil
+}
+
+// check runs the parse plus the -require assertions over one body.
+func check(text string, require []string) error {
+	samples, err := parse(text)
+	if err != nil {
+		return err
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("no samples in exposition")
+	}
+	for _, name := range require {
+		found, positive := false, false
+		for _, s := range samples {
+			if s.name == name {
+				found = true
+				if s.value > 0 {
+					positive = true
+					break
+				}
+			}
+		}
+		switch {
+		case !found:
+			return fmt.Errorf("required series %s not present", name)
+		case !positive:
+			return fmt.Errorf("required series %s present but never > 0", name)
+		}
+	}
+	return nil
+}
+
+func fetch(url, token string) (string, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return "", err
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	return string(body), nil
+}
+
+func main() {
+	var (
+		url     = flag.String("url", "", "scrape this URL instead of reading a file/stdin")
+		token   = flag.String("token", "", "bearer token sent with -url")
+		retries = flag.Int("retries", 0, "with -url: retry up to N times (200ms apart) until the checks pass")
+		require []string
+	)
+	flag.Func("require", "require a series with this exact name and a value > 0 (repeatable)", func(v string) error {
+		require = append(require, v)
+		return nil
+	})
+	flag.Parse()
+
+	run := func() error {
+		var text string
+		var err error
+		switch {
+		case *url != "":
+			text, err = fetch(*url, *token)
+		case flag.NArg() > 0:
+			var b []byte
+			b, err = os.ReadFile(flag.Arg(0))
+			text = string(b)
+		default:
+			var b []byte
+			b, err = io.ReadAll(os.Stdin)
+			text = string(b)
+		}
+		if err != nil {
+			return err
+		}
+		return check(text, require)
+	}
+
+	err := run()
+	for i := 0; err != nil && *url != "" && i < *retries; i++ {
+		time.Sleep(200 * time.Millisecond)
+		err = run()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+}

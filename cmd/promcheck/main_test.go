@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const goodExposition = `# HELP cpr_sweep_packets_total Simulated packets completed.
+# TYPE cpr_sweep_packets_total counter
+cpr_sweep_packets_total 42
+# TYPE cpr_sweep_stage_seconds histogram
+cpr_sweep_stage_seconds_bucket{le="0.001",stage="decode"} 10
+cpr_sweep_stage_seconds_bucket{le="+Inf",stage="decode"} 12
+cpr_sweep_stage_seconds_sum{stage="decode"} 0.034
+cpr_sweep_stage_seconds_count{stage="decode"} 12
+# TYPE cpr_dist_workers gauge
+cpr_dist_workers{state="active"} 3
+cpr_dist_workers{state="draining"} 0
+escaped{msg="a\"b\\c\nd"} 1 1700000000
+`
+
+func TestParseGood(t *testing.T) {
+	samples, err := parse(goodExposition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 8 {
+		t.Fatalf("parsed %d samples, want 8", len(samples))
+	}
+	if samples[0].name != "cpr_sweep_packets_total" || samples[0].value != 42 {
+		t.Errorf("first sample %+v", samples[0])
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad type":          "# TYPE foo sideways\nfoo 1\n",
+		"bad name":          "2foo 1\n",
+		"no value":          "foo\n",
+		"bad value":         "foo twelve\n",
+		"bad timestamp":     "foo 1 later\n",
+		"unquoted label":    "foo{a=1} 1\n",
+		"bad label name":    `foo{2a="x"} 1` + "\n",
+		"unterminated set":  `foo{a="x" 1` + "\n",
+		"junk after label":  `foo{a="x";b="y"} 1` + "\n",
+		"duplicate TYPE":    "# TYPE foo counter\n# TYPE foo gauge\nfoo 1\n",
+		"trailing garbage":  "foo 1 2 3\n",
+		"unterminated text": `foo{a="x` + "\n",
+	}
+	for name, text := range cases {
+		if _, err := parse(text); err == nil {
+			t.Errorf("%s: parse accepted %q", name, text)
+		}
+	}
+}
+
+func TestCheckRequire(t *testing.T) {
+	if err := check(goodExposition, []string{"cpr_sweep_packets_total", "cpr_dist_workers"}); err != nil {
+		t.Errorf("require present+positive: %v", err)
+	}
+	err := check(goodExposition, []string{"cpr_missing_total"})
+	if err == nil || !strings.Contains(err.Error(), "not present") {
+		t.Errorf("require missing: %v", err)
+	}
+	// Present but never positive: the draining gauge is 0, but the
+	// active one is 3, so cpr_dist_workers passes; a strictly-zero
+	// family must not.
+	zero := "# TYPE z gauge\nz 0\n"
+	err = check(zero, []string{"z"})
+	if err == nil || !strings.Contains(err.Error(), "never > 0") {
+		t.Errorf("require zero: %v", err)
+	}
+	if err := check("", nil); err == nil {
+		t.Error("empty exposition accepted")
+	}
+}

@@ -97,4 +97,24 @@
 // as the SSE id; reconnecting consumers present Last-Event-ID and resume
 // mid-stream instead of replaying every event); see that package's
 // comment for the spec format, endpoints, protocol and quickstart.
+//
+// The whole service is observable without perturbing it: internal/obs
+// is a dependency-free metrics core — counters, gauges and fixed-bucket
+// histograms registered once at init, updated with atomic operations
+// only (zero allocations on the hot path, enforced by test), rendered
+// in Prometheus text format. The receiver and sweep layers record
+// per-stage wall-clock histograms per packet
+// (cpr_sweep_stage_seconds{stage="tx"|"observe"|"train"|"decode"},
+// cpr_sweep_packet_seconds) plus engine job/point counters; the
+// coordinator and worker render instance-scoped fleet series (cpr_dist_*:
+// workers by state, in-flight leases, queue depth, the adaptive lease
+// estimate, expiry/re-queue/revocation and SSE-drop counters). Every
+// serving mode exposes GET /metrics and authenticated /debug/pprof
+// handlers, plus GET /v1/status — a one-call JSON dashboard that
+// `cprecycle-bench -fleet` renders. Logging is structured (log/slog)
+// with component/job/worker/lease attributes (-log-level, -log-json).
+// Because instrumentation is pure timing — no RNG interaction, no
+// decision input — the same-seed regression tests hold unchanged, and
+// the smoke chaos run scrapes live coordinator and worker endpoints
+// mid-sweep (scripts/smoke_dist.sh, cmd/promcheck).
 package repro

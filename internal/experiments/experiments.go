@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"slices"
 	"sync"
+	"time"
 
 	"repro/internal/channel"
 	"repro/internal/core"
@@ -354,10 +355,12 @@ func RunPSR(cfg LinkConfig) ([]PSRPoint, error) {
 // any executor — the striding workers of RunPSR or a sweep-engine shard —
 // produces identical results for the same index.
 func (p *PSRPlan) RunPacket(pkt int, ok []bool) error {
+	pktStart := time.Now()
 	cfg := p.cfg
 	r := dsp.NewRand(cfg.Seed*1_000_003 + int64(pkt))
 	psdu := wifi.BuildPSDU(r.Bytes(cfg.PSDUBytes - 4))
 	c, err := cfg.Scenario.Run(r, psdu, cfg.MCS)
+	stageTx.ObserveSince(pktStart)
 	if err != nil {
 		return err
 	}
@@ -402,7 +405,10 @@ func (p *PSRPlan) RunPacket(pkt int, ok []bool) error {
 			var err error
 			if slices.Equal(conf.Segments, segs) {
 				if training == nil {
-					if training, err = core.Train(f, segs); err != nil {
+					trainStart := time.Now()
+					training, err = core.Train(f, segs)
+					stageTrain.ObserveSince(trainStart)
+					if err != nil {
 						return err
 					}
 				}
@@ -444,6 +450,8 @@ func (p *PSRPlan) RunPacket(pkt int, ok []bool) error {
 		}
 		ok[ai] = res.FCSOK && string(res.PSDU) == string(psdu)
 	}
+	packetsTotal.Inc()
+	packetSeconds.ObserveSince(pktStart)
 	return nil
 }
 

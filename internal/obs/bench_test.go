@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+var benchReg = NewRegistry()
+
+var (
+	benchPackets = benchReg.Counter("bench_packets_total", "B.")
+	benchPacket  = benchReg.Histogram("bench_packet_seconds", "B.", DurationBuckets)
+	benchStages  = []*Histogram{
+		benchReg.Histogram("bench_stage_seconds", "B.", DurationBuckets, Label{Name: "stage", Value: "tx"}),
+		benchReg.Histogram("bench_stage_seconds", "B.", DurationBuckets, Label{Name: "stage", Value: "train"}),
+		benchReg.Histogram("bench_stage_seconds", "B.", DurationBuckets, Label{Name: "stage", Value: "observe"}),
+		benchReg.Histogram("bench_stage_seconds", "B.", DurationBuckets, Label{Name: "stage", Value: "decode"}),
+	}
+)
+
+func BenchmarkMetricCounterInc(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchPackets.Inc()
+	}
+}
+
+func BenchmarkMetricHistogramObserve(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchPacket.Observe(1.1e-3)
+	}
+}
+
+// BenchmarkPacketMetrics replays the full set of metric updates that one
+// packet through experiments.RunPacket + rx incurs (four stage spans,
+// one whole-packet span, one counter) — the number bench-gate watches to
+// keep instrumentation cost invisible next to a ~1ms packet.
+func BenchmarkPacketMetrics(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		for _, h := range benchStages {
+			s := time.Now()
+			h.ObserveSince(s)
+		}
+		benchPacket.ObserveSince(t0)
+		benchPackets.Inc()
+	}
+}

@@ -1,0 +1,24 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+)
+
+// Handler returns an http.Handler serving the Default registry in
+// Prometheus text format, followed by any extra collectors (typically
+// instance-scoped WritePrometheus methods such as a dist.Coordinator's
+// fleet gauges). The response is staged in a buffer so a slow scraper
+// never holds metric state mid-render.
+func Handler(extras ...func(io.Writer)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var buf bytes.Buffer
+		Default.WritePrometheus(&buf)
+		for _, extra := range extras {
+			extra(&buf)
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(buf.Bytes())
+	})
+}

@@ -2,6 +2,7 @@ package rx
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/coding"
 	"repro/internal/modem"
@@ -57,6 +58,7 @@ func DecodeData(f *Frame, mcs wifi.MCS, psduLen int, decider SymbolDecider) (Res
 	il := coding.MustInterleaver(mcs.Ncbps, mcs.Nbpsc)
 	nb := cons.BitsPerSymbol()
 
+	obsStart := time.Now()
 	coded := make([]byte, 0, nSyms*mcs.Ncbps)
 	bitBuf := make([]byte, nb)
 	for k := 0; k < nSyms; k++ {
@@ -74,6 +76,7 @@ func DecodeData(f *Frame, mcs wifi.MCS, psduLen int, decider SymbolDecider) (Res
 		}
 		coded = append(coded, il.Deinterleave(blk)...)
 	}
+	stageObserve.ObserveSince(obsStart)
 
 	return decodeCodedData(coded, mcs, psduLen, nSyms)
 }
@@ -82,6 +85,7 @@ func DecodeData(f *Frame, mcs wifi.MCS, psduLen int, decider SymbolDecider) (Res
 // deinterleaved coded bit stream: depuncture, anchored Viterbi,
 // descramble, FCS. Shared by the serial and parallel decode paths.
 func decodeCodedData(coded []byte, mcs wifi.MCS, psduLen, nSyms int) (Result, error) {
+	defer stageDecode.ObserveSince(time.Now())
 	nInfo := nSyms * mcs.Ndbps
 	vit := coding.NewViterbi()
 	// The DATA stream's scrambled pad bits follow the six tail bits, so the

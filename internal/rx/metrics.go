@@ -1,0 +1,21 @@
+package rx
+
+import (
+	"repro/internal/obs"
+)
+
+// Per-stage receiver spans. The "observe" stage covers per-symbol
+// observation + decision (ObserveSymbol / DecideSymbol / deinterleave);
+// "decode" covers the post-decision half (depuncture + Viterbi +
+// descramble + FCS). Both are recorded once per packet at loop
+// granularity — never per symbol — so instrumentation stays a handful
+// of atomics against a ~1ms packet and the symbol-level kernels
+// (Frame.ObserveSegments and friends) are untouched.
+const stageSecondsHelp = "Wall-clock seconds per receiver/sweep stage, one observation per packet."
+
+var (
+	stageObserve = obs.NewHistogram("cpr_sweep_stage_seconds", stageSecondsHelp,
+		obs.DurationBuckets, obs.Label{Name: "stage", Value: "observe"})
+	stageDecode = obs.NewHistogram("cpr_sweep_stage_seconds", stageSecondsHelp,
+		obs.DurationBuckets, obs.Label{Name: "stage", Value: "decode"})
+)

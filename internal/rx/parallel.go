@@ -3,6 +3,7 @@ package rx
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/coding"
 	"repro/internal/modem"
@@ -60,6 +61,7 @@ func DecodeDataParallel(f *Frame, mcs wifi.MCS, psduLen int, decider SymbolDecid
 		frames[w], deciders[w] = fw, fork
 	}
 
+	obsStart := time.Now()
 	coded := make([]byte, nSyms*mcs.Ncbps)
 	errs := make([]error, nSyms)
 	var wg sync.WaitGroup
@@ -98,5 +100,6 @@ func DecodeDataParallel(f *Frame, mcs wifi.MCS, psduLen int, decider SymbolDecid
 			return Result{}, fmt.Errorf("rx: symbol %d: %w", k, err)
 		}
 	}
+	stageObserve.ObserveSince(obsStart)
 	return decodeCodedData(coded, mcs, psduLen, nSyms)
 }

@@ -5,6 +5,7 @@ import (
 	"math/cmplx"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/coding"
 	"repro/internal/modem"
@@ -91,6 +92,7 @@ func softSymbolLLRs(f *Frame, soft SoftSymbolDecider, k int, cons *modem.Constel
 // decodeLLRData runs the soft Viterbi over a packet's assembled LLR
 // stream and finishes the PSDU.
 func decodeLLRData(llrs []float64, mcs wifi.MCS, psduLen, nSyms int) (Result, error) {
+	defer stageDecode.ObserveSince(time.Now())
 	nInfo := nSyms * mcs.Ndbps
 	vit := coding.NewViterbi()
 	bits, err := vit.DecodePuncturedAnchored(llrs, mcs.Rate, nInfo, wifi.DataAnchorBit(psduLen, nInfo))
@@ -112,6 +114,7 @@ func DecodeDataSoft(f *Frame, mcs wifi.MCS, psduLen int, decider SymbolDecider) 
 	cons := modem.New(mcs.Scheme)
 	il := coding.MustInterleaver(mcs.Ncbps, mcs.Nbpsc)
 
+	obsStart := time.Now()
 	llrs := make([]float64, nSyms*mcs.Ncbps)
 	bitBuf := make([]byte, cons.BitsPerSymbol())
 	blk := make([]float64, mcs.Ncbps)
@@ -120,6 +123,7 @@ func DecodeDataSoft(f *Frame, mcs wifi.MCS, psduLen int, decider SymbolDecider) 
 			return Result{}, fmt.Errorf("rx: symbol %d: %w", k, err)
 		}
 	}
+	stageObserve.ObserveSince(obsStart)
 	return decodeLLRData(llrs, mcs, psduLen, nSyms)
 }
 
@@ -167,6 +171,7 @@ func DecodeDataSoftParallel(f *Frame, mcs wifi.MCS, psduLen int, decider SymbolD
 		frames[w], softs[w] = fw, sfork
 	}
 
+	obsStart := time.Now()
 	llrs := make([]float64, nSyms*mcs.Ncbps)
 	errs := make([]error, nSyms)
 	var wg sync.WaitGroup
@@ -193,6 +198,7 @@ func DecodeDataSoftParallel(f *Frame, mcs wifi.MCS, psduLen int, decider SymbolD
 			return Result{}, fmt.Errorf("rx: symbol %d: %w", k, err)
 		}
 	}
+	stageObserve.ObserveSince(obsStart)
 	return decodeLLRData(llrs, mcs, psduLen, nSyms)
 }
 

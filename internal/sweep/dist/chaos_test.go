@@ -69,7 +69,7 @@ func chaosWorker(t *testing.T, url string, tr *chaosTransport) *Worker {
 		RetryBase:   5 * time.Millisecond,
 		RetryMax:    50 * time.Millisecond,
 		HTTPClient:  &http.Client{Transport: tr},
-		Logf:        t.Logf,
+		Log:         testLogger(t),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -182,7 +182,7 @@ func TestNoIdlePolling(t *testing.T) {
 		Heartbeat:   50 * time.Millisecond,
 		LongPoll:    10 * time.Second,
 		RetryBase:   10 * time.Millisecond,
-		Logf:        t.Logf,
+		Log:         testLogger(t),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -230,7 +230,7 @@ func TestBackoffOnTransportError(t *testing.T) {
 		RetryBase:   25 * time.Millisecond,
 		RetryMax:    200 * time.Millisecond,
 		HTTPClient:  &http.Client{Transport: tr},
-		Logf:        t.Logf,
+		Log:         testLogger(t),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -7,6 +7,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -14,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/experiments"
@@ -58,9 +60,9 @@ type Config struct {
 	// registration instead. An empty Token leaves registration and admin
 	// open (localhost experimentation).
 	Token string
-	// Logf receives operational log lines (lease grants, re-issues,
-	// failures). Nil discards them.
-	Logf func(format string, args ...any)
+	// Log receives structured operational logs (lease grants, re-issues,
+	// failures) with component/job/worker/lease attrs. Nil discards them.
+	Log *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -82,8 +84,8 @@ func (c Config) withDefaults() Config {
 	if c.PoolSize <= 0 {
 		c.PoolSize = wifi.DefaultPoolSize
 	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
+	if c.Log == nil {
+		c.Log = slog.New(slog.DiscardHandler)
 	}
 	return c
 }
@@ -125,6 +127,16 @@ type workerState struct {
 // anything.
 type Coordinator struct {
 	cfg Config
+	log *slog.Logger
+
+	// Fleet counters, atomically maintained at the event sites and
+	// exported by Stats/WritePrometheus. Monotonic over this
+	// coordinator's life (journal replay does not reconstruct them).
+	leasesGranted atomic.Int64
+	leaseExpiries atomic.Int64
+	requeuedPts   atomic.Int64
+	revocations   atomic.Int64
+	sseDropped    atomic.Int64
 
 	// planPool satisfies Spec.Request for pooled specs at planning time;
 	// its entries encode lazily and the coordinator never runs a packet,
@@ -169,6 +181,7 @@ func New(cfg Config) (*Coordinator, error) {
 	cfg = cfg.withDefaults()
 	c := &Coordinator{
 		cfg:       cfg,
+		log:       cfg.Log.With("component", "coordinator"),
 		planPool:  wifi.NewWaveformPool(cfg.PoolSize, cfg.PoolSeed),
 		jobs:      make(map[string]*Job),
 		leaseJobs: make(map[string]string),
@@ -265,7 +278,7 @@ func (c *Coordinator) replayJournals() error {
 			// Neither holds any tallies we could resume, so skip it (the
 			// file is left for inspection) — but still burn its id so a
 			// future Submit cannot collide with the undeleted file.
-			c.cfg.Logf("dist: skipping journal %s: %v", path, err)
+			c.log.Warn("skipping unreadable journal", "path", path, "err", err)
 			if s := jobSeq(id); s > c.nextID {
 				c.nextID = s
 			}
@@ -307,7 +320,7 @@ func (c *Coordinator) replayJournals() error {
 		if s := jobSeq(id); s >= c.nextID {
 			c.nextID = s
 		}
-		c.cfg.Logf("dist: replayed job %s (%d/%d points journalled)", id, len(restored), len(j.points))
+		c.log.Info("replayed journalled job", "job", id, "restored", len(restored), "points", len(j.points))
 	}
 	return nil
 }
@@ -392,7 +405,7 @@ func (c *Coordinator) Submit(spec sweep.Spec) (*Job, error) {
 		j.mu.Unlock()
 	}
 	c.emit(FleetEvent{Type: "job-submit", Job: j.ID, Points: len(j.points), Detail: j.Spec.Experiment})
-	c.cfg.Logf("dist: job %s submitted (%s, %d points)", j.ID, j.Spec.Experiment, len(j.points))
+	c.log.Info("job submitted", "job", j.ID, "experiment", j.Spec.Experiment, "points", len(j.points))
 	c.wake() // parked lease requests should see the new work now
 	return j, nil
 }
@@ -475,7 +488,7 @@ func (c *Coordinator) registerWorker(name string) (*workerState, RegisterRespons
 	c.workers[ws.id] = ws
 	c.wmu.Unlock()
 	c.emit(FleetEvent{Type: "worker-join", Worker: ws.id, Detail: name})
-	c.cfg.Logf("dist: worker %s registered (%s)", ws.id, name)
+	c.log.Info("worker registered", "worker", ws.id, "name", name)
 	resp := RegisterResponse{
 		Worker:       ws.id,
 		Token:        ws.token,
@@ -494,7 +507,7 @@ func (c *Coordinator) pruneWorkersLocked(now time.Time) {
 	for id, ws := range c.workers {
 		if len(ws.leases) == 0 && now.Sub(ws.lastSeen) > horizon {
 			delete(c.workers, id)
-			c.cfg.Logf("dist: pruned silent worker %s (%s, last seen %v ago)", id, ws.name, now.Sub(ws.lastSeen).Round(time.Second))
+			c.log.Warn("pruned silent worker", "worker", id, "name", ws.name, "idle", now.Sub(ws.lastSeen).Round(time.Second))
 		}
 	}
 }
@@ -601,7 +614,7 @@ func (c *Coordinator) DrainWorker(id string) bool {
 	name := ws.name
 	c.wmu.Unlock()
 	c.emit(FleetEvent{Type: "worker-drain", Worker: id, Detail: name})
-	c.cfg.Logf("dist: worker %s (%s) draining", id, name)
+	c.log.Info("worker draining", "worker", id, "name", name)
 	c.wake() // its parked long-poll should return the drain directive now
 	return true
 }
@@ -627,7 +640,8 @@ func (c *Coordinator) RevokeWorker(id string) bool {
 	ws.leases = make(map[string]string)
 	c.wmu.Unlock()
 	c.emit(FleetEvent{Type: "worker-revoke", Worker: id, Detail: name})
-	c.cfg.Logf("dist: worker %s (%s) revoked, re-queuing %d lease(s)", id, name, len(orphans))
+	c.revocations.Add(1)
+	c.log.Warn("worker revoked", "worker", id, "name", name, "requeued_leases", len(orphans))
 	c.requeueOrphans(orphans, "worker revoked")
 	c.wake()
 	return true
@@ -645,7 +659,7 @@ func (c *Coordinator) deregisterWorker(ws *workerState) {
 	ws.leases = make(map[string]string)
 	c.wmu.Unlock()
 	c.emit(FleetEvent{Type: "worker-leave", Worker: ws.id, Detail: ws.name})
-	c.cfg.Logf("dist: worker %s (%s) deregistered", ws.id, ws.name)
+	c.log.Info("worker deregistered", "worker", ws.id, "name", ws.name)
 	if len(orphans) > 0 {
 		c.requeueOrphans(orphans, "worker deregistered")
 		c.wake()
@@ -915,7 +929,9 @@ func (j *Job) grantLease(ws *workerState, now time.Time, activeWorkers int) *Lea
 	}
 	for id, l := range j.leases {
 		if now.After(l.expires) {
-			cfg.Logf("dist: job %s: lease %s (worker %s) expired, re-issuing %d point(s)", j.ID, id, l.worker, len(l.points))
+			j.coord.leaseExpiries.Add(1)
+			j.coord.requeuedPts.Add(int64(len(l.points)))
+			j.coord.log.Warn("lease expired, re-issuing", "job", j.ID, "lease", id, "worker", l.worker, "points", len(l.points))
 			delete(j.leases, id)
 			j.coord.forgetLease(id)
 			j.coord.untrackLease(l.worker, id)
@@ -959,7 +975,8 @@ func (j *Job) grantLease(ws *workerState, now time.Time, activeWorkers int) *Lea
 		out.PoolSeed = cfg.PoolSeed
 	}
 	j.coord.emit(FleetEvent{Type: "lease-grant", Worker: ws.id, Job: j.ID, Lease: l.id, Points: len(points)})
-	cfg.Logf("dist: job %s: leased points %v to %s as %s", j.ID, points, ws.id, l.id)
+	j.coord.leasesGranted.Add(1)
+	j.coord.log.Info("lease granted", "job", j.ID, "lease", l.id, "worker", ws.id, "points", len(points), "first", points[0])
 	return out
 }
 
@@ -975,7 +992,9 @@ func (j *Job) dropLease(leaseID, reason string) {
 	delete(j.leases, leaseID)
 	j.coord.forgetLease(leaseID)
 	j.coord.emit(FleetEvent{Type: "lease-expire", Worker: l.worker, Job: j.ID, Lease: leaseID, Points: len(l.points), Detail: reason})
-	j.coord.cfg.Logf("dist: job %s: lease %s dropped (%s), re-queuing %d point(s)", j.ID, leaseID, reason, len(l.points))
+	j.coord.leaseExpiries.Add(1)
+	j.coord.requeuedPts.Add(int64(len(l.points)))
+	j.coord.log.Warn("lease dropped", "job", j.ID, "lease", leaseID, "reason", reason, "points", len(l.points))
 	j.rebuildPending()
 }
 
@@ -1077,7 +1096,7 @@ func (j *Job) result(res LeaseResult) error {
 		if live {
 			j.failLocked(fmt.Errorf("dist: worker %s failed lease %s: %s", res.Worker, res.Lease, res.Error))
 		} else {
-			j.coord.cfg.Logf("dist: job %s: dropping stale error from %s: %s", j.ID, res.Worker, res.Error)
+			j.coord.log.Warn("dropping stale lease error", "job", j.ID, "worker", res.Worker, "err", res.Error)
 		}
 		return nil
 	}
@@ -1285,7 +1304,7 @@ func (c *Coordinator) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(status)
 		if err := json.NewEncoder(w).Encode(v); err != nil {
-			c.cfg.Logf("dist: writing response: %v", err)
+			c.log.Warn("writing response", "err", err)
 		}
 	}
 	readJSON := func(w http.ResponseWriter, r *http.Request, v any) bool {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -15,6 +16,18 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/sweep"
 )
+
+// testLogger bridges slog into the test log at debug level.
+func testLogger(t *testing.T) *slog.Logger {
+	return slog.New(slog.NewTextHandler(testWriter{t}, &slog.HandlerOptions{Level: slog.LevelDebug}))
+}
+
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
 
 // testSpec is the reduced-fidelity fig8 sweep the package tests run: two
 // SIRs × three MCS modes (six points), four packets each.
@@ -46,7 +59,7 @@ func testCoordinator(t *testing.T, cfg Config) (*Coordinator, *httptest.Server) 
 	if cfg.LeaseTTL == 0 {
 		cfg.LeaseTTL = 10 * time.Second
 	}
-	cfg.Logf = t.Logf
+	cfg.Log = testLogger(t)
 	c, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -65,7 +78,7 @@ func testWorker(t *testing.T, url, token string) *Worker {
 		Heartbeat:   50 * time.Millisecond,
 		RetryBase:   10 * time.Millisecond,
 		RetryMax:    100 * time.Millisecond,
-		Logf:        t.Logf,
+		Log:         testLogger(t),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -272,7 +285,7 @@ func TestJournalReplayAfterKill(t *testing.T) {
 	want := directTable(t, spec)
 	dir := t.TempDir()
 
-	first, err := New(Config{LeasePoints: 1, LeaseTTL: 10 * time.Second, JournalDir: dir, Logf: t.Logf})
+	first, err := New(Config{LeasePoints: 1, LeaseTTL: 10 * time.Second, JournalDir: dir, Log: testLogger(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,7 +320,7 @@ func TestJournalReplayAfterKill(t *testing.T) {
 	}
 	f.Close()
 
-	second, err := New(Config{LeasePoints: 1, LeaseTTL: 10 * time.Second, JournalDir: dir, Logf: t.Logf})
+	second, err := New(Config{LeasePoints: 1, LeaseTTL: 10 * time.Second, JournalDir: dir, Log: testLogger(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +339,7 @@ func TestJournalReplayAfterKill(t *testing.T) {
 	}
 	// A further restart over the finished journal restores the job as
 	// done without any worker.
-	third, err := New(Config{JournalDir: dir, Logf: t.Logf})
+	third, err := New(Config{JournalDir: dir, Log: testLogger(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,7 +369,7 @@ func TestJournalReplaySkipsUnparsable(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "j3.jsonl"), []byte("not a journal\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	c, err := New(Config{JournalDir: dir, Logf: t.Logf})
+	c, err := New(Config{JournalDir: dir, Log: testLogger(t)})
 	if err != nil {
 		t.Fatalf("unparsable journals crash the coordinator: %v", err)
 	}

@@ -38,6 +38,7 @@ func (c *Coordinator) emit(ev FleetEvent) {
 		default:
 			delete(c.fleetSubs, id)
 			close(ch)
+			c.sseDropped.Add(1)
 		}
 	}
 }
@@ -100,11 +101,11 @@ func (c *Coordinator) closeFleetSubs() {
 // The stream runs until the client disconnects or the coordinator shuts
 // down.
 func (c *Coordinator) fleetEventsHandler(w http.ResponseWriter, r *http.Request) {
-	fl, ok := w.(http.Flusher)
-	if !ok {
+	if _, ok := w.(http.Flusher); !ok {
 		http.Error(w, "streaming unsupported by this connection", http.StatusInternalServerError)
 		return
 	}
+	rc := http.NewResponseController(w)
 	after := -1
 	if v := r.Header.Get("Last-Event-ID"); v != "" {
 		// A malformed id is ignored (full replay) rather than rejected:
@@ -123,14 +124,15 @@ func (c *Coordinator) fleetEventsHandler(w http.ResponseWriter, r *http.Request)
 	send := func(ev FleetEvent) bool {
 		data, err := json.Marshal(ev)
 		if err != nil {
-			c.cfg.Logf("dist: marshalling fleet event: %v", err)
+			c.log.Warn("marshalling fleet event", "err", err)
 			return false
 		}
 		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); err != nil {
 			return false
 		}
-		fl.Flush()
-		return true
+		// Flush errors mean the client is gone: unsubscribe now instead
+		// of spinning until the next event's write fails.
+		return rc.Flush() == nil
 	}
 	for _, ev := range past {
 		if !send(ev) {

@@ -1,0 +1,146 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestFleetRingOldLastEventIDReplaysFromTail pins the retention
+// contract: a subscriber resuming after a Seq older than the ring's
+// tail replays from the oldest retained event, not from zero and not
+// with a gaping error.
+func TestFleetRingOldLastEventIDReplaysFromTail(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const extra = 100
+	for i := 0; i < fleetRetain+extra; i++ {
+		c.emit(FleetEvent{Type: "test"})
+	}
+	past, _, cancel := c.SubscribeFleet(5) // long since trimmed away
+	defer cancel()
+	if len(past) != fleetRetain {
+		t.Fatalf("replay length = %d, want %d", len(past), fleetRetain)
+	}
+	if got, want := past[0].Seq, extra; got != want {
+		t.Errorf("oldest replayed Seq = %d, want %d", got, want)
+	}
+	if got, want := past[len(past)-1].Seq, fleetRetain+extra-1; got != want {
+		t.Errorf("newest replayed Seq = %d, want %d", got, want)
+	}
+	if s := c.Stats(); s.FleetEvents != fleetRetain+extra {
+		t.Errorf("Stats().FleetEvents = %d, want %d", s.FleetEvents, fleetRetain+extra)
+	}
+}
+
+// TestFleetSlowSubscriberDroppedOnce: a subscriber that never drains is
+// dropped exactly once — channel closed, removed from the registry, the
+// drop counter incremented — and later emits neither panic nor re-drop.
+func TestFleetSlowSubscriberDroppedOnce(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, ch, cancel := c.SubscribeFleet(-1)
+	defer cancel()
+	// Fill the subscriber buffer, then overflow it and keep emitting.
+	for i := 0; i < cap(ch)+10; i++ {
+		c.emit(FleetEvent{Type: "test"})
+	}
+	if got := c.Stats().SSEDropped; got != 1 {
+		t.Errorf("SSEDropped = %d, want 1", got)
+	}
+	if got := c.Stats().SSESubscribers; got != 0 {
+		t.Errorf("SSESubscribers = %d, want 0", got)
+	}
+	// Drain to the close: exactly cap(ch) buffered events then closed.
+	n := 0
+	for range ch {
+		n++
+	}
+	if n != cap(ch) {
+		t.Errorf("drained %d buffered events, want %d", n, cap(ch))
+	}
+	// cancel after the drop must not double-close or panic.
+	cancel()
+	c.emit(FleetEvent{Type: "test"})
+}
+
+// TestFleetEventsHandlerOldLastEventID drives the SSE endpoint with a
+// Last-Event-ID older than the ring tail against a closed coordinator
+// (so the stream ends after replay) and checks the first replayed id.
+func TestFleetEventsHandlerOldLastEventID(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const extra = 7
+	for i := 0; i < fleetRetain+extra; i++ {
+		c.emit(FleetEvent{Type: "test"})
+	}
+	c.Close()
+	req := httptest.NewRequest(http.MethodGet, "/v1/dist/events", nil)
+	req.Header.Set("Last-Event-ID", "2")
+	rec := httptest.NewRecorder()
+	c.fleetEventsHandler(rec, req)
+	body := rec.Body.String()
+	if !strings.HasPrefix(body, fmt.Sprintf("id: %d\n", extra)) {
+		t.Errorf("first replayed event:\n%.80s\nwant id: %d", body, extra)
+	}
+	if strings.Count(body, "id: ") != fleetRetain {
+		t.Errorf("replayed %d events, want %d", strings.Count(body, "id: "), fleetRetain)
+	}
+}
+
+// failFlushWriter implements http.ResponseWriter, http.Flusher and
+// FlushError; every flush fails, simulating a disconnected SSE client
+// whose writes still land in the kernel buffer.
+type failFlushWriter struct {
+	hdr     http.Header
+	writes  int
+	flushes int
+}
+
+func (w *failFlushWriter) Header() http.Header {
+	if w.hdr == nil {
+		w.hdr = make(http.Header)
+	}
+	return w.hdr
+}
+func (w *failFlushWriter) Write(p []byte) (int, error) { w.writes++; return len(p), nil }
+func (w *failFlushWriter) WriteHeader(int)             {}
+func (w *failFlushWriter) Flush()                      {}
+func (w *failFlushWriter) FlushError() error {
+	w.flushes++
+	return errors.New("client gone")
+}
+
+// TestFleetEventsHandlerStopsOnFlushError pins the disconnect fix: a
+// failing flush ends the stream after the first event instead of
+// replaying (or worse, spinning on) the rest.
+func TestFleetEventsHandlerStopsOnFlushError(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		c.emit(FleetEvent{Type: "test"})
+	}
+	c.Close()
+	w := &failFlushWriter{}
+	req := httptest.NewRequest(http.MethodGet, "/v1/dist/events", nil)
+	c.fleetEventsHandler(w, req)
+	if w.flushes != 1 {
+		t.Errorf("flush attempts = %d, want 1 (stream must end at the first failed flush)", w.flushes)
+	}
+	if w.writes != 1 {
+		t.Errorf("event writes = %d, want 1", w.writes)
+	}
+}

@@ -171,7 +171,7 @@ func TestCoordinatorRestartWhileDraining(t *testing.T) {
 	}))
 	t.Cleanup(srv.Close)
 
-	first, err := New(Config{LeasePoints: 2, LeaseTTL: 60 * time.Second, JournalDir: dir, Logf: t.Logf})
+	first, err := New(Config{LeasePoints: 2, LeaseTTL: 60 * time.Second, JournalDir: dir, Log: testLogger(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +186,7 @@ func TestCoordinatorRestartWhileDraining(t *testing.T) {
 	w.Drain()
 
 	// Kill -9 the first coordinator: swap the handler, never Close it.
-	second, err := New(Config{LeasePoints: 2, LeaseTTL: 60 * time.Second, JournalDir: dir, Logf: t.Logf})
+	second, err := New(Config{LeasePoints: 2, LeaseTTL: 60 * time.Second, JournalDir: dir, Log: testLogger(t)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -103,6 +103,22 @@
 // every job at its first unleased point — completed points are never
 // recomputed. The worker registry is deliberately not journalled:
 // workers re-register on the first 401 from the new coordinator life.
+//
+// # Observability
+//
+// Both sides log through log/slog (Config.Log / WorkerConfig.Log, nil
+// discards) with component/job/worker/lease attributes on every event,
+// and keep atomic operational counters that cost nothing to the
+// protocol paths. Coordinator.Stats() aggregates the fleet view —
+// workers by state, in-flight leases, queue depth, the adaptive lease
+// estimate, grant/expiry/re-queue/revocation totals, fleet-stream
+// subscriber and drop counts — and Coordinator.WritePrometheus renders
+// it as cpr_dist_* series; Worker.Stats()/WritePrometheus do the same
+// for a worker's lease/poll/retry/re-registration/result counters
+// (cpr_dist_worker_*). Both are instance-scoped (not in the process
+// registry) so many coordinators can coexist in one test binary;
+// cmd/cprecycle-bench mounts them on its authenticated /metrics and
+// /v1/status endpoints.
 package dist
 
 import "repro/internal/sweep"

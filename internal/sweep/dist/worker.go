@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"os"
@@ -50,8 +51,9 @@ type WorkerConfig struct {
 	// timeouts). Client-level timeouts should exceed the long-poll
 	// bound; per-request deadlines are set via contexts.
 	HTTPClient *http.Client
-	// Logf receives operational log lines. Nil discards them.
-	Logf func(format string, args ...any)
+	// Log receives structured operational logs with component/worker/
+	// lease attrs. Nil discards them.
+	Log *slog.Logger
 }
 
 func (c WorkerConfig) withDefaults() (WorkerConfig, error) {
@@ -77,8 +79,8 @@ func (c WorkerConfig) withDefaults() (WorkerConfig, error) {
 		// the long-poll bound. Per-request contexts carry the deadlines.
 		c.HTTPClient = &http.Client{}
 	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
+	if c.Log == nil {
+		c.Log = slog.New(slog.DiscardHandler)
 	}
 	return c, nil
 }
@@ -104,14 +106,18 @@ var errRevoked = errors.New("dist: worker revoked by coordinator")
 // protocol is built around.
 type Worker struct {
 	cfg    WorkerConfig
+	log    *slog.Logger
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 	doneCh chan struct{}
 
-	leases atomic.Int64
-	polls  atomic.Int64
-	drain  atomic.Bool
+	leases  atomic.Int64
+	polls   atomic.Int64
+	retries atomic.Int64 // backoff sleeps taken (failed coordinator calls)
+	reregs  atomic.Int64 // transparent re-registrations after a 401
+	results atomic.Int64 // lease results delivered
+	drain   atomic.Bool
 
 	// pollCancel interrupts a parked long-poll so a drain takes effect
 	// immediately instead of after the poll deadline.
@@ -141,7 +147,13 @@ func StartWorker(cfg WorkerConfig) (*Worker, error) {
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	w := &Worker{cfg: cfg, ctx: ctx, cancel: cancel, doneCh: make(chan struct{})}
+	w := &Worker{
+		cfg:    cfg,
+		log:    cfg.Log.With("component", "worker", "name", cfg.ID),
+		ctx:    ctx,
+		cancel: cancel,
+		doneCh: make(chan struct{}),
+	}
 	w.wg.Add(1)
 	go w.loop()
 	return w, nil
@@ -179,7 +191,7 @@ func (w *Worker) Drain() {
 	if w.drain.Swap(true) {
 		return
 	}
-	w.cfg.Logf("dist: worker %s: draining", w.cfg.ID)
+	w.log.Info("draining")
 	// Unpark a waiting long-poll so the drain is immediate.
 	w.pollMu.Lock()
 	if w.pollCancel != nil {
@@ -213,15 +225,15 @@ func (w *Worker) loop() {
 		switch {
 		case err != nil:
 			if errors.Is(err, errRevoked) {
-				w.cfg.Logf("dist: worker %s: revoked, terminating", w.cfg.ID)
+				w.log.Warn("revoked, terminating")
 				return
 			}
 			if w.ctx.Err() == nil && !w.drain.Load() {
-				w.cfg.Logf("dist: worker %s: lease request: %v", w.cfg.ID, err)
+				w.log.Warn("lease request failed", "err", err)
 				w.backoff(&attempt)
 			}
 		case drain:
-			w.cfg.Logf("dist: worker %s: coordinator requested drain", w.cfg.ID)
+			w.log.Info("coordinator requested drain")
 			w.drain.Store(true)
 		case lease != nil:
 			attempt = 0
@@ -247,6 +259,7 @@ func (w *Worker) backoff(attempt *int) {
 	} else {
 		*attempt++
 	}
+	w.retries.Add(1)
 	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
 	select {
 	case <-w.ctx.Done():
@@ -278,8 +291,7 @@ func (w *Worker) register(ctx context.Context) error {
 			w.advPoll = time.Duration(resp.LongPollSec * float64(time.Second))
 			w.registered = true
 			w.authMu.Unlock()
-			w.cfg.Logf("dist: worker %s: registered as %s (heartbeat %v, long-poll %v)",
-				w.cfg.ID, resp.Worker, w.advHB, w.advPoll)
+			w.log.Info("registered", "worker", resp.Worker, "heartbeat", w.advHB, "long_poll", w.advPoll)
 			return nil
 		}
 		if err == nil && (status == http.StatusUnauthorized || status == http.StatusForbidden) {
@@ -289,7 +301,7 @@ func (w *Worker) register(ctx context.Context) error {
 		if ctx.Err() != nil {
 			return ctx.Err() // the caller's deadline or a drain unpark, not a coordinator fault
 		}
-		w.cfg.Logf("dist: worker %s: registration failed (err=%v status=%d), retrying", w.cfg.ID, err, status)
+		w.log.Warn("registration failed, retrying", "err", err, "status", status)
 		w.backoff(&attempt)
 	}
 }
@@ -408,7 +420,7 @@ func (w *Worker) runLease(l *Lease) {
 				resp, status, err := w.heartbeat(Heartbeat{Lease: l.ID, Worker: w.cfg.ID, DonePackets: job.Progress().DonePackets})
 				switch {
 				case errors.Is(err, errRevoked):
-					w.cfg.Logf("dist: worker %s: revoked mid-lease, abandoning %s", w.cfg.ID, l.ID)
+					w.log.Warn("revoked mid-lease, abandoning", "lease", l.ID, "job", l.Job)
 					job.Cancel()
 					w.drain.Store(true) // loop exits; deregister will 403 and be dropped
 					w.cancel()
@@ -417,13 +429,13 @@ func (w *Worker) runLease(l *Lease) {
 					// Transient: the next tick is the retry; the lease TTL
 					// is several heartbeats deep, so occasional misses are
 					// harmless.
-					w.cfg.Logf("dist: worker %s: heartbeat %s: %v", w.cfg.ID, l.ID, err)
+					w.log.Warn("heartbeat failed", "lease", l.ID, "err", err)
 				case status == http.StatusGone:
-					w.cfg.Logf("dist: worker %s: lease %s re-issued elsewhere, abandoning", w.cfg.ID, l.ID)
+					w.log.Warn("lease re-issued elsewhere, abandoning", "lease", l.ID, "job", l.Job)
 					job.Cancel()
 					return
 				case resp.Drain && !w.drain.Load():
-					w.cfg.Logf("dist: worker %s: drain requested mid-lease, finishing %s first", w.cfg.ID, l.ID)
+					w.log.Info("drain requested mid-lease, finishing first", "lease", l.ID, "job", l.Job)
 					w.drain.Store(true)
 				}
 			}
@@ -463,18 +475,19 @@ func (w *Worker) report(res *LeaseResult) {
 		status, err := w.authPost(ctx, "/v1/dist/result", res, nil)
 		cancelReq()
 		if errors.Is(err, errRevoked) {
-			w.cfg.Logf("dist: worker %s: result %s refused: revoked", w.cfg.ID, res.Lease)
+			w.log.Warn("result refused: revoked", "lease", res.Lease)
 			return
 		}
 		if err == nil && status < 500 {
 			if status >= 400 {
-				w.cfg.Logf("dist: worker %s: result %s rejected with %d", w.cfg.ID, res.Lease, status)
+				w.log.Warn("result rejected", "lease", res.Lease, "status", status)
+			} else {
+				w.results.Add(1)
 			}
 			return
 		}
 		if tries >= 6 || w.ctx.Err() != nil {
-			w.cfg.Logf("dist: worker %s: dropping result %s after %d attempts (err=%v status=%d)",
-				w.cfg.ID, res.Lease, tries+1, err, status)
+			w.log.Warn("dropping undeliverable result", "lease", res.Lease, "attempts", tries+1, "err", err, "status", status)
 			return
 		}
 		w.backoff(&attempt)
@@ -553,12 +566,12 @@ func (w *Worker) deregister() {
 		status, err := w.authPost(ctx, "/v1/dist/deregister", struct{}{}, nil)
 		cancel()
 		if errors.Is(err, errRevoked) || (err == nil && status < 500) {
-			w.cfg.Logf("dist: worker %s: deregistered (%s)", w.cfg.ID, id)
+			w.log.Info("deregistered", "worker", id)
 			return
 		}
 		w.backoff(&attempt)
 	}
-	w.cfg.Logf("dist: worker %s: deregister never reached the coordinator (registry will prune)", w.cfg.ID)
+	w.log.Warn("deregister never reached the coordinator (registry will prune)")
 }
 
 // ---- HTTP plumbing ----
@@ -573,7 +586,8 @@ func (w *Worker) authPost(ctx context.Context, path string, body, out any) (int,
 	}
 	status, err := w.rawPost(ctx, path, auth, body, out)
 	if err == nil && status == http.StatusUnauthorized {
-		w.cfg.Logf("dist: worker %s: token unknown (coordinator restart?), re-registering", w.cfg.ID)
+		w.log.Warn("token unknown (coordinator restart?), re-registering")
+		w.reregs.Add(1)
 		w.forgetRegistration()
 		if auth, err = w.bearer(ctx); err != nil {
 			return 0, err

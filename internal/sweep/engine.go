@@ -262,6 +262,8 @@ func (e *Engine) submit(ctx context.Context, spec Spec, subset []int) (*Job, err
 	e.jobs[j.ID] = j
 	e.order = append(e.order, j.ID)
 	e.mu.Unlock()
+	jobsSubmitted.Inc()
+	jobsRunning.Add(1)
 
 	// Decompose incomplete points into shards and count them before
 	// feeding: completeShard must know each point's shard total.
@@ -522,6 +524,7 @@ func (j *Job) completeShard(point int, counts []int, n int, err error) {
 		}
 	}
 	done := int(j.donePoints.Add(1))
+	pointsDone.Inc()
 	j.publishPoint(point, nTotal, okCopy, done)
 	if done == j.active {
 		j.finalize()
@@ -542,6 +545,8 @@ func (j *Job) fail(err error) {
 	if already {
 		return
 	}
+	jobsFailed.Inc()
+	jobsRunning.Add(-1)
 	j.cancel()
 	if j.ckpt != nil {
 		j.ckpt.Close()
@@ -582,6 +587,12 @@ func (j *Job) finalize() {
 	j.elapsed = time.Since(j.start)
 	j.closeSubs()
 	j.mu.Unlock()
+	if err != nil {
+		jobsFailed.Inc()
+	} else {
+		jobsDone.Inc()
+	}
+	jobsRunning.Add(-1)
 	j.cancel()
 	if j.ckpt != nil {
 		j.ckpt.Close()

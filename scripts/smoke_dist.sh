@@ -12,6 +12,7 @@ set -eu
 
 GO=${GO:-go}
 PORT=${SMOKE_DIST_PORT:-18473}
+OBS_PORT=$((PORT + 1))
 TOKEN=smoke-dist-token
 SPEC_FLAGS="-experiment fig8 -packets 8 -bytes 60 -seed 1 -pool"
 
@@ -38,7 +39,10 @@ PIDS="$PIDS $!"
 "$BIN" -worker -join "http://127.0.0.1:$PORT" -token "$TOKEN" >"$TMP/w1.log" 2>&1 &
 W1=$!
 PIDS="$PIDS $W1"
-"$BIN" -worker -join "http://127.0.0.1:$PORT" -token "$TOKEN" >"$TMP/w2.log" 2>&1 &
+# Worker 2 also serves its observability side endpoint so the smoke can
+# scrape a live worker mid-sweep.
+"$BIN" -worker -join "http://127.0.0.1:$PORT" -token "$TOKEN" \
+    -obs "127.0.0.1:$OBS_PORT" >"$TMP/w2.log" 2>&1 &
 W2=$!
 PIDS="$PIDS $W2"
 
@@ -88,6 +92,30 @@ echo "== chaos: kill -9 worker 1 (lease abandoned to TTL re-issue) =="
 kill -9 "$W1" 2>/dev/null || true
 
 wait_points 6
+echo "== scraping /metrics mid-sweep (coordinator + worker 2) =="
+# Both scrapes must be valid Prometheus text with real activity: the
+# coordinator has granted leases, and worker 2 — the only live worker
+# since w1 died — has completed sweep points. promcheck retries absorb
+# the scrape-vs-progress race.
+"$GO" run ./cmd/promcheck -url "http://127.0.0.1:$PORT/metrics" -token "$TOKEN" \
+    -retries 50 \
+    -require cpr_dist_leases_granted_total \
+    -require cpr_dist_fleet_events_total || {
+    echo "coordinator /metrics scrape failed" >&2
+    dump_logs
+    exit 1
+}
+"$GO" run ./cmd/promcheck -url "http://127.0.0.1:$OBS_PORT/metrics" -token "$TOKEN" \
+    -retries 50 \
+    -require cpr_sweep_points_done_total \
+    -require cpr_sweep_packets_total \
+    -require cpr_dist_worker_leases_total || {
+    echo "worker /metrics scrape failed" >&2
+    dump_logs
+    exit 1
+}
+echo "   both expositions parse; lease + point series are live"
+
 echo "== chaos: kill -TERM worker 2 (graceful drain) =="
 kill -TERM "$W2" 2>/dev/null || true
 
