@@ -21,20 +21,42 @@
 //
 //	cprecycle-bench -experiment fig8 -packets 2000 -bytes 400
 //	cprecycle-bench -experiment all -packets 200
-//	cprecycle-bench -experiment fig8 -checkpoint fig8.ckpt   # resumable
+//	cprecycle-bench -experiment fig8 -store results/         # resumable
 //	cprecycle-bench -serve :8080                             # HTTP service
-//	cprecycle-bench -coordinator :8080 -journal jobs/        # distributed
+//	cprecycle-bench -coordinator :8080 -store jobs/          # distributed
 //	cprecycle-bench -worker -join http://host:8080           # …its workers
 //	cprecycle-bench -submit -join http://host:8080 -experiment fig8
 //	cprecycle-bench -fleet -join http://host:8080            # list workers
 //	cprecycle-bench -drain w1 -join http://host:8080         # graceful scale-down
 //	cprecycle-bench -list
 //
-// Checkpoints (-checkpoint, sweep experiments only) are JSON-lines files:
-// a header line {"v":1,"spec":{…},"points":N} plus one
-// {"point":i,"n":…,"ok":[…]} line per completed point, appended as points
-// finish. Re-running with the same flags and path resumes at the first
-// incomplete point; a mismatched spec is refused.
+// # The result store
+//
+// -store DIR names a content-addressed result store (see
+// internal/sweep/store for the binary format): as each measurement
+// point completes, its tally is persisted under a key derived from the
+// sweep plan's fingerprint, the pool identity and the point's identity.
+// Re-running any sweep over the same directory restores every stored
+// point without recomputing it — a kill -9 mid-sweep loses at most the
+// points in flight, and a finished sweep replays entirely from the
+// store. Because records are content-addressed, one directory serves
+// every experiment, seed and fidelity safely ('-experiment all -store
+// results/' just works); changing any spec knob simply misses the store
+// and computes fresh. Stored tallies are bit-identical to a direct run,
+// so resumed tables match uninterrupted ones byte for byte.
+//
+// Resumable quickstart (interrupt and re-run at will):
+//
+//	$ cprecycle-bench -experiment fig8 -packets 2000 -store results/
+//	^C                                      # or kill -9, power loss, …
+//	$ cprecycle-bench -experiment fig8 -packets 2000 -store results/
+//	                                        # finished points restore, rest resume
+//
+// Migrating from pre-store versions: point -store at the old -journal
+// directory. Any legacy JSON-lines journals (*.jsonl) found there are
+// imported into the store once and renamed *.jsonl.migrated; unparsable
+// files are left untouched and logged. The deprecated -journal flag is
+// an alias for -store during the transition.
 //
 // Serve mode (-serve ADDR) exposes an in-process engine over HTTP;
 // coordinator mode (-coordinator ADDR) serves the identical client API
@@ -63,8 +85,8 @@
 //
 // The spec JSON mirrors sweep.Spec: {"experiment":"fig8","packets":2000,
 // "psdu_bytes":400,"seed":1,"axis":[…],"receivers":[…],"mcs":[…],
-// "pool":true}. Checkpoint paths are rejected over HTTP (they name
-// server-side files); durability in coordinator mode comes from -journal.
+// "pool":true}. Specs never name server-side paths; durability comes
+// from the server's own -store flag in both serve and coordinator mode.
 //
 // # Distributed mode
 //
@@ -93,16 +115,20 @@
 // -token S sets the fleet join secret: the coordinator requires it on
 // registration and admin calls (and -serve requires it on everything),
 // -worker presents it to register, and -submit/-fleet/-drain/-revoke
-// send it. -journal DIR makes coordinator jobs durable — each job
-// appends completed points to DIR/<id>.jsonl and a restarted coordinator
-// replays the directory, resuming every job at its first unjournalled
-// point (workers notice the restart via 401 and re-register on their
-// own).
+// send it. -store DIR makes coordinator jobs durable — completed points
+// land in the shared content-addressed store and a small JSON manifest
+// per job records its spec, so a restarted (even kill -9'd) coordinator
+// rebuilds every job from the store index and re-leases only the
+// missing points (workers notice the restart via 401 and re-register on
+// their own). Because the store is content-addressed, resubmitting an
+// identical sweep — same process or weeks later — completes from the
+// store without granting a single lease, and a point another job
+// already computed is never sent to the fleet twice.
 //
 // Two-machine quickstart (machine A coordinates and serves results,
 // machine B computes; add workers anywhere for more throughput):
 //
-//	A$ cprecycle-bench -coordinator :8080 -journal /var/lib/cpr -token S
+//	A$ cprecycle-bench -coordinator :8080 -store /var/lib/cpr -token S
 //	B$ cprecycle-bench -worker -join http://A:8080 -token S
 //	A$ cprecycle-bench -submit -join http://localhost:8080 -token S \
 //	       -experiment fig8 -packets 2000 -bytes 400
@@ -124,7 +150,15 @@
 //
 // Either way the worker completes its in-flight lease (the result is
 // accepted), takes no new ones, and deregisters — nothing waits for a
-// lease TTL. -revoke w1 is the abrupt variant for a misbehaving worker:
+// lease TTL. -mem-budget N (MiB) makes a worker police itself: it
+// samples its own heap via runtime/metrics and triggers the same
+// graceful drain when live heap exceeds the budget, trading capacity
+// for not meeting the kernel's OOM killer. A slow worker whose lease
+// was re-issued elsewhere may still deliver its result late; the
+// coordinator accepts the first completion of each point, counts the
+// rest as dedupes, and cancels redundant in-flight leases whose points
+// have all completed elsewhere. -revoke w1 is the abrupt variant for a
+// misbehaving worker:
 // its token dies immediately, its leases re-queue, and any late result
 // it sends is refused. GET /v1/dist/events (join-secret auth) streams
 // fleet-wide lifecycle events (worker join/drain/revoke/leave, lease
@@ -142,7 +176,9 @@
 // counters cpr_sweep_jobs_total{state=…}), cpr_dist_* for the
 // coordinator's fleet view (workers by state, in-flight leases, queue
 // depth, the adaptive lease estimate, expiry/re-queue/revocation
-// counters, SSE subscriber gauges) and cpr_dist_worker_* for a
+// counters, SSE subscriber gauges), cpr_store_* for the result store
+// (hits, misses, dedupes, late_accepts and corrupt_records counters)
+// and cpr_dist_worker_* for a
 // worker's own lease/poll/retry/re-registration counters. Workers have
 // no API address of their own, so -obs ADDR starts a metrics side
 // server on the worker:
@@ -177,6 +213,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/sweep"
 	"repro/internal/sweep/dist"
+	"repro/internal/sweep/store"
 )
 
 // lg is the process logger, reconfigured in main from -log-level and
@@ -223,7 +260,7 @@ func main() {
 		poolSize = flag.Int("pool-size", 0, "pre-encoded waveforms per (grid, MCS); 0 = default")
 		workers  = flag.Int("workers", 0, "engine worker goroutines; 0 = GOMAXPROCS")
 		shardPk  = flag.Int("shard", 0, "packets per engine shard; 0 = default")
-		ckpt     = flag.String("checkpoint", "", "JSON-lines checkpoint path for a single sweep experiment (resume-capable)")
+		storeDir = flag.String("store", "", "content-addressed result store directory: sweep experiments checkpoint per-point tallies here and resume from them; legacy *.jsonl journals found in the directory are migrated once")
 		serve    = flag.String("serve", "", "serve the sweep engine over HTTP on this address instead of running experiments")
 
 		coordAddr = flag.String("coordinator", "", "serve a distributed sweep coordinator on this address (no local compute; workers join with -worker -join)")
@@ -231,7 +268,8 @@ func main() {
 		submitFlg = flag.Bool("submit", false, "submit the selected sweep experiment to the -join server, stream per-point progress and print the table")
 		join      = flag.String("join", "", "server base URL (e.g. http://host:8080) for -worker, -submit and the fleet admin flags")
 		token     = flag.String("token", "", "fleet join secret: enforced by -serve/-coordinator when set, presented by -worker/-submit and the fleet admin flags")
-		journal   = flag.String("journal", "", "coordinator journal directory: jobs persist here and a restarted coordinator resumes them")
+		journal   = flag.String("journal", "", "deprecated alias for -store (the JSON-lines journal was replaced by the binary result store)")
+		memBudget = flag.Int64("mem-budget", 0, "worker heap budget in MiB: the worker samples runtime/metrics heap use and gracefully self-drains when it exceeds the budget; 0 = unlimited")
 		leasePts  = flag.Int("lease-points", 0, "pin every worker lease to this many plan points; 0 = adaptive sizing toward -lease-target of wall-clock work")
 		leaseTgt  = flag.Duration("lease-target", 0, "wall-clock work an adaptive lease aims for; 0 = default (4× heartbeat interval)")
 		leaseTTL  = flag.Duration("lease-ttl", 0, "re-issue a lease after this long without a heartbeat; 0 = default (30s)")
@@ -258,6 +296,11 @@ func main() {
 		lg = slog.New(slog.NewTextHandler(os.Stderr, hopts))
 	}
 
+	if *storeDir == "" && *journal != "" {
+		*storeDir = *journal
+		lg.Warn("-journal is deprecated: treating it as -store (journals are migrated into the binary store)", "dir", *storeDir)
+	}
+
 	reg := registry()
 	names := make([]string, 0, len(reg))
 	for n := range reg {
@@ -281,7 +324,7 @@ func main() {
 			LeaseTTL:    *leaseTTL,
 			PoolSize:    *poolSize,
 			PoolSeed:    *seed,
-			JournalDir:  *journal,
+			StoreDir:    *storeDir,
 			Token:       *token,
 			Log:         lg,
 		})
@@ -305,6 +348,7 @@ func main() {
 			Coordinator: *join,
 			Token:       *token,
 			Engine:      sweep.Config{Workers: *workers, ShardPackets: *shardPk},
+			MemBudget:   *memBudget << 20,
 			Log:         lg,
 		})
 		if err != nil {
@@ -379,6 +423,19 @@ func main() {
 		return
 	}
 
+	if *storeDir != "" {
+		if *direct {
+			fmt.Fprintln(os.Stderr, "-store requires the engine path; drop -direct")
+			os.Exit(1)
+		}
+		st, err := openStore(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		engCfg.Store = st
+	}
+
 	if *serve != "" {
 		eng := sweep.New(engCfg)
 		defer eng.Close()
@@ -418,7 +475,6 @@ func main() {
 				PSDUBytes:  *bytes,
 				Seed:       *seed,
 				Pool:       *pool,
-				Checkpoint: *ckpt,
 			}
 			var job *sweep.Job
 			if job, err = eng.Submit(context.Background(), spec); err == nil {
@@ -439,19 +495,13 @@ func main() {
 	}
 
 	// Flag-conflict guards apply to 'all' and single experiments alike.
-	if *ckpt != "" && *direct {
-		fmt.Fprintln(os.Stderr, "-checkpoint requires the engine path; drop -direct (use -pool=false for legacy waveforms)")
-		os.Exit(1)
-	}
+	// (-store works with 'all': records are content-addressed, so every
+	// sweep of the invocation shares the one directory safely.)
 	if *pool && *direct {
 		fmt.Fprintln(os.Stderr, "-pool requires the engine path; drop -direct")
 		os.Exit(1)
 	}
 	if *name == "all" {
-		if *ckpt != "" {
-			fmt.Fprintln(os.Stderr, "-checkpoint requires a single sweep experiment")
-			os.Exit(1)
-		}
 		for _, n := range names {
 			if err := run(n); err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -460,12 +510,32 @@ func main() {
 		}
 		return
 	}
-	if *ckpt != "" && !experiments.IsSweepExperiment(*name) {
-		fmt.Fprintln(os.Stderr, "-checkpoint only applies to sweep experiments")
-		os.Exit(1)
-	}
 	if err := run(*name); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// openStore opens (creating if needed) the result store at dir and runs
+// the one-shot migration of any legacy *.jsonl journals found there.
+func openStore(dir string) (*store.Store, error) {
+	st, stats, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if stats.DamagedSegments > 0 {
+		lg.Warn("store recovered past damage", "dir", dir,
+			"segments", stats.Segments, "damaged", stats.DamagedSegments, "records", stats.Records)
+	}
+	res, err := sweep.MigrateDir(dir, st)
+	if err != nil {
+		return nil, err
+	}
+	if res.Journals > 0 {
+		lg.Info("migrated legacy journals into store", "dir", dir, "journals", res.Journals, "points", res.Points)
+	}
+	for _, s := range res.Skipped {
+		lg.Warn("unparsable legacy journal left in place", "journal", s)
+	}
+	return st, nil
 }

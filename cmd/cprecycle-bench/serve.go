@@ -128,14 +128,10 @@ func apiMux(b serveBackend, extras ...func(io.Writer)) *http.ServeMux {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad spec: %w", err))
 			return
 		}
-		// A checkpoint path names a server-side file; accepting one from
-		// the network would hand remote clients an arbitrary-path write
-		// primitive. Checkpointing stays a CLI feature (the coordinator
-		// journals server-side under its own -journal directory instead).
-		if spec.Checkpoint != "" {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("checkpoint paths are not accepted over HTTP"))
-			return
-		}
+		// Durability is server-side only: the store directory is named by
+		// the -store flag, never by the spec, so remote clients hold no
+		// path-write primitive. (The old "checkpoint" spec field is gone;
+		// DisallowUnknownFields above now 400s any spec still sending it.)
 		job, err := b.SubmitSpec(spec)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err)

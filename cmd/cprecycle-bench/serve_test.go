@@ -17,7 +17,8 @@ import (
 
 // TestServeAPI exercises the client API over the in-process engine
 // backend: bearer auth, job submission, the SSE stream (every point then
-// a terminal event), the rendered table, and the checkpoint rejection.
+// a terminal event), the rendered table, and the rejection of specs
+// that try to smuggle server-side paths.
 func TestServeAPI(t *testing.T) {
 	eng := sweep.New(sweep.Config{Workers: 2, ShardPackets: 2})
 	defer eng.Close()
@@ -56,13 +57,15 @@ func TestServeAPI(t *testing.T) {
 		return http.DefaultClient.Do(req)
 	}
 
-	// Checkpoint paths must be refused over the network.
+	// Server-side paths must be refused over the network: the legacy
+	// "checkpoint" spec field no longer exists, so a client still sending
+	// one trips DisallowUnknownFields and gets a 400.
 	resp, err := post(`{"experiment":"fig8","packets":2,"psdu_bytes":60,"checkpoint":"/etc/pwned"}`)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("checkpoint spec: HTTP %d, want 400", resp.StatusCode)
+		t.Fatalf("path-smuggling spec: HTTP %d, want 400", resp.StatusCode)
 	}
 	resp.Body.Close()
 

@@ -59,9 +59,11 @@
 // per-packet preamble trainings with lazily-fitted KDE models
 // (core.Training) reused across receiver arms. Engine sharding is
 // bit-identical to the sequential path; jobs offer progress counters,
-// per-point event subscriptions, context cancellation, and JSON-lines
-// journal/checkpoint resume (sweep.Journal: torn tails tolerated,
-// duplicate point lines last-wins).
+// per-point event subscriptions, context cancellation, and durable
+// resume through a content-addressed result store (internal/sweep/store:
+// bit-packed CRC-guarded records keyed by plan fingerprint, pool
+// identity and point identity; torn tails and corrupt records salvage
+// every intact prefix record).
 //
 // The service scales across processes and machines through
 // internal/sweep/dist: a coordinator decomposes each job into point-range
@@ -77,10 +79,15 @@
 // lease; workers heartbeat while running and report per-point tallies
 // that merge bit-identically to a single in-process engine. Leases that
 // miss their TTL are re-issued, results are idempotent, transient
-// transport faults retry under jittered exponential backoff, and jobs
-// journal to disk so a kill -9'd coordinator replays its journal
-// directory and resumes at the first unleased point (workers re-register
-// transparently). Workers leave the fleet two ways: graceful drain
+// transport faults retry under jittered exponential backoff, and
+// completed points persist in the shared result store so a kill -9'd
+// coordinator rebuilds every job from its manifest plus the store index
+// and re-leases only the missing points (workers re-register
+// transparently); a late result from a slow re-leased worker is
+// accepted exactly once and the redundant re-run in flight is
+// cancelled, while repeated or cross-job identical sweeps complete from
+// the store without touching the fleet. Workers leave the fleet two
+// ways: graceful drain
 // (admin endpoint or SIGTERM, piggy-backed on heartbeat and lease
 // responses — the worker finishes its in-flight lease, deregisters, and
 // nothing is re-queued via TTL expiry) and revocation (the token dies

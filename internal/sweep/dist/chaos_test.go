@@ -6,13 +6,18 @@ package dist
 // engine no matter what the fleet does.
 
 import (
+	"context"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/sweep"
+	"repro/internal/sweep/store"
 )
 
 // chaosEngine is the small local engine config every chaos worker runs.
@@ -87,10 +92,12 @@ func TestChaosByteIdentical(t *testing.T) {
 	spec := testSpec()
 	spec.Packets = 24 // enough work that the chaos overlaps live leases
 	want := directTable(t, spec)
+	dir := t.TempDir()
 
 	// Adaptive lease sizing (LeasePoints 0) with a short TTL so the
-	// killed worker's lease re-issues quickly.
-	c, srv := testCoordinator(t, Config{LeaseTTL: 500 * time.Millisecond})
+	// killed worker's lease re-issues quickly; everything lands in a
+	// store so the recovery leg below can damage and replay it.
+	c, srv := testCoordinator(t, Config{LeaseTTL: 500 * time.Millisecond, StoreDir: dir, StoreNoSync: true})
 	j, err := c.Submit(spec)
 	if err != nil {
 		t.Fatal(err)
@@ -167,6 +174,136 @@ func TestChaosByteIdentical(t *testing.T) {
 			t.Fatalf("registry never settled: %+v", c.WorkerInfos())
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Crash-recovery leg: bit-flip one stored segment and tear another
+	// mid-record (what kill -9 under write pressure leaves behind), then
+	// rebuild a coordinator over the damaged store and resubmit. The
+	// salvaged points restore, the damaged ones recompute on a fresh
+	// worker, and the table is STILL byte-identical — corruption can cost
+	// work, never correctness.
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("store segments after chaos run: %v (err %v)", segs, err)
+	}
+	sort.Strings(segs)
+	flip, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	flip[len(flip)/2] ^= 0x20
+	if err := os.WriteFile(segs[0], flip, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	torn, err := os.ReadFile(segs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(segs[1], torn[:len(torn)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, srv2 := testCoordinator(t, Config{StoreDir: dir, StoreNoSync: true})
+	j2, err := c2.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before any worker joins, exactly the salvaged records restore: each
+	// point lives in its own segment, so the two damaged ones recompute.
+	if p := j2.Progress(); p.RestoredPoints != 4 {
+		t.Fatalf("recovery restored %d points at submit, want 4 (6 minus the two damaged segments)", p.RestoredPoints)
+	}
+	testWorker(t, srv2.URL, "")
+	if got := waitTable(t, j2); got != want {
+		t.Fatalf("table after store corruption differs from direct:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestLateResultAcceptedOnce pins the slow-worker protocol end to end: a
+// worker whose lease TTL'd out and was re-issued elsewhere delivers its
+// result late; the coordinator accepts it (first completion wins —
+// exactly once), cancels the now-redundant re-run in flight (the
+// replacement's next heartbeat gets 410), and counts the replacement's
+// own eventual result as a dedupe, not a second merge.
+func TestLateResultAcceptedOnce(t *testing.T) {
+	spec := testSpec()
+	want := directTable(t, spec)
+	lateBefore := store.LateAccepts.Value()
+	dupBefore := store.Dedupes.Value()
+
+	c, srv := testCoordinator(t, Config{LeasePoints: 1, LeaseTTL: 250 * time.Millisecond,
+		StoreDir: t.TempDir(), StoreNoSync: true})
+	fetch := collectFleet(t, c)
+	j, err := c.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The slow worker takes one point and computes it correctly — but
+	// will only report after its lease has been re-issued.
+	_, slowTok := registerManual(t, srv.URL, "", "slow")
+	l1 := manualLease(t, srv.URL, slowTok, "slow")
+	eng := sweep.New(chaosEngine())
+	defer eng.Close()
+	job, err := eng.SubmitPoints(context.Background(), l1.Spec, l1.Points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := job.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	late := LeaseResult{Lease: l1.ID, Job: l1.Job, Worker: "slow", Fingerprint: l1.Fingerprint}
+	for _, i := range l1.Points {
+		jp := sweep.PointTally{Point: i, N: res.Points[i][0].N}
+		for _, p := range res.Points[i] {
+			jp.OK = append(jp.OK, p.OK)
+		}
+		late.Points = append(late.Points, jp)
+	}
+
+	// Let the lease TTL out, then re-issue the same point to a second
+	// worker — the redundant re-run.
+	time.Sleep(400 * time.Millisecond)
+	_, fastTok := registerManual(t, srv.URL, "", "fast")
+	l2 := manualLease(t, srv.URL, fastTok, "fast")
+	if len(l2.Points) != 1 || l2.Points[0] != l1.Points[0] {
+		t.Fatalf("re-issued lease covers %v, want the expired lease's %v", l2.Points, l1.Points)
+	}
+
+	// The late result lands: accepted exactly once, and the in-flight
+	// redundant lease is cancelled rather than left to burn fleet time.
+	if status := postJSON(t, srv.URL, slowTok, "/v1/dist/result", late, nil); status != http.StatusOK {
+		t.Fatalf("late result: HTTP %d", status)
+	}
+	waitFleet(t, fetch, "lease-cancel", "")
+	if status := postJSON(t, srv.URL, fastTok, "/v1/dist/heartbeat", Heartbeat{Lease: l2.ID, Worker: "fast"}, nil); status != http.StatusGone {
+		t.Fatalf("heartbeat on cancelled lease: HTTP %d, want 410", status)
+	}
+	if got := store.LateAccepts.Value() - lateBefore; got != 1 {
+		t.Fatalf("late-accept counter moved %d, want 1", got)
+	}
+	if p := j.Progress(); p.DonePoints != 1 {
+		t.Fatalf("after late accept: %d points done, want exactly 1", p.DonePoints)
+	}
+
+	// The replacement finished anyway (cancellation raced its compute)
+	// and reports the same point: a dedupe, not a second merge.
+	dup := late
+	dup.Lease, dup.Worker = l2.ID, "fast"
+	if status := postJSON(t, srv.URL, fastTok, "/v1/dist/result", dup, nil); status != http.StatusOK {
+		t.Fatalf("redundant result: HTTP %d", status)
+	}
+	if got := store.Dedupes.Value() - dupBefore; got != 1 {
+		t.Fatalf("dedupe counter moved %d, want 1", got)
+	}
+	if p := j.Progress(); p.DonePoints != 1 {
+		t.Fatalf("after dedupe: %d points done, want still 1", p.DonePoints)
+	}
+
+	// A real worker completes the rest; the table is byte-identical.
+	testWorker(t, srv.URL, "")
+	if got := waitTable(t, j); got != want {
+		t.Fatalf("table after late accept + dedupe differs from direct:\n%s\nvs\n%s", got, want)
 	}
 }
 

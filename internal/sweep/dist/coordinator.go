@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/sweep"
+	"repro/internal/sweep/store"
 	"repro/internal/wifi"
 )
 
@@ -50,10 +51,18 @@ type Config struct {
 	// wifi.DefaultPoolSize, seed 0).
 	PoolSize int
 	PoolSeed int64
-	// JournalDir, when set, makes jobs durable: each job appends
-	// completed points to <dir>/<id>.jsonl and New replays the directory,
-	// resuming interrupted jobs at their first unjournalled point.
-	JournalDir string
+	// StoreDir, when set, makes jobs durable: completed points land in a
+	// content-addressed result store (internal/sweep/store) shared across
+	// jobs, and each job writes a small JSON manifest <dir>/<id>.json.
+	// New replays the manifests against the store index, resuming
+	// interrupted jobs at their first missing point — and because points
+	// are keyed by content, repeated sweeps and cross-job duplicate
+	// points are served from the store instead of the fleet. Legacy
+	// *.jsonl journals found in the directory are migrated into the store
+	// once and renamed *.jsonl.migrated.
+	StoreDir string
+	// StoreNoSync skips the store's fsyncs (tests/benches only).
+	StoreNoSync bool
 	// Token is the fleet join secret: required (as "Authorization:
 	// Bearer <Token>") on registration and on admin calls. Data-plane
 	// calls authenticate with the per-worker token minted at
@@ -143,6 +152,12 @@ type Coordinator struct {
 	// so it stays empty.
 	planPool *wifi.WaveformPool
 
+	// store is the content-addressed result store (nil when the
+	// coordinator is not durable). Shared across jobs: a point computed
+	// by any job — or any previous coordinator life, or a migrated
+	// legacy journal — serves every later job that plans the same point.
+	store *store.Store
+
 	mu        sync.Mutex
 	jobs      map[string]*Job
 	order     []string
@@ -170,13 +185,15 @@ type Coordinator struct {
 	nextFSub  int
 }
 
-// New creates a coordinator. With cfg.JournalDir set the directory is
-// created if missing and its journals are replayed: every *.jsonl file
-// becomes a job (same ID as its previous life) with its completed points
-// restored; fully-journalled jobs come back as done, partial ones resume
-// leasing at their first missing point. The worker registry starts empty
-// in every life — workers of a previous life re-register on their first
-// 401.
+// New creates a coordinator. With cfg.StoreDir set the directory is
+// created if missing, the content-addressed result store is opened
+// (salvaging every intact record a crash left behind), legacy *.jsonl
+// journals are migrated into it, and the job manifests are replayed:
+// every <id>.json becomes a job (same ID as its previous life) with its
+// stored points restored from the index — fully-stored jobs come back as
+// done, partial ones resume leasing at their first missing point. The
+// worker registry starts empty in every life — workers of a previous
+// life re-register on their first 401.
 func New(cfg Config) (*Coordinator, error) {
 	cfg = cfg.withDefaults()
 	c := &Coordinator{
@@ -189,20 +206,36 @@ func New(cfg Config) (*Coordinator, error) {
 		wakeCh:    make(chan struct{}),
 		fleetSubs: make(map[int]chan FleetEvent),
 	}
-	if cfg.JournalDir != "" {
-		if err := os.MkdirAll(cfg.JournalDir, 0o755); err != nil {
+	if cfg.StoreDir != "" {
+		st, stats, err := store.Open(cfg.StoreDir, store.Options{NoSync: cfg.StoreNoSync})
+		if err != nil {
 			return nil, err
 		}
-		if err := c.replayJournals(); err != nil {
+		c.store = st
+		if stats.DamagedSegments > 0 {
+			c.log.Warn("store recovered with damage", "segments", stats.Segments,
+				"records", stats.Records, "damaged", stats.DamagedSegments)
+		}
+		mig, err := sweep.MigrateDir(cfg.StoreDir, st)
+		if err != nil {
+			return nil, err
+		}
+		if mig.Journals > 0 {
+			c.log.Info("migrated legacy journals", "journals", mig.Journals, "points", mig.Points)
+		}
+		for _, skip := range mig.Skipped {
+			c.log.Warn("skipping unmigratable journal", "detail", skip)
+		}
+		if err := c.replayManifests(); err != nil {
 			return nil, err
 		}
 	}
 	return c, nil
 }
 
-// Close closes every job's journal, ends the fleet event stream and
-// stops accepting work. Pending points stay journalled (when durable)
-// for the next coordinator life.
+// Close ends the fleet event stream and stops accepting work. Pending
+// points stay in the manifests (when durable) for the next coordinator
+// life; completed tallies are already durable in the store.
 func (c *Coordinator) Close() {
 	c.mu.Lock()
 	if c.closed {
@@ -210,18 +243,7 @@ func (c *Coordinator) Close() {
 		return
 	}
 	c.closed = true
-	jobs := make([]*Job, 0, len(c.jobs))
-	for _, j := range c.jobs {
-		jobs = append(jobs, j)
-	}
 	c.mu.Unlock()
-	for _, j := range jobs {
-		j.mu.Lock()
-		if j.journal != nil {
-			j.journal.Close()
-		}
-		j.mu.Unlock()
-	}
 	c.closeFleetSubs()
 	c.wake() // release parked long-polls promptly
 }
@@ -244,24 +266,38 @@ func (c *Coordinator) wakeWait() <-chan struct{} {
 	return c.wakeCh
 }
 
-// journalPath returns the durable state file of job id ("" when the
+// manifestPath returns the durable manifest file of job id ("" when the
 // coordinator is not durable).
-func (c *Coordinator) journalPath(id string) string {
-	if c.cfg.JournalDir == "" {
+func (c *Coordinator) manifestPath(id string) string {
+	if c.cfg.StoreDir == "" {
 		return ""
 	}
-	return filepath.Join(c.cfg.JournalDir, id+".jsonl")
+	return filepath.Join(c.cfg.StoreDir, id+".json")
 }
 
-// replayJournals rebuilds jobs from the journal directory.
-func (c *Coordinator) replayJournals() error {
-	entries, err := os.ReadDir(c.cfg.JournalDir)
+// replayManifests rebuilds jobs from the manifest files: each names a
+// spec whose completed points are then looked up in the store index —
+// resume is an index read, not a log replay. Leftover legacy journal
+// names (*.jsonl, *.jsonl.migrated) burn their job ids so a future
+// Submit cannot collide with them.
+func (c *Coordinator) replayManifests() error {
+	entries, err := os.ReadDir(c.cfg.StoreDir)
 	if err != nil {
 		return err
 	}
 	var ids []string
 	for _, e := range entries {
-		if id, ok := strings.CutSuffix(e.Name(), ".jsonl"); ok && !e.IsDir() {
+		if e.IsDir() {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".migrated")
+		if id, ok := strings.CutSuffix(name, ".jsonl"); ok {
+			if s := jobSeq(id); s > c.nextID {
+				c.nextID = s
+			}
+			continue
+		}
+		if id, ok := strings.CutSuffix(e.Name(), ".json"); ok {
 			ids = append(ids, id)
 		}
 	}
@@ -269,23 +305,25 @@ func (c *Coordinator) replayJournals() error {
 	// numbering after the highest replayed id.
 	sort.Slice(ids, func(a, b int) bool { return jobSeq(ids[a]) < jobSeq(ids[b]) })
 	for _, id := range ids {
-		path := c.journalPath(id)
-		hdr, restored, validLen, err := sweep.ReadJournal(path)
+		path := c.manifestPath(id)
+		data, err := os.ReadFile(path)
 		if err != nil {
-			// Unparsable journals must not crash-loop the coordinator: a
-			// kill -9 between file creation and the header write leaves a
-			// zero-byte file, and a foreign file can land in the directory.
-			// Neither holds any tallies we could resume, so skip it (the
-			// file is left for inspection) — but still burn its id so a
-			// future Submit cannot collide with the undeleted file.
-			c.log.Warn("skipping unreadable journal", "path", path, "err", err)
+			return err
+		}
+		var hdr sweep.JournalHeader
+		if err := json.Unmarshal(data, &hdr); err != nil || hdr.V != 1 {
+			// Unparsable manifests must not crash-loop the coordinator: a
+			// foreign file can land in the directory. It holds no state we
+			// could resume, so skip it (the file is left for inspection) —
+			// but still burn its id so a future Submit cannot collide.
+			c.log.Warn("skipping unreadable manifest", "path", path, "err", err)
 			if s := jobSeq(id); s > c.nextID {
 				c.nextID = s
 			}
 			continue
 		}
 		if hdr.Spec.Pool && (hdr.PoolSize != c.cfg.PoolSize || hdr.PoolSeed != c.cfg.PoolSeed) {
-			return fmt.Errorf("dist: journal %s: pool identity mismatch (journalled %d/%d, configured %d/%d) — pooled points are only mergeable under one pool",
+			return fmt.Errorf("dist: manifest %s: pool identity mismatch (recorded %d/%d, configured %d/%d) — pooled points are only mergeable under one pool",
 				path, hdr.PoolSize, hdr.PoolSeed, c.cfg.PoolSize, c.cfg.PoolSeed)
 		}
 		j, err := c.newJob(hdr.Spec)
@@ -293,34 +331,18 @@ func (c *Coordinator) replayJournals() error {
 			return fmt.Errorf("dist: replaying %s: %w", path, err)
 		}
 		if len(j.points) != hdr.Points {
-			return fmt.Errorf("dist: journal %s: %d points journalled but the spec plans %d (version skew?)", path, hdr.Points, len(j.points))
-		}
-		journal, err := sweep.ResumeJournal(path, validLen)
-		if err != nil {
-			return err
+			return fmt.Errorf("dist: manifest %s: %d points recorded but the spec plans %d (version skew?)", path, hdr.Points, len(j.points))
 		}
 		j.ID = id
-		j.journal = journal
-		for idx, p := range restored {
-			if err := j.checkPointShape(idx, p); err != nil {
-				journal.Close()
-				return fmt.Errorf("dist: journal %s: %w", path, err)
-			}
-		}
-		for idx, p := range restored {
-			j.markDoneLocked(idx, p, false)
-			j.restored++
-		}
-		j.rebuildPending()
-		if j.donePoints == len(j.points) {
-			j.finalizeLocked()
-		}
+		j.mu.Lock()
+		restored := j.absorbStoreLocked(false)
+		j.mu.Unlock()
 		c.jobs[id] = j
 		c.order = append(c.order, id)
 		if s := jobSeq(id); s >= c.nextID {
 			c.nextID = s
 		}
-		c.log.Info("replayed journalled job", "job", id, "restored", len(restored), "points", len(j.points))
+		c.log.Info("replayed job from store", "job", id, "restored", restored, "points", len(j.points))
 	}
 	return nil
 }
@@ -331,11 +353,8 @@ func jobSeq(id string) int {
 	return n
 }
 
-// newJob plans a spec into an un-registered job (no ID, no journal yet).
+// newJob plans a spec into an un-registered job (no ID, no manifest yet).
 func (c *Coordinator) newJob(spec sweep.Spec) (*Job, error) {
-	if spec.Checkpoint != "" {
-		return nil, fmt.Errorf("dist: checkpoint paths are not accepted (the coordinator journals jobs itself)")
-	}
 	spec = spec.Normalised()
 	req, err := spec.Request(c.planPool)
 	if err != nil {
@@ -361,6 +380,9 @@ func (c *Coordinator) newJob(spec sweep.Spec) (*Job, error) {
 		j.points[i].arms = len(plan.Points[i].Cfg.Receivers)
 		j.totalPackets += int64(pkts)
 	}
+	if c.store != nil {
+		j.keys = sweep.PlanKeys(plan, spec.Pool, c.cfg.PoolSize, c.cfg.PoolSeed)
+	}
 	j.rebuildPending()
 	return j, nil
 }
@@ -384,28 +406,35 @@ func (c *Coordinator) Submit(spec sweep.Spec) (*Job, error) {
 	c.order = append(c.order, j.ID)
 	c.mu.Unlock()
 
-	if path := c.journalPath(j.ID); path != "" {
+	if path := c.manifestPath(j.ID); path != "" {
 		hdr := sweep.JournalHeader{V: 1, Spec: j.Spec, Points: len(j.points)}
 		if j.Spec.Pool {
 			hdr.PoolSize = c.cfg.PoolSize
 			hdr.PoolSeed = c.cfg.PoolSeed
 		}
-		journal, err := sweep.CreateJournal(path, hdr)
+		data, err := json.Marshal(hdr)
+		if err == nil {
+			err = store.AtomicWrite(path, data, !c.cfg.StoreNoSync)
+		}
 		if err != nil {
 			c.Remove(j.ID)
 			return nil, err
 		}
-		j.mu.Lock()
-		j.journal = journal
-		j.mu.Unlock()
-	}
-	if len(j.points) == 0 {
-		j.mu.Lock()
-		j.finalizeLocked()
-		j.mu.Unlock()
 	}
 	c.emit(FleetEvent{Type: "job-submit", Job: j.ID, Points: len(j.points), Detail: j.Spec.Experiment})
 	c.log.Info("job submitted", "job", j.ID, "experiment", j.Spec.Experiment, "points", len(j.points))
+
+	// Serve whatever the store already holds before any lease goes out: a
+	// repeated identical sweep — or one sharing points with an earlier
+	// job — completes partly or wholly without the fleet. This is the one
+	// site that counts store misses: each point starts its fleet life
+	// here exactly once.
+	j.mu.Lock()
+	j.absorbStoreLocked(true)
+	if !j.finished && len(j.points) == 0 {
+		j.finalizeLocked()
+	}
+	j.mu.Unlock()
 	c.wake() // parked lease requests should see the new work now
 	return j, nil
 }
@@ -428,9 +457,11 @@ func (c *Coordinator) Jobs() []*Job {
 	return out
 }
 
-// Remove cancels a running job, forgets it, and deletes its journal file
-// (a removed durable job must not resurrect on restart). Reports whether
-// the job existed.
+// Remove cancels a running job, forgets it, and deletes its manifest (a
+// removed durable job must not resurrect on restart). Its completed
+// tallies stay in the store — they are content-addressed, not owned by
+// the job, and still serve future sweeps. Reports whether the job
+// existed.
 func (c *Coordinator) Remove(id string) bool {
 	c.mu.Lock()
 	j, ok := c.jobs[id]
@@ -457,7 +488,7 @@ func (c *Coordinator) Remove(id string) bool {
 		j.failLocked(context.Canceled)
 	}
 	j.mu.Unlock()
-	if path := c.journalPath(id); path != "" {
+	if path := c.manifestPath(id); path != "" {
 		os.Remove(path)
 	}
 	return true
@@ -836,16 +867,18 @@ type Job struct {
 	// zero until the first observation (adaptive sizing probes with a
 	// single point until then).
 	estPerPoint float64
-	journal     *sweep.Journal
-	events      []sweep.PointEvent
-	subs        map[int]chan sweep.PointEvent
-	nextSub     int
-	err         error
-	table       *experiments.Table
-	results     [][]experiments.PSRPoint
-	elapsed     time.Duration
-	finished    bool
-	done        chan struct{}
+	// keys are the per-point content-address store keys (nil when the
+	// coordinator is not durable).
+	keys     []store.Key
+	events   []sweep.PointEvent
+	subs     map[int]chan sweep.PointEvent
+	nextSub  int
+	err      error
+	table    *experiments.Table
+	results  [][]experiments.PSRPoint
+	elapsed  time.Duration
+	finished bool
+	done     chan struct{}
 }
 
 // Plan returns the job's sweep plan (read-only).
@@ -917,13 +950,18 @@ func (j *Job) leaseSizeLocked(activeWorkers int) int {
 	return n
 }
 
-// grantLease reaps expired leases and carves the next lease off the
-// pending queue: the longest run of consecutive point indexes from its
-// head, capped at the adaptive (or pinned) lease size.
+// grantLease reaps expired leases, absorbs any points another job has
+// meanwhile stored, and carves the next lease off the pending queue: the
+// longest run of consecutive point indexes from its head, capped at the
+// adaptive (or pinned) lease size.
 func (j *Job) grantLease(ws *workerState, now time.Time, activeWorkers int) *Lease {
 	cfg := j.coord.cfg
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.finished {
+		return nil
+	}
+	j.absorbStoreLocked(false)
 	if j.finished {
 		return nil
 	}
@@ -1035,7 +1073,7 @@ func (j *Job) heartbeat(hb Heartbeat, now time.Time) bool {
 }
 
 // checkPointShape validates a reported point against the plan.
-func (j *Job) checkPointShape(idx int, p sweep.JournalPoint) error {
+func (j *Job) checkPointShape(idx int, p sweep.PointTally) error {
 	if idx < 0 || idx >= len(j.points) {
 		return fmt.Errorf("point %d outside [0,%d)", idx, len(j.points))
 	}
@@ -1046,22 +1084,25 @@ func (j *Job) checkPointShape(idx int, p sweep.JournalPoint) error {
 	return nil
 }
 
-// markDoneLocked records a completed point and publishes its event;
-// journal controls whether the point is also appended to the journal
-// (replayed points are already on disk). Callers hold j.mu.
-func (j *Job) markDoneLocked(idx int, p sweep.JournalPoint, journal bool) {
+// markDoneLocked records a completed point and publishes its event,
+// reporting whether the point was newly marked (false: it was already
+// done — the caller is seeing a duplicate). persist controls whether the
+// tally is also written to the store (points absorbed FROM the store are
+// already durable). Callers hold j.mu.
+func (j *Job) markDoneLocked(idx int, p sweep.PointTally, persist bool) bool {
 	pt := &j.points[idx]
 	if pt.done {
-		return
+		return false
 	}
 	pt.done = true
 	pt.n = p.N
 	pt.ok = append([]int(nil), p.OK...)
 	j.donePoints++
-	if journal && j.journal != nil {
-		if err := j.journal.Append(sweep.JournalPoint{Point: idx, N: pt.n, OK: pt.ok}); err != nil {
-			j.failLocked(fmt.Errorf("dist: journal append: %w", err))
-			return
+	if persist && j.coord.store != nil {
+		rec := store.Record{Key: j.keys[idx], Tally: store.Tally{N: pt.n, OK: pt.ok}}
+		if err := j.coord.store.Put(rec); err != nil {
+			j.failLocked(fmt.Errorf("dist: store put: %w", err))
+			return true
 		}
 	}
 	ev := sweep.PointEvent{
@@ -1072,13 +1113,85 @@ func (j *Job) markDoneLocked(idx int, p sweep.JournalPoint, journal bool) {
 	for _, ch := range j.subs {
 		ch <- ev
 	}
+	return true
+}
+
+// absorbStoreLocked restores every not-yet-done point whose
+// content-address key the store already holds — points computed by
+// other jobs, previous coordinator lives, or migrated journals. Returns
+// how many points it restored; when any were, the pending queue is
+// rebuilt, leases made fully redundant are cancelled, and a now-complete
+// job is finalized. countMisses makes absent points count as store
+// misses (only the first, submit-time scan does, so each point counts
+// its miss exactly once). Callers hold j.mu.
+func (j *Job) absorbStoreLocked(countMisses bool) int {
+	st := j.coord.store
+	if st == nil || j.finished {
+		return 0
+	}
+	restored := 0
+	for i := range j.points {
+		if j.points[i].done {
+			continue
+		}
+		t, ok := st.Get(j.keys[i])
+		if !ok || t.N != j.points[i].packets || len(t.OK) != j.points[i].arms {
+			if countMisses {
+				store.Misses.Inc()
+			}
+			continue
+		}
+		store.Hits.Inc()
+		j.markDoneLocked(i, sweep.PointTally{Point: i, N: t.N, OK: t.OK}, false)
+		j.restored++
+		restored++
+		if j.finished { // markDoneLocked can fail the job
+			return restored
+		}
+	}
+	if restored > 0 {
+		j.rebuildPending()
+		j.cancelRedundantLocked()
+		if j.donePoints == len(j.points) {
+			j.finalizeLocked()
+		}
+	}
+	return restored
+}
+
+// cancelRedundantLocked drops live leases every one of whose points is
+// already done — a slow worker's late result (or a store absorb) just
+// completed them, so the re-run in flight is redundant. The dropped
+// lease's worker learns on its next heartbeat (410 Gone) and abandons
+// the local job. Callers hold j.mu.
+func (j *Job) cancelRedundantLocked() {
+	for id, l := range j.leases {
+		redundant := true
+		for _, p := range l.points {
+			if !j.points[p].done {
+				redundant = false
+				break
+			}
+		}
+		if !redundant {
+			continue
+		}
+		delete(j.leases, id)
+		j.coord.forgetLease(id)
+		j.coord.untrackLease(l.worker, id)
+		j.coord.emit(FleetEvent{Type: "lease-cancel", Worker: l.worker, Job: j.ID, Lease: id, Points: len(l.points), Detail: "points completed elsewhere"})
+		j.coord.log.Info("lease cancelled, points completed elsewhere", "job", j.ID, "lease", id, "worker", l.worker, "points", len(l.points))
+	}
 }
 
 // result merges a worker's lease result. Success tallies are idempotent
 // — a point already completed (by a faster re-lease or a duplicate POST)
-// is skipped, which is sound because tallies are deterministic. An error
-// result fails the job only while its lease is live; stale errors are
-// dropped.
+// is skipped and counted as a dedupe, which is sound because tallies are
+// deterministic. A result from a lease no longer live (expired or
+// re-issued under a slow-but-alive worker) is still accepted for any
+// point not yet done — counted as a late accept — and any re-run lease
+// made fully redundant by it is cancelled in flight. An error result
+// fails the job only while its lease is live; stale errors are dropped.
 func (j *Job) result(res LeaseResult) error {
 	now := time.Now()
 	j.mu.Lock()
@@ -1119,16 +1232,31 @@ func (j *Job) result(res LeaseResult) error {
 			inLease[p] = true
 		}
 	}
+	newlyMarked := 0
 	for _, p := range res.Points {
 		if err := j.checkPointShape(p.Point, p); err != nil {
 			j.failLocked(fmt.Errorf("dist: worker %s: %w", res.Worker, err))
 			return nil
 		}
-		j.markDoneLocked(p.Point, p, true)
+		if j.markDoneLocked(p.Point, p, true) {
+			newlyMarked++
+			if !live {
+				store.LateAccepts.Inc()
+				j.coord.log.Info("late result accepted", "job", j.ID, "lease", res.Lease, "worker", res.Worker, "point", p.Point)
+			}
+		} else {
+			store.Dedupes.Inc()
+		}
 		delete(inLease, p.Point)
 		if j.finished {
 			return nil
 		}
+	}
+	// A late result may have completed every point of a re-issued lease
+	// still in flight: cancel those so the redundant re-run stops at its
+	// next heartbeat instead of burning packets.
+	if newlyMarked > 0 {
+		j.cancelRedundantLocked()
 	}
 	// Leased points the result did not cover go back to pending.
 	if live && len(inLease) > 0 {
@@ -1169,9 +1297,6 @@ func (j *Job) finalizeLocked() {
 	j.results = results
 	j.elapsed = time.Since(j.start)
 	j.closeSubsLocked()
-	if j.journal != nil {
-		j.journal.Close()
-	}
 	j.coord.emit(FleetEvent{Type: "job-done", Job: j.ID, Points: len(j.points)})
 	close(j.done)
 }
@@ -1186,9 +1311,6 @@ func (j *Job) failLocked(err error) {
 	j.elapsed = time.Since(j.start)
 	j.dropLeasesLocked()
 	j.closeSubsLocked()
-	if j.journal != nil {
-		j.journal.Close()
-	}
 	j.coord.emit(FleetEvent{Type: "job-failed", Job: j.ID, Detail: err.Error()})
 	close(j.done)
 }

@@ -274,18 +274,19 @@ func TestWorkerKilledMidSweep(t *testing.T) {
 	}
 }
 
-// TestJournalReplayAfterKill pins coordinator durability: a coordinator
+// TestStoreReplayAfterKill pins coordinator durability: a coordinator
 // that vanishes without any shutdown path (kill -9) is rebuilt from its
-// journal directory, resumes at the first unjournalled point — restored
-// points are never recomputed — and still renders the direct table byte
-// for byte. A torn half-written line (the crash landing mid-append) must
+// store directory — the manifest recreates the job and the store index
+// supplies the completed points, which are never recomputed — and still
+// renders the direct table byte for byte. Crash litter (a torn trailing
+// segment and a stray temp file from an interrupted atomic write) must
 // be tolerated.
-func TestJournalReplayAfterKill(t *testing.T) {
+func TestStoreReplayAfterKill(t *testing.T) {
 	spec := testSpec()
 	want := directTable(t, spec)
 	dir := t.TempDir()
 
-	first, err := New(Config{LeasePoints: 1, LeaseTTL: 10 * time.Second, JournalDir: dir, Log: testLogger(t)})
+	first, err := New(Config{LeasePoints: 1, LeaseTTL: 10 * time.Second, StoreDir: dir, Log: testLogger(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,25 +303,24 @@ func TestJournalReplayAfterKill(t *testing.T) {
 		select {
 		case <-events:
 		case <-time.After(120 * time.Second):
-			t.Fatal("timed out waiting for journalled points")
+			t.Fatal("timed out waiting for stored points")
 		}
 	}
 	w1.Close()
 	cancelSub()
 	srv1.Close()
 
-	// Simulate the crash landing mid-append: a torn trailing line.
-	path := first.journalPath(j1.ID)
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
+	// Simulate the crash landing mid-write: a segment cut off inside its
+	// first record, plus the temp file an interrupted rename leaves.
+	torn := append([]byte{'C', 'P', 'R', 'S', 1}, 0x40, 0xde, 0xad)
+	if err := os.WriteFile(filepath.Join(dir, "seg-00999999.seg"), torn, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.WriteString(`{"point":5,"n":4,"ok":[`); err != nil {
+	if err := os.WriteFile(filepath.Join(dir, "seg-crash.tmp"), []byte("partial"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	f.Close()
 
-	second, err := New(Config{LeasePoints: 1, LeaseTTL: 10 * time.Second, JournalDir: dir, Log: testLogger(t)})
+	second, err := New(Config{LeasePoints: 1, LeaseTTL: 10 * time.Second, StoreDir: dir, Log: testLogger(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,11 +335,11 @@ func TestJournalReplayAfterKill(t *testing.T) {
 	}
 	testWorker(t, srv2.URL, "")
 	if got := waitTable(t, j2); got != want {
-		t.Fatalf("table after journal replay differs from direct:\n%s\nvs\n%s", got, want)
+		t.Fatalf("table after store replay differs from direct:\n%s\nvs\n%s", got, want)
 	}
-	// A further restart over the finished journal restores the job as
+	// A further restart over the finished store restores the job as
 	// done without any worker.
-	third, err := New(Config{JournalDir: dir, Log: testLogger(t)})
+	third, err := New(Config{StoreDir: dir, Log: testLogger(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,22 +356,24 @@ func TestJournalReplayAfterKill(t *testing.T) {
 	}
 }
 
-// TestJournalReplaySkipsUnparsable pins that a zero-byte journal (kill
-// -9 between file creation and the header write) or foreign garbage in
-// the journal directory cannot crash-loop the coordinator: the file is
-// skipped with its id burned, and fresh submissions never collide with
-// it.
-func TestJournalReplaySkipsUnparsable(t *testing.T) {
+// TestManifestReplaySkipsUnparsable pins that a zero-byte manifest,
+// foreign garbage in the store directory, or legacy journal leftovers
+// cannot crash-loop the coordinator: each file is skipped with its job
+// id burned, so fresh submissions never collide with it.
+func TestManifestReplaySkipsUnparsable(t *testing.T) {
 	dir := t.TempDir()
-	if err := os.WriteFile(filepath.Join(dir, "j7.jsonl"), nil, 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(dir, "j7.json"), nil, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile(filepath.Join(dir, "j3.jsonl"), []byte("not a journal\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	c, err := New(Config{JournalDir: dir, Log: testLogger(t)})
+	if err := os.WriteFile(filepath.Join(dir, "j5.jsonl.migrated"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{StoreDir: dir, Log: testLogger(t)})
 	if err != nil {
-		t.Fatalf("unparsable journals crash the coordinator: %v", err)
+		t.Fatalf("unparsable store files crash the coordinator: %v", err)
 	}
 	defer c.Close()
 	if n := len(c.Jobs()); n != 0 {
@@ -383,6 +385,40 @@ func TestJournalReplaySkipsUnparsable(t *testing.T) {
 	}
 	if j.ID != "j8" {
 		t.Fatalf("fresh job id %s, want j8 (numbering past the skipped files)", j.ID)
+	}
+}
+
+// TestRepeatedSweepServedFromStore pins store-level deduplication across
+// jobs: after one job completes through the fleet, resubmitting the
+// identical spec — with every worker gone — completes instantly from the
+// store, granting zero leases and rendering the byte-identical table.
+func TestRepeatedSweepServedFromStore(t *testing.T) {
+	spec := testSpec()
+	want := directTable(t, spec)
+	c, srv := testCoordinator(t, Config{LeasePoints: 1, StoreDir: t.TempDir(), StoreNoSync: true})
+	j1, err := c.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := testWorker(t, srv.URL, "")
+	if got := waitTable(t, j1); got != want {
+		t.Fatal("fleet table differs from direct")
+	}
+	w.Close()
+	granted := c.leasesGranted.Load()
+
+	j2, err := c.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := waitTable(t, j2); got != want {
+		t.Fatal("store-served table differs from direct")
+	}
+	if p := j2.Progress(); p.State != "done" || p.RestoredPoints != 6 {
+		t.Fatalf("store-served progress %+v, want done with all 6 points restored", p)
+	}
+	if g := c.leasesGranted.Load(); g != granted {
+		t.Fatalf("repeated sweep took %d fleet leases, want 0", g-granted)
 	}
 }
 
@@ -454,7 +490,7 @@ func TestResultMergeEdgeCases(t *testing.T) {
 		}
 		out := LeaseResult{Lease: l.ID, Job: l.Job, Worker: "manual", Fingerprint: l.Fingerprint}
 		for _, i := range l.Points {
-			jp := sweep.JournalPoint{Point: i, N: res.Points[i][0].N}
+			jp := sweep.PointTally{Point: i, N: res.Points[i][0].N}
 			for _, p := range res.Points[i] {
 				jp.OK = append(jp.OK, p.OK)
 			}
@@ -508,7 +544,7 @@ func TestResultMergeEdgeCases(t *testing.T) {
 		_, skewedToken := registerManual(t, srv.URL, "", "skewed")
 		l := manualLease(t, srv.URL, skewedToken, "skewed")
 		res := LeaseResult{Lease: l.ID, Job: l.Job, Worker: "skewed", Fingerprint: "deadbeef",
-			Points: []sweep.JournalPoint{{Point: l.Points[0], N: spec.Packets, OK: []int{0, 0}}}}
+			Points: []sweep.PointTally{{Point: l.Points[0], N: spec.Packets, OK: []int{0, 0}}}}
 		if status := postJSON(t, srv.URL, skewedToken, "/v1/dist/result", res, nil); status != http.StatusConflict {
 			t.Fatalf("skewed result POST: HTTP %d, want 409", status)
 		}

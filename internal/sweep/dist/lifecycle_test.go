@@ -14,6 +14,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/sweep"
 )
 
 // collectFleet subscribes to the fleet stream and returns a fetch
@@ -153,7 +155,7 @@ func TestRevokeMidLease(t *testing.T) {
 // TestCoordinatorRestartWhileDraining pins the ugliest overlap: the
 // coordinator dies (kill -9: no shutdown, registry lost) while a worker
 // is mid-drain with a lease in flight. The replacement coordinator
-// replays the journal; the draining worker hits 401, re-registers
+// replays jobs from the store; the draining worker hits 401, re-registers
 // transparently, finishes its drain (its lease either merges or is
 // re-issued — both are sound) and exits; a fresh worker completes the
 // job byte-identically.
@@ -171,7 +173,7 @@ func TestCoordinatorRestartWhileDraining(t *testing.T) {
 	}))
 	t.Cleanup(srv.Close)
 
-	first, err := New(Config{LeasePoints: 2, LeaseTTL: 60 * time.Second, JournalDir: dir, Log: testLogger(t)})
+	first, err := New(Config{LeasePoints: 2, LeaseTTL: 60 * time.Second, StoreDir: dir, Log: testLogger(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +188,7 @@ func TestCoordinatorRestartWhileDraining(t *testing.T) {
 	w.Drain()
 
 	// Kill -9 the first coordinator: swap the handler, never Close it.
-	second, err := New(Config{LeasePoints: 2, LeaseTTL: 60 * time.Second, JournalDir: dir, Log: testLogger(t)})
+	second, err := New(Config{LeasePoints: 2, LeaseTTL: 60 * time.Second, StoreDir: dir, Log: testLogger(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,6 +266,51 @@ func TestLateResultFromDrainedWorker(t *testing.T) {
 	testWorker(t, srv.URL, "")
 	if got := waitTable(t, j); got != want {
 		t.Fatalf("table after late-result drop differs from direct:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestMemBudgetSelfDrain pins the worker memory watchdog: a worker with
+// an impossibly low heap budget notices the overage on its first
+// runtime/metrics sample and takes the ordinary graceful-drain path —
+// it deregisters and exits on its own, nothing waits for a lease TTL,
+// and the sweep still completes byte-identically on an unconstrained
+// worker.
+func TestMemBudgetSelfDrain(t *testing.T) {
+	spec := testSpec()
+	want := directTable(t, spec)
+	c, srv := testCoordinator(t, Config{LeasePoints: 2, LeaseTTL: 60 * time.Second})
+	j, err := c.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := StartWorker(WorkerConfig{
+		Coordinator:   srv.URL,
+		Engine:        sweep.Config{Workers: 2, ShardPackets: 2},
+		Heartbeat:     50 * time.Millisecond,
+		RetryBase:     10 * time.Millisecond,
+		RetryMax:      100 * time.Millisecond,
+		MemBudget:     1, // one byte: any live heap exceeds it
+		MemCheckEvery: 5 * time.Millisecond,
+		Log:           testLogger(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	select {
+	case <-w.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatal("over-budget worker never drained itself")
+	}
+	if !w.Draining() {
+		t.Fatal("worker exited without its drain flag set")
+	}
+	if infos := c.WorkerInfos(); len(infos) != 0 {
+		t.Fatalf("self-drained worker still registered: %+v", infos)
+	}
+	testWorker(t, srv.URL, "")
+	if got := waitTable(t, j); got != want {
+		t.Fatalf("table after mem-budget drain differs from direct:\n%s\nvs\n%s", got, want)
 	}
 }
 

@@ -95,14 +95,23 @@
 //
 // # Durability
 //
-// With Config.JournalDir set, every job appends to <dir>/<jobID>.jsonl
-// in the sweep journal format (header line with the normalised spec,
-// point count and pool identity; one line per completed point, torn
-// tails tolerated, duplicate point lines last-wins). A coordinator
-// restarted over the same directory replays the journals and resumes
-// every job at its first unleased point — completed points are never
-// recomputed. The worker registry is deliberately not journalled:
-// workers re-register on the first 401 from the new coordinator life.
+// With Config.StoreDir set, completed points land in a content-addressed
+// binary result store (internal/sweep/store: bit-packed records, CRC32-C
+// per record, fsynced atomic segment writes, torn-tail salvage) shared
+// across jobs, and each job writes one small JSON manifest
+// <dir>/<jobID>.json naming its normalised spec, point count and pool
+// identity. A coordinator restarted over the same directory replays the
+// manifests against the store index — an index read, not a log replay —
+// and resumes every job at its first missing point; completed points are
+// never recomputed. Because the store keys points by content (plan
+// fingerprint + pool identity + point identity), repeated sweeps and
+// cross-job duplicate points are served from the store instead of the
+// fleet, late results from slow re-leased workers are accepted once and
+// the redundant re-run is cancelled in flight (cpr_store_* counters
+// track hits, misses, dedupes, late accepts and corrupt records). Legacy
+// *.jsonl journals in the directory are migrated into the store on open.
+// The worker registry is deliberately not persisted: workers re-register
+// on the first 401 from the new coordinator life.
 //
 // # Observability
 //
@@ -206,15 +215,15 @@ type Lease struct {
 }
 
 // LeaseResult reports a finished or failed lease. Points carries one
-// complete per-point tally per leased point (sweep.JournalPoint, exactly
-// the journal line shape); Error marks the whole lease failed.
+// complete per-point tally per leased point (sweep.PointTally); Error
+// marks the whole lease failed.
 type LeaseResult struct {
-	Lease       string               `json:"lease"`
-	Job         string               `json:"job"`
-	Worker      string               `json:"worker"`
-	Fingerprint string               `json:"fingerprint"`
-	Points      []sweep.JournalPoint `json:"points,omitempty"`
-	Error       string               `json:"error,omitempty"`
+	Lease       string             `json:"lease"`
+	Job         string             `json:"job"`
+	Worker      string             `json:"worker"`
+	Fingerprint string             `json:"fingerprint"`
+	Points      []sweep.PointTally `json:"points,omitempty"`
+	Error       string             `json:"error,omitempty"`
 }
 
 // Heartbeat re-arms a running lease's deadline and reports progress.

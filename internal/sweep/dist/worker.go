@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"runtime/metrics"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -46,6 +47,15 @@ type WorkerConfig struct {
 	// to failed coordinator calls (defaults 200ms and 5s).
 	RetryBase time.Duration
 	RetryMax  time.Duration
+	// MemBudget, when positive, is a self-imposed heap ceiling in bytes:
+	// the worker samples runtime/metrics heap usage and triggers its own
+	// graceful drain (finish the in-flight lease, report it, deregister)
+	// the first time live heap objects exceed the budget. Zero disables
+	// the watchdog.
+	MemBudget int64
+	// MemCheckEvery is the heap sampling interval for MemBudget
+	// (default 2s; tests shorten it).
+	MemCheckEvery time.Duration
 	// HTTPClient overrides the default client (tests inject the
 	// httptest transport or a chaos RoundTripper; production tunes
 	// timeouts). Client-level timeouts should exceed the long-poll
@@ -81,6 +91,9 @@ func (c WorkerConfig) withDefaults() (WorkerConfig, error) {
 	}
 	if c.Log == nil {
 		c.Log = slog.New(slog.DiscardHandler)
+	}
+	if c.MemCheckEvery <= 0 {
+		c.MemCheckEvery = 2 * time.Second
 	}
 	return c, nil
 }
@@ -156,7 +169,45 @@ func StartWorker(cfg WorkerConfig) (*Worker, error) {
 	}
 	w.wg.Add(1)
 	go w.loop()
+	if cfg.MemBudget > 0 {
+		w.wg.Add(1)
+		go w.memWatch()
+	}
 	return w, nil
+}
+
+// memWatch enforces WorkerConfig.MemBudget: it samples live heap bytes
+// from runtime/metrics every MemCheckEvery and triggers the ordinary
+// graceful drain the first time the budget is exceeded. Draining (not
+// dying) means the in-flight lease still completes and is reported; the
+// fleet simply loses this worker's capacity before the kernel's OOM
+// killer takes it uncleanly.
+func (w *Worker) memWatch() {
+	defer w.wg.Done()
+	sample := []metrics.Sample{{Name: "/memory/classes/heap/objects:bytes"}}
+	t := time.NewTicker(w.cfg.MemCheckEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.ctx.Done():
+			return
+		case <-t.C:
+			if w.drain.Load() {
+				return
+			}
+			metrics.Read(sample)
+			if sample[0].Value.Kind() != metrics.KindUint64 {
+				return // metric vanished from the runtime; nothing to enforce
+			}
+			heap := sample[0].Value.Uint64()
+			if heap > uint64(w.cfg.MemBudget) {
+				w.log.Warn("heap budget exceeded, self-draining",
+					"heap_bytes", heap, "budget_bytes", w.cfg.MemBudget)
+				w.Drain()
+				return
+			}
+		}
+	}
 }
 
 // Leases reports how many leases this worker has been granted (test and
@@ -456,7 +507,7 @@ func (w *Worker) runLease(l *Lease) {
 	out := &LeaseResult{Lease: l.ID, Job: l.Job, Worker: w.cfg.ID, Fingerprint: l.Fingerprint}
 	for _, i := range l.Points {
 		pts := res.Points[i]
-		jp := sweep.JournalPoint{Point: i, N: pts[0].N, OK: make([]int, len(pts))}
+		jp := sweep.PointTally{Point: i, N: pts[0].N, OK: make([]int, len(pts))}
 		for a := range pts {
 			jp.OK[a] = pts[a].OK
 		}

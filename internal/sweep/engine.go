@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/sweep/store"
 	"repro/internal/wifi"
 )
 
@@ -24,6 +25,11 @@ type Config struct {
 	PoolSize int
 	// PoolSeed seeds the pool's deterministic waveform generation.
 	PoolSeed int64
+	// Store, when set, is the content-addressed result store the engine
+	// checkpoints through: completed points are written as they finish,
+	// and at submit every point already present (same plan fingerprint,
+	// pool identity and point identity) is restored instead of computed.
+	Store *store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -129,9 +135,9 @@ func (e *Engine) runShard(sh shard) {
 	j.completeShard(sh.point, counts, n, err)
 }
 
-// Submit validates the spec, plans every point, restores any matching
-// checkpoint, and schedules the remaining shards. The returned job is
-// already running; cancelling ctx cancels it.
+// Submit validates the spec, plans every point, restores any point the
+// configured result store already holds, and schedules the remaining
+// shards. The returned job is already running; cancelling ctx cancels it.
 func (e *Engine) Submit(ctx context.Context, spec Spec) (*Job, error) {
 	return e.submit(ctx, spec, nil)
 }
@@ -141,9 +147,10 @@ func (e *Engine) Submit(ctx context.Context, spec Spec) (*Job, error) {
 // planned and executed, and the job produces per-point tallies but no
 // assembled table (a table needs every point). This is the distributed
 // worker's entry point — a lease names a point range of the full plan —
-// but is usable by any caller that wants one slice of a sweep.
-// Checkpoints are not supported for subset jobs; the distributed tier
-// journals at the coordinator instead.
+// but is usable by any caller that wants one slice of a sweep. Subset
+// jobs read and write the result store like full jobs do: points are
+// content-addressed, so a slice's tallies are interchangeable with a
+// full run's.
 func (e *Engine) SubmitPoints(ctx context.Context, spec Spec, points []int) (*Job, error) {
 	if len(points) == 0 {
 		return nil, fmt.Errorf("sweep: no points selected")
@@ -166,9 +173,6 @@ func (e *Engine) submit(ctx context.Context, spec Spec, subset []int) (*Job, err
 			active = append(active, i)
 		}
 	} else {
-		if spec.Checkpoint != "" {
-			return nil, fmt.Errorf("sweep: checkpoints are not supported for point-subset jobs")
-		}
 		seen := make(map[int]bool, len(subset))
 		for _, i := range subset {
 			if i < 0 || i >= len(plan.Points) {
@@ -213,36 +217,38 @@ func (e *Engine) submit(ctx context.Context, spec Spec, subset []int) (*Job, err
 		j.totalPackets += int64(pp.Packets())
 	}
 
-	// Checkpoint restore/open before any shard runs. Pooled sweeps record
-	// the pool's identity in the header: their points are only mergeable
-	// with points drawn from an identically-parameterised pool.
-	if spec.Checkpoint != "" {
-		hdr := JournalHeader{V: 1, Spec: spec.Normalised(), Points: len(j.points)}
-		if spec.Pool {
-			hdr.PoolSize = e.cfg.PoolSize
-			hdr.PoolSeed = e.cfg.PoolSeed
-		}
-		restored, ck, err := openCheckpoint(spec.Checkpoint, hdr)
-		if err != nil {
-			cancel()
-			return nil, err
-		}
-		j.ckpt = ck
-		for idx, cp := range restored {
+	// Store restore before any shard runs: any active point whose
+	// content-address key is already stored — same plan fingerprint, pool
+	// identity and point identity, whichever job (or process life)
+	// computed it — is restored instead of executed. The pool identity is
+	// part of the key: points drawn from one waveform pool never alias
+	// points from another or from the pool-less path.
+	if st := e.cfg.Store; st != nil {
+		j.store = st
+		j.keys = PlanKeys(plan, spec.Pool, e.cfg.PoolSize, e.cfg.PoolSeed)
+		for _, idx := range active {
 			ps := j.points[idx]
-			if len(cp.OK) != len(ps.plan.Receivers()) || cp.N != ps.plan.Packets() {
-				cancel()
-				ck.Close()
-				return nil, fmt.Errorf("sweep: checkpoint point %d shape mismatch", idx)
+			t, ok := st.Get(j.keys[idx])
+			if !ok {
+				store.Misses.Inc()
+				continue
 			}
-			ps.ok = cp.OK
-			ps.n = cp.N
+			if t.N != ps.plan.Packets() || len(t.OK) != len(ps.plan.Receivers()) {
+				// A different fidelity under the same key is impossible
+				// (packets and arms feed the point identity); treat a shape
+				// mismatch as a miss rather than trusting it.
+				store.Misses.Inc()
+				continue
+			}
+			store.Hits.Inc()
+			ps.ok = t.OK
+			ps.n = t.N
 			ps.done = true
 			j.restoredPoints++
-			j.donePackets.Add(int64(cp.N))
+			j.donePackets.Add(int64(t.N))
 			done := int(j.donePoints.Add(1))
 			j.events = append(j.events, PointEvent{
-				Seq: len(j.events), Point: idx, N: cp.N, OK: cp.OK,
+				Seq: len(j.events), Point: idx, N: t.N, OK: t.OK,
 				DonePoints: done, Points: j.active,
 			})
 		}
@@ -252,9 +258,6 @@ func (e *Engine) submit(ctx context.Context, spec Spec, subset []int) (*Job, err
 	if e.closed {
 		e.mu.Unlock()
 		cancel()
-		if j.ckpt != nil {
-			j.ckpt.Close()
-		}
 		return nil, fmt.Errorf("sweep: engine is closed")
 	}
 	e.nextID++
@@ -368,7 +371,8 @@ type Job struct {
 	active int // points this job executes (== len(points) unless SubmitPoints)
 	ctx    context.Context
 	cancel context.CancelFunc
-	ckpt   *Journal
+	store  *store.Store
+	keys   []store.Key
 	start  time.Time
 
 	totalPackets   int64
@@ -517,8 +521,8 @@ func (j *Job) completeShard(point int, counts []int, n int, err error) {
 	if !pointDone {
 		return
 	}
-	if j.ckpt != nil {
-		if err := j.ckpt.Append(JournalPoint{Point: point, N: nTotal, OK: okCopy}); err != nil {
+	if j.store != nil {
+		if err := j.store.Put(store.Record{Key: j.keys[point], Tally: store.Tally{N: nTotal, OK: okCopy}}); err != nil {
 			j.fail(err)
 			return
 		}
@@ -548,9 +552,6 @@ func (j *Job) fail(err error) {
 	jobsFailed.Inc()
 	jobsRunning.Add(-1)
 	j.cancel()
-	if j.ckpt != nil {
-		j.ckpt.Close()
-	}
 	close(j.done)
 }
 
@@ -594,9 +595,6 @@ func (j *Job) finalize() {
 	}
 	jobsRunning.Add(-1)
 	j.cancel()
-	if j.ckpt != nil {
-		j.ckpt.Close()
-	}
 	close(j.done)
 }
 

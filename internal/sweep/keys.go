@@ -1,0 +1,20 @@
+package sweep
+
+import (
+	"repro/internal/experiments"
+	"repro/internal/sweep/store"
+)
+
+// PlanKeys derives the content-address store key for every point of plan.
+// pooled/poolSize/poolSeed describe the interferer waveform pool the
+// tallies were (or will be) computed under; pool-less callers pass
+// false, 0, 0. The plan fingerprint is computed once and shared across
+// all points.
+func PlanKeys(plan *experiments.SweepPlan, pooled bool, poolSize int, poolSeed int64) []store.Key {
+	fp := plan.Fingerprint()
+	keys := make([]store.Key, len(plan.Points))
+	for i := range keys {
+		keys[i] = store.KeyFor(fp, plan.PointIdentity(i), pooled, poolSize, poolSeed)
+	}
+	return keys
+}

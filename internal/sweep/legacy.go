@@ -1,0 +1,97 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Legacy JSON-lines journal layout (read-only; the writer was replaced by
+// the content-addressed binary store in internal/sweep/store):
+//
+//	{"v":1,"spec":{…normalised spec…},"points":N}     ← header, written once
+//	{"point":7,"n":2000,"ok":[1523,1892]}             ← one per completed point
+//
+// Point lines were appended in completion order; duplicate lines for the
+// same point are legal with last-wins semantics (tallies in this repo are
+// deterministic, so duplicates are bit-identical anyway). A truncated
+// trailing line — a crash mid-append — is dropped. This parser survives
+// only to migrate old journals into the store (MigrateDir); nothing in
+// the repo writes this format any more.
+
+// JournalHeader is the first line of a legacy journal file, reused as the
+// coordinator's per-job manifest shape (internal/sweep/dist). For pooled
+// sweeps it also records the waveform pool's identity: a point computed
+// from one pool must never be merged with points from another (different
+// size or seed means different interferer waveforms AND a different
+// per-tile draw range).
+type JournalHeader struct {
+	V        int   `json:"v"`
+	Spec     Spec  `json:"spec"`
+	Points   int   `json:"points"`
+	PoolSize int   `json:"pool_size,omitempty"`
+	PoolSeed int64 `json:"pool_seed,omitempty"`
+}
+
+// PointTally is one completed point: its plan index, packet count and
+// per-arm success tallies. It is the wire form of a finished point in the
+// distributed tier (dist.LeaseResult) and the line format of legacy
+// journals.
+type PointTally struct {
+	Point int   `json:"point"`
+	N     int   `json:"n"`
+	OK    []int `json:"ok"`
+}
+
+// ReadLegacyJournal parses the legacy JSON-lines journal at path: its
+// header and the completed points it records (duplicate lines for a
+// point: last wins; a torn trailing line is dropped). The header is
+// validated structurally (version, point indexes in range) but not
+// against any expected spec.
+func ReadLegacyJournal(path string) (JournalHeader, map[int]PointTally, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return JournalHeader{}, nil, err
+	}
+	hdr, restored, err := parseLegacyJournal(data)
+	if err != nil {
+		return JournalHeader{}, nil, fmt.Errorf("sweep: journal %s: %w", path, err)
+	}
+	return hdr, restored, nil
+}
+
+func parseLegacyJournal(data []byte) (JournalHeader, map[int]PointTally, error) {
+	var hdr JournalHeader
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return hdr, nil, fmt.Errorf("empty or torn journal header")
+	}
+	if err := json.Unmarshal(data[:nl], &hdr); err != nil {
+		return hdr, nil, fmt.Errorf("bad header: %w", err)
+	}
+	if hdr.V != 1 {
+		return hdr, nil, fmt.Errorf("unsupported version %d", hdr.V)
+	}
+	restored := make(map[int]PointTally)
+	rest := data[nl+1:]
+	for len(rest) > 0 {
+		end := bytes.IndexByte(rest, '\n')
+		if end < 0 {
+			break // torn final line: only fully written points count
+		}
+		line := rest[:end]
+		if len(line) > 0 {
+			var cp PointTally
+			if err := json.Unmarshal(line, &cp); err != nil {
+				return hdr, nil, fmt.Errorf("corrupt point line: %w", err)
+			}
+			if cp.Point < 0 || cp.Point >= hdr.Points {
+				return hdr, nil, fmt.Errorf("point %d outside [0,%d)", cp.Point, hdr.Points)
+			}
+			restored[cp.Point] = cp
+		}
+		rest = rest[end+1:]
+	}
+	return hdr, restored, nil
+}

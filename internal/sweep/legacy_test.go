@@ -1,0 +1,156 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeLegacyJournal hand-writes a legacy JSON-lines journal (nothing in
+// the repo writes the format any more).
+func writeLegacyJournal(t *testing.T, path string, hdr JournalHeader, pts []PointTally) {
+	t.Helper()
+	var b strings.Builder
+	line, err := json.Marshal(hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Write(line)
+	b.WriteByte('\n')
+	for _, p := range pts {
+		line, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadLegacyJournalSemantics pins the legacy parser's documented
+// rules: duplicate lines for a point are last-wins, and a torn trailing
+// line (kill -9 mid-append) is dropped.
+func TestReadLegacyJournalSemantics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "legacy.jsonl")
+	hdr := JournalHeader{V: 1, Spec: Spec{Experiment: "fig8", Packets: 4, PSDUBytes: 60}, Points: 6}
+	writeLegacyJournal(t, path, hdr, []PointTally{
+		{Point: 1, N: 4, OK: []int{1, 2}},
+		{Point: 1, N: 4, OK: []int{3, 4}}, // duplicate: last wins
+	})
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append(append([]byte{}, clean...), []byte(`{"point":2,"n":4,"ok":[3`)...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, restored, err := ReadLegacyJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Points != hdr.Points || got.Spec.Experiment != "fig8" {
+		t.Fatalf("header round trip: %+v", got)
+	}
+	if len(restored) != 1 {
+		t.Fatalf("restored = %+v, want exactly point 1", restored)
+	}
+	if p := restored[1]; p.OK[0] != 3 || p.OK[1] != 4 {
+		t.Fatalf("point 1 = %+v, want the last duplicate", p)
+	}
+}
+
+// TestReadLegacyJournalRejectsGarbage pins that foreign or corrupt files
+// are refused with a diagnosable error instead of silently restoring junk.
+func TestReadLegacyJournalRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]struct {
+		content string
+		wantErr string
+	}{
+		"no newline":     {`{"v":1`, "torn journal header"},
+		"not json":       {"hello world\n", "bad header"},
+		"bad version":    {`{"v":9,"spec":{},"points":1}` + "\n", "unsupported version"},
+		"corrupt point":  {`{"v":1,"spec":{},"points":2}` + "\nnot-json\n", "corrupt point line"},
+		"out of range":   {`{"v":1,"spec":{},"points":2}` + "\n" + `{"point":7,"n":1,"ok":[0]}` + "\n", "outside [0,2)"},
+		"negative point": {`{"v":1,"spec":{},"points":2}` + "\n" + `{"point":-1,"n":1,"ok":[0]}` + "\n", "outside [0,2)"},
+	}
+	i := 0
+	for name, tc := range cases {
+		i++
+		path := filepath.Join(dir, fmt.Sprintf("j%d.jsonl", i))
+		if err := os.WriteFile(path, []byte(tc.content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err := ReadLegacyJournal(path)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want substring %q", name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestMigrateDir pins the one-shot migration: a legacy journal's points
+// land in the store under their content-address keys (a subsequent sweep
+// restores them without recomputing), the file is renamed *.migrated,
+// and an unparsable file is skipped and left in place.
+func TestMigrateDir(t *testing.T) {
+	// Compute ground-truth tallies once, store-lessly.
+	e := testEngine()
+	spec := testSpec()
+	full := submitAndWait(t, e, spec)
+	e.Close()
+
+	dir := t.TempDir()
+	pts := make([]PointTally, len(full.Points))
+	for i, arms := range full.Points {
+		ok := make([]int, len(arms))
+		for a, pt := range arms {
+			ok[a] = pt.OK
+		}
+		pts[i] = PointTally{Point: i, N: arms[0].N, OK: ok}
+	}
+	writeLegacyJournal(t, filepath.Join(dir, "old.jsonl"),
+		JournalHeader{V: 1, Spec: spec.Normalised(), Points: len(pts)}, pts)
+	if err := os.WriteFile(filepath.Join(dir, "junk.jsonl"), []byte("not a journal\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st := testStore(t, dir)
+	res, err := MigrateDir(dir, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Journals != 1 || res.Points != len(pts) || len(res.Skipped) != 1 {
+		t.Fatalf("migrate result = %+v", res)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "old.jsonl.migrated")); err != nil {
+		t.Fatal("imported journal not renamed")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "junk.jsonl")); err != nil {
+		t.Fatal("unparsable journal removed")
+	}
+
+	// The migrated points serve a fresh sweep with zero packets executed.
+	e2 := New(Config{Workers: 4, ShardPackets: 2, PoolSize: 4, Store: st})
+	defer e2.Close()
+	j, err := e2.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := j.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := j.Progress(); p.RestoredPoints != len(pts) {
+		t.Fatalf("restored %d of %d migrated points", p.RestoredPoints, len(pts))
+	}
+	checkSameResults(t, full.Points, got.Points)
+}

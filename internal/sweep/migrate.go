@@ -1,0 +1,89 @@
+package sweep
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+	"repro/internal/sweep/store"
+	"repro/internal/wifi"
+)
+
+// ImportLegacyJournal reads the legacy JSON-lines journal at path and
+// Puts every completed point it records into st under the point's
+// content-address key. The journal's own header supplies the spec and
+// pool identity (a pooled journal keys under its recorded pool size and
+// seed, exactly as the engine that wrote it would have). Returns how many
+// points were imported; already-stored points are skipped by Put.
+func ImportLegacyJournal(path string, st *store.Store) (int, error) {
+	hdr, restored, err := ReadLegacyJournal(path)
+	if err != nil {
+		return 0, err
+	}
+	spec := hdr.Spec.Normalised()
+	// Planning draws no waveforms, so a never-encoded pool matching the
+	// journal's recorded identity suffices (pool entries encode lazily).
+	var pool *wifi.WaveformPool
+	if spec.Pool {
+		pool = wifi.NewWaveformPool(hdr.PoolSize, hdr.PoolSeed)
+	}
+	req, err := spec.Request(pool)
+	if err != nil {
+		return 0, err
+	}
+	plan, err := experiments.NewSweepPlan(req)
+	if err != nil {
+		return 0, err
+	}
+	if hdr.Points != len(plan.Points) {
+		return 0, fmt.Errorf("sweep: journal %s: header says %d points, plan has %d", path, hdr.Points, len(plan.Points))
+	}
+	keys := PlanKeys(plan, spec.Pool, hdr.PoolSize, hdr.PoolSeed)
+	recs := make([]store.Record, 0, len(restored))
+	for idx, cp := range restored {
+		ps := plan.Points[idx]
+		if cp.N != ps.Cfg.Packets || len(cp.OK) != len(ps.Cfg.Receivers) {
+			return 0, fmt.Errorf("sweep: journal %s: point %d shape mismatch", path, idx)
+		}
+		recs = append(recs, store.Record{Key: keys[idx], Tally: store.Tally{N: cp.N, OK: cp.OK}})
+	}
+	if err := st.Put(recs...); err != nil {
+		return 0, err
+	}
+	return len(recs), nil
+}
+
+// MigrateResult reports what MigrateDir found.
+type MigrateResult struct {
+	Journals int      // journals imported
+	Points   int      // points imported across them
+	Skipped  []string // journals left in place because they could not be parsed
+}
+
+// MigrateDir imports every legacy "*.jsonl" journal in dir into st,
+// renaming each successfully imported file to "<name>.migrated" so the
+// migration is one-shot. Unparsable journals are skipped (listed in
+// Skipped) and left untouched — they may be foreign files. This is the
+// one-shot migration path for store directories that used to be journal
+// directories.
+func MigrateDir(dir string, st *store.Store) (MigrateResult, error) {
+	var res MigrateResult
+	names, err := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+	if err != nil {
+		return res, err
+	}
+	for _, name := range names {
+		n, err := ImportLegacyJournal(name, st)
+		if err != nil {
+			res.Skipped = append(res.Skipped, fmt.Sprintf("%s: %v", name, err))
+			continue
+		}
+		if err := os.Rename(name, name+".migrated"); err != nil {
+			return res, err
+		}
+		res.Journals++
+		res.Points += n
+	}
+	return res, nil
+}

@@ -1,0 +1,78 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchRecord(i int) Record {
+	var k Key
+	k[0] = byte(i)
+	k[1] = byte(i >> 8)
+	return Record{Key: k, Tally: Tally{N: 2000, OK: []int{1999, 1500, 1234, 7}}}
+}
+
+func BenchmarkStoreEncode(b *testing.B) {
+	r := benchRecord(1)
+	buf := make([]byte, 0, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = appendRecord(buf[:0], r)
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+func BenchmarkStoreDecode(b *testing.B) {
+	frame := appendRecord(nil, benchRecord(1))
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n, damaged := parseSegment(append(append([]byte(nil), segMagic...), frame...), func(Record) {})
+		if n != 1 || damaged {
+			b.Fatalf("n=%d damaged=%v", n, damaged)
+		}
+	}
+}
+
+func BenchmarkStoreLookup(b *testing.B) {
+	s, _, err := Open(b.TempDir(), Options{NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const points = 1024
+	recs := make([]Record, points)
+	for i := range recs {
+		recs[i] = benchRecord(i)
+	}
+	if err := s.Put(recs...); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Get(recs[i%points].Key); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkStorePut(b *testing.B) {
+	for _, batch := range []int{1, 30} {
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			s, _, err := Open(b.TempDir(), Options{NoSync: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				recs := make([]Record, batch)
+				for j := range recs {
+					recs[j] = benchRecord(i*batch + j)
+				}
+				if err := s.Put(recs...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,68 @@
+// Package store is the content-addressed durable result store behind
+// sweep checkpointing and distributed-job durability: a crash-safe,
+// compact binary format for completed measurement points, keyed by what
+// a point IS rather than which job computed it — so repeated sweeps and
+// cross-job duplicate points are served from disk instead of the fleet.
+//
+// # Content-address key scheme
+//
+// A record's key is sha256 over four components:
+//
+//	"cpr-store|v1" | plan fingerprint | pool identity | point identity
+//
+// The plan fingerprint is experiments.SweepPlan.Fingerprint — a digest
+// of every point's decision-determining configuration — and the point
+// identity is SweepPlan.PointIdentity(i) for the stored point, so two
+// jobs (or two coordinator lives, or an engine and a coordinator) agree
+// on a key exactly when they would compute bit-identical tallies for the
+// point. The pool identity (pooled flag, pool size, pool seed) is keyed
+// separately because it changes the interferer draw sequence without
+// appearing in the point identity: pooled and pool-less tallies for the
+// same point must never alias. Tallies in this repo are deterministic,
+// so a key collision between DIFFERENT tallies would require a sha256
+// collision; duplicate Puts of the same key are no-ops.
+//
+// # Record format
+//
+// A store directory holds immutable segment files, "seg-<n>.seg", each
+// written in full via create-temp → write → fsync → rename → fsync(dir)
+// (Options.NoSync skips both fsyncs for tests and benches). A segment
+// is a 5-byte header — magic "CPRS" plus a format version byte — and a
+// run of framed records:
+//
+//	uvarint  payload length
+//	uint32le CRC32-C of the payload
+//	payload:
+//	    key      32 bytes
+//	    uvarint  n        packets attempted
+//	    uvarint  arms     receiver-arm count
+//	    uint8    width    bits per tally = bits.Len(n)
+//	    packed   ceil(arms·width/8) bytes, LSB-first bit-packed tallies
+//
+// Per-arm success tallies lie in [0, n], so each is bit-packed at
+// exactly the width n requires — a fig8-scale record is ~50 bytes
+// against ~90 for its JSON-lines ancestor, and decode is a fixed-shape
+// scan with no parsing ambiguity. Encodings are canonical (minimal
+// width, zero padding bits); decode rejects non-canonical forms.
+//
+// # Recovery guarantees
+//
+// Open replays every segment and tolerates arbitrary damage without
+// ever surfacing a corrupted tally:
+//
+//   - A torn tail (kill -9 or power loss mid-write on a filesystem that
+//     let a partially-synced segment survive) parses as a clean prefix:
+//     every fully-framed, CRC-valid record before the tear is restored,
+//     the rest of the file is skipped.
+//   - A bit-flipped record fails its CRC (or the canonical-form checks)
+//     and parsing of that segment stops at the last trustworthy record —
+//     framing beyond a corrupt length prefix cannot be trusted.
+//   - A foreign or truncated-to-garbage file (bad magic/version) is
+//     skipped whole.
+//
+// Damage is counted (cpr_store_corrupt_records_total, RecoveryStats)
+// and never fatal: a salvaged store is simply a smaller cache, and the
+// engine or fleet recomputes the missing points — deterministically, so
+// the final tables are byte-identical either way. FuzzStoreRecovery
+// pins all of this against arbitrary truncations and byte corruptions.
+package store

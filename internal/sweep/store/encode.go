@@ -1,0 +1,180 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math/bits"
+)
+
+// Encoding limits. Records beyond these are refused on write and treated
+// as corrupt on read: a flipped bit in a length or count field must not
+// drive a multi-gigabyte allocation during recovery.
+const (
+	maxPacketsPerPoint = 1 << 30
+	maxArms            = 4096
+	maxPayload         = 32 + 2*binary.MaxVarintLen64 + 1 + (maxArms*64+7)/8
+)
+
+// segMagic opens every segment file: "CPRS" plus the format version.
+var segMagic = []byte{'C', 'P', 'R', 'S', 1}
+
+// castagnoli is the CRC32-C table (the SSE4.2-accelerated polynomial).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// validTally reports whether t is encodable: a non-negative packet count
+// within limits and per-arm tallies in [0, t.N].
+func validTally(t Tally) error {
+	if t.N < 0 || t.N > maxPacketsPerPoint {
+		return fmt.Errorf("store: packet count %d outside [0,%d]", t.N, maxPacketsPerPoint)
+	}
+	if len(t.OK) == 0 || len(t.OK) > maxArms {
+		return fmt.Errorf("store: arm count %d outside [1,%d]", len(t.OK), maxArms)
+	}
+	for a, v := range t.OK {
+		if v < 0 || v > t.N {
+			return fmt.Errorf("store: arm %d tally %d outside [0,%d]", a, v, t.N)
+		}
+	}
+	return nil
+}
+
+// appendPayload appends the canonical payload encoding of r.
+func appendPayload(buf []byte, r Record) []byte {
+	width := bits.Len(uint(r.Tally.N))
+	buf = append(buf, r.Key[:]...)
+	buf = binary.AppendUvarint(buf, uint64(r.Tally.N))
+	buf = binary.AppendUvarint(buf, uint64(len(r.Tally.OK)))
+	buf = append(buf, byte(width))
+	return appendPackedBits(buf, r.Tally.OK, width)
+}
+
+// appendRecord appends the framed record (length, CRC32-C, payload).
+func appendRecord(buf []byte, r Record) []byte {
+	payload := appendPayload(nil, r)
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+	return append(buf, payload...)
+}
+
+// decodePayload parses one CRC-verified payload, enforcing the canonical
+// form: minimal bit width, exact packed length, zero padding bits, every
+// tally within [0, n].
+func decodePayload(p []byte) (Record, error) {
+	var r Record
+	if len(p) < len(r.Key) {
+		return r, fmt.Errorf("store: payload shorter than a key")
+	}
+	copy(r.Key[:], p)
+	p = p[len(r.Key):]
+	n, used := binary.Uvarint(p)
+	if used <= 0 || n > maxPacketsPerPoint {
+		return r, fmt.Errorf("store: bad packet count")
+	}
+	p = p[used:]
+	arms, used := binary.Uvarint(p)
+	if used <= 0 || arms == 0 || arms > maxArms {
+		return r, fmt.Errorf("store: bad arm count")
+	}
+	p = p[used:]
+	if len(p) == 0 {
+		return r, fmt.Errorf("store: missing bit width")
+	}
+	width := int(p[0])
+	p = p[1:]
+	if width != bits.Len(uint(n)) {
+		return r, fmt.Errorf("store: non-canonical bit width %d for n=%d", width, n)
+	}
+	want := (int(arms)*width + 7) / 8
+	if len(p) != want {
+		return r, fmt.Errorf("store: packed tallies are %d bytes, want %d", len(p), want)
+	}
+	ok, err := unpackBits(p, int(arms), width)
+	if err != nil {
+		return r, err
+	}
+	r.Tally.N = int(n)
+	r.Tally.OK = ok
+	for a, v := range ok {
+		if v > r.Tally.N {
+			return r, fmt.Errorf("store: arm %d tally %d exceeds n=%d", a, v, r.Tally.N)
+		}
+	}
+	return r, nil
+}
+
+// appendPackedBits bit-packs vals at width bits each, LSB-first.
+func appendPackedBits(buf []byte, vals []int, width int) []byte {
+	start := len(buf)
+	buf = append(buf, make([]byte, (len(vals)*width+7)/8)...)
+	out := buf[start:]
+	bit := 0
+	for _, v := range vals {
+		for b := 0; b < width; b++ {
+			if v&(1<<b) != 0 {
+				out[bit>>3] |= 1 << (bit & 7)
+			}
+			bit++
+		}
+	}
+	return buf
+}
+
+// unpackBits reverses appendPackedBits and rejects non-zero padding bits
+// (a canonical encoding leaves them clear; set ones mean corruption).
+func unpackBits(p []byte, arms, width int) ([]int, error) {
+	out := make([]int, arms)
+	bit := 0
+	for i := range out {
+		v := 0
+		for b := 0; b < width; b++ {
+			if p[bit>>3]&(1<<(bit&7)) != 0 {
+				v |= 1 << b
+			}
+			bit++
+		}
+		out[i] = v
+	}
+	for ; bit < len(p)*8; bit++ {
+		if p[bit>>3]&(1<<(bit&7)) != 0 {
+			return nil, fmt.Errorf("store: non-zero padding bits")
+		}
+	}
+	return out, nil
+}
+
+// parseSegment scans one segment's bytes, emitting every intact record of
+// the longest valid prefix. It never panics and never emits a record that
+// failed its CRC or canonical-form checks: at the first torn or corrupt
+// frame the rest of the segment is skipped (framing beyond it cannot be
+// trusted) and damaged reports true. A file that is not a segment at all
+// (bad magic or version) emits nothing and reports damaged.
+func parseSegment(data []byte, emit func(Record)) (records int, damaged bool) {
+	if len(data) < len(segMagic) || string(data[:len(segMagic)]) != string(segMagic) {
+		return 0, true
+	}
+	rest := data[len(segMagic):]
+	for len(rest) > 0 {
+		plen, used := binary.Uvarint(rest)
+		if used <= 0 || plen == 0 || plen > maxPayload {
+			return records, true
+		}
+		rest = rest[used:]
+		if len(rest) < 4+int(plen) {
+			return records, true // torn tail: frame extends past EOF
+		}
+		sum := binary.LittleEndian.Uint32(rest)
+		payload := rest[4 : 4+plen]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return records, true
+		}
+		r, err := decodePayload(payload)
+		if err != nil {
+			return records, true
+		}
+		emit(r)
+		records++
+		rest = rest[4+plen:]
+	}
+	return records, false
+}

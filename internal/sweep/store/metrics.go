@@ -1,0 +1,26 @@
+package store
+
+import "repro/internal/obs"
+
+// Store counters, exposed on /metrics via obs.Default. Counting policy:
+// decision sites count, Get does not — a hit is recorded when a cached
+// tally actually displaces work (engine restore, coordinator absorb),
+// never by mere index probes, so repeated scans cannot inflate the
+// numbers.
+var (
+	// Hits counts points served from the store instead of being computed.
+	Hits = obs.NewCounter("cpr_store_hits_total",
+		"Sweep points served from the result store instead of recomputed.")
+	// Misses counts points a job needed but the store did not hold.
+	Misses = obs.NewCounter("cpr_store_misses_total",
+		"Sweep points absent from the result store at job submit.")
+	// Dedupes counts result uploads for points that were already done.
+	Dedupes = obs.NewCounter("cpr_store_dedupes_total",
+		"Duplicate point results discarded because the point was already stored.")
+	// LateAccepts counts results accepted from leases no longer live.
+	LateAccepts = obs.NewCounter("cpr_store_late_accepts_total",
+		"Point results accepted from expired or revoked leases.")
+	// Corrupt counts damaged segments skipped (in part or whole) on Open.
+	Corrupt = obs.NewCounter("cpr_store_corrupt_records_total",
+		"Store segments with torn or corrupt records skipped during recovery.")
+)

@@ -1,0 +1,242 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Key content-addresses one completed measurement point. See the package
+// doc for the derivation; build one with KeyFor.
+type Key [sha256.Size]byte
+
+// Tally is the durable result for one point: packets attempted and the
+// per-receiver-arm success counts.
+type Tally struct {
+	N  int
+	OK []int
+}
+
+// Record pairs a key with its tally.
+type Record struct {
+	Key   Key
+	Tally Tally
+}
+
+// Options configures Open.
+type Options struct {
+	// NoSync skips the fsync of segment data and of the directory on
+	// every write. Tests and benches only: a crash can then lose or
+	// tear acknowledged records (recovery still salvages the rest).
+	NoSync bool
+}
+
+// RecoveryStats reports what Open found on disk.
+type RecoveryStats struct {
+	Segments        int // segment files scanned
+	Records         int // intact records restored
+	DamagedSegments int // segments with a torn tail, corrupt record, or bad magic
+}
+
+// Store is a content-addressed result store over one directory. All
+// methods are safe for concurrent use.
+type Store struct {
+	dir    string
+	noSync bool
+
+	mu      sync.Mutex
+	idx     map[Key]Tally
+	nextSeg int
+}
+
+// KeyFor derives the content-address key for one sweep point:
+// sha256("cpr-store|v1" | fingerprint | pool identity | identity).
+// fingerprint is experiments.SweepPlan.Fingerprint(), identity the
+// plan's PointIdentity for the point. Pool-less callers pass
+// pooled=false (size and seed are then canonicalized to zero).
+func KeyFor(fingerprint, identity string, pooled bool, poolSize int, poolSeed int64) Key {
+	if !pooled {
+		poolSize, poolSeed = 0, 0
+	}
+	h := sha256.New()
+	h.Write([]byte("cpr-store|v1"))
+	h.Write([]byte{0})
+	h.Write([]byte(fingerprint))
+	h.Write([]byte{0})
+	var pool [17]byte
+	if pooled {
+		pool[0] = 1
+	}
+	binary.LittleEndian.PutUint64(pool[1:], uint64(poolSize))
+	binary.LittleEndian.PutUint64(pool[9:], uint64(poolSeed))
+	h.Write(pool[:])
+	h.Write([]byte{0})
+	h.Write([]byte(identity))
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// Open loads (creating if needed) the store at dir, salvaging every
+// intact record from its segments. Damage is reported in RecoveryStats
+// and counted in cpr_store_corrupt_records_total; it is never fatal.
+func Open(dir string, opts Options) (*Store, RecoveryStats, error) {
+	var stats RecoveryStats
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, stats, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, noSync: opts.NoSync, idx: make(map[Key]Tally)}
+
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
+	if err != nil {
+		return nil, stats, fmt.Errorf("store: %w", err)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if n := segNumber(name); n >= s.nextSeg {
+			s.nextSeg = n + 1
+		}
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, stats, fmt.Errorf("store: %w", err)
+		}
+		stats.Segments++
+		rec, damaged := parseSegment(data, func(r Record) { s.idx[r.Key] = r.Tally })
+		stats.Records += rec
+		if damaged {
+			stats.DamagedSegments++
+			Corrupt.Inc()
+		}
+	}
+	// Stray temp files are aborted writes from a previous life.
+	if tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(tmps) > 0 {
+		for _, t := range tmps {
+			os.Remove(t)
+		}
+	}
+	return s, stats, nil
+}
+
+// segNumber parses the numeric part of a "seg-<n>.seg" path, -1 if malformed.
+func segNumber(path string) int {
+	base := filepath.Base(path)
+	base = strings.TrimPrefix(base, "seg-")
+	base = strings.TrimSuffix(base, ".seg")
+	n, err := strconv.Atoi(base)
+	if err != nil || n < 0 {
+		return -1
+	}
+	return n
+}
+
+// Get returns the stored tally for k. The returned OK slice is a copy.
+func (s *Store) Get(k Key) (Tally, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.idx[k]
+	if !ok {
+		return Tally{}, false
+	}
+	out := Tally{N: t.N, OK: make([]int, len(t.OK))}
+	copy(out.OK, t.OK)
+	return out, true
+}
+
+// Len reports how many distinct points the store holds.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.idx)
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Put durably appends recs as one new segment, skipping keys already
+// present (duplicate Puts are no-ops). The segment is written whole to a
+// temp file, fsynced, renamed into place, and the directory fsynced —
+// unless the store was opened with NoSync. OK slices are copied.
+func (s *Store) Put(recs ...Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	buf := append([]byte(nil), segMagic...)
+	fresh := make([]Record, 0, len(recs))
+	for _, r := range recs {
+		if _, dup := s.idx[r.Key]; dup {
+			continue
+		}
+		if err := validTally(r.Tally); err != nil {
+			return err
+		}
+		buf = appendRecord(buf, r)
+		fresh = append(fresh, r)
+	}
+	if len(fresh) == 0 {
+		return nil
+	}
+	final := filepath.Join(s.dir, fmt.Sprintf("seg-%08d.seg", s.nextSeg))
+	if err := atomicWrite(final, buf, !s.noSync); err != nil {
+		return err
+	}
+	s.nextSeg++
+	for _, r := range fresh {
+		ok := make([]int, len(r.Tally.OK))
+		copy(ok, r.Tally.OK)
+		s.idx[r.Key] = Tally{N: r.Tally.N, OK: ok}
+	}
+	return nil
+}
+
+// Close releases the store. The index is memory-only and every segment
+// is already durable, so this is currently a no-op kept for symmetry.
+func (s *Store) Close() error { return nil }
+
+// AtomicWrite writes data to path via a temp file in the same directory,
+// renaming into place; with sync it fsyncs the data before the rename and
+// the directory after. Exposed for sibling durable state (job manifests)
+// that must share the store's crash-safety discipline.
+func AtomicWrite(path string, data []byte, sync bool) error {
+	return atomicWrite(path, data, sync)
+}
+
+func atomicWrite(path string, data []byte, sync bool) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if sync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if sync {
+		d, err := os.Open(dir)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		defer d.Close()
+		if err := d.Sync(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,281 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testKey(b byte) Key {
+	var k Key
+	for i := range k {
+		k[i] = b
+	}
+	return k
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, stats, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Segments != 0 || stats.Records != 0 {
+		t.Fatalf("fresh store reported stats %+v", stats)
+	}
+	recs := []Record{
+		{Key: testKey(1), Tally: Tally{N: 2000, OK: []int{1999, 0, 1234, 7}}},
+		{Key: testKey(2), Tally: Tally{N: 0, OK: []int{0}}},
+		{Key: testKey(3), Tally: Tally{N: 1, OK: []int{1, 0, 1}}},
+	}
+	if err := s.Put(recs...); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		got, ok := s.Get(r.Key)
+		if !ok {
+			t.Fatalf("key %x missing after Put", r.Key[:4])
+		}
+		if got.N != r.Tally.N || !equalInts(got.OK, r.Tally.OK) {
+			t.Fatalf("got %+v want %+v", got, r.Tally)
+		}
+	}
+	// Get must hand out copies, not aliases of the index.
+	got, _ := s.Get(recs[0].Key)
+	got.OK[0] = -999
+	again, _ := s.Get(recs[0].Key)
+	if again.OK[0] != 1999 {
+		t.Fatal("Get aliases internal state")
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len=%d want 3", s.Len())
+	}
+}
+
+func TestReopenRestoresIndex(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Record{Key: testKey(1), Tally: Tally{N: 9, OK: []int{3, 9}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Record{Key: testKey(2), Tally: Tally{N: 5, OK: []int{5}}}); err != nil {
+		t.Fatal(err)
+	}
+	s2, stats, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Segments != 2 || stats.Records != 2 || stats.DamagedSegments != 0 {
+		t.Fatalf("reopen stats %+v", stats)
+	}
+	got, ok := s2.Get(testKey(1))
+	if !ok || got.N != 9 || !equalInts(got.OK, []int{3, 9}) {
+		t.Fatalf("got %+v ok=%v", got, ok)
+	}
+	// New segments after reopen must not clobber old ones.
+	if err := s2.Put(Record{Key: testKey(3), Tally: Tally{N: 1, OK: []int{0}}}); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
+	if len(segs) != 3 {
+		t.Fatalf("want 3 segments, got %v", segs)
+	}
+}
+
+func TestPutDeduplicates(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Record{Key: testKey(7), Tally: Tally{N: 4, OK: []int{2}}}
+	if err := s.Put(r); err != nil {
+		t.Fatal(err)
+	}
+	// Same key again, even with a different tally: no-op, no new segment.
+	if err := s.Put(Record{Key: testKey(7), Tally: Tally{N: 8, OK: []int{8}}}); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
+	if len(segs) != 1 {
+		t.Fatalf("duplicate Put wrote a segment: %v", segs)
+	}
+	got, _ := s.Get(testKey(7))
+	if got.N != 4 {
+		t.Fatalf("duplicate Put overwrote tally: %+v", got)
+	}
+}
+
+func TestPutRejectsInvalidTally(t *testing.T) {
+	s, _, err := Open(t.TempDir(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []Tally{
+		{N: -1, OK: []int{0}},
+		{N: 3, OK: nil},
+		{N: 3, OK: []int{4}},
+		{N: 3, OK: []int{-1}},
+		{N: 3, OK: make([]int, maxArms+1)},
+	}
+	for i, tl := range bad {
+		if err := s.Put(Record{Key: testKey(byte(i)), Tally: tl}); err == nil {
+			t.Fatalf("tally %+v accepted", tl)
+		}
+	}
+}
+
+func TestTornTailSalvagesPrefix(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(
+		Record{Key: testKey(1), Tally: Tally{N: 10, OK: []int{4, 10, 0}}},
+		Record{Key: testKey(2), Tally: Tally{N: 10, OK: []int{1, 2, 3}}},
+	); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, "seg-00000000.seg")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear mid-way through the second record's payload.
+	if err := os.WriteFile(seg, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, stats, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 1 || stats.DamagedSegments != 1 {
+		t.Fatalf("stats %+v", stats)
+	}
+	if _, ok := s2.Get(testKey(1)); !ok {
+		t.Fatal("intact prefix record lost")
+	}
+	if _, ok := s2.Get(testKey(2)); ok {
+		t.Fatal("torn record surfaced")
+	}
+}
+
+func TestBitFlipStopsSegment(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(
+		Record{Key: testKey(1), Tally: Tally{N: 100, OK: []int{42}}},
+		Record{Key: testKey(2), Tally: Tally{N: 100, OK: []int{43}}},
+		Record{Key: testKey(3), Tally: Tally{N: 100, OK: []int{44}}},
+	); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, "seg-00000000.seg")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit inside the second record's payload (well past the
+	// first frame: header 5 + frame ≈ 1+4+40).
+	data[len(segMagic)+60] ^= 0x10
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, stats, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DamagedSegments != 1 {
+		t.Fatalf("stats %+v", stats)
+	}
+	if got, ok := s2.Get(testKey(1)); !ok || got.OK[0] != 42 {
+		t.Fatalf("first record not salvaged: %+v ok=%v", got, ok)
+	}
+	if _, ok := s2.Get(testKey(2)); ok {
+		t.Fatal("bit-flipped record surfaced")
+	}
+}
+
+func TestForeignFileSkipped(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "seg-00000005.seg"), []byte("not a segment"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, stats, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DamagedSegments != 1 || stats.Records != 0 {
+		t.Fatalf("stats %+v", stats)
+	}
+	// The damaged file's number is still burned for new segments.
+	if err := s.Put(Record{Key: testKey(1), Tally: Tally{N: 1, OK: []int{1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "seg-00000006.seg")); err != nil {
+		t.Fatal("new segment did not skip past damaged number")
+	}
+}
+
+func TestKeyForPoolIdentity(t *testing.T) {
+	fp, id := "fingerprint", "point 0"
+	base := KeyFor(fp, id, false, 0, 0)
+	if KeyFor(fp, id, false, 99, 7) != base {
+		t.Fatal("pool-less keys must canonicalize size/seed to zero")
+	}
+	pooled := KeyFor(fp, id, true, 4, 1)
+	if pooled == base {
+		t.Fatal("pooled and pool-less tallies alias")
+	}
+	if KeyFor(fp, id, true, 4, 2) == pooled {
+		t.Fatal("pool seed not keyed")
+	}
+	if KeyFor(fp, id, true, 8, 1) == pooled {
+		t.Fatal("pool size not keyed")
+	}
+	if KeyFor(fp, "point 1", true, 4, 1) == pooled {
+		t.Fatal("point identity not keyed")
+	}
+	if KeyFor("other", id, true, 4, 1) == pooled {
+		t.Fatal("fingerprint not keyed")
+	}
+}
+
+func TestAtomicWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.json")
+	if err := AtomicWrite(path, []byte("one"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := AtomicWrite(path, []byte("two"), true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || !bytes.Equal(data, []byte("two")) {
+		t.Fatalf("data=%q err=%v", data, err)
+	}
+	tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if len(tmps) != 0 {
+		t.Fatalf("temp files left behind: %v", tmps)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

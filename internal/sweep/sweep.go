@@ -27,11 +27,13 @@
 //     across the receiver arms of each packet (core.Training).
 //
 // Jobs expose atomic progress counters, context cancellation, and an
-// optional JSON-lines checkpoint: one header line describing the spec
-// plus one line per completed point, appended as points finish, so an
-// interrupted sweep resubmitted with the same spec and checkpoint path
-// resumes at the first incomplete point. See checkpoint.go for the
-// layout.
+// optional content-addressed result store (internal/sweep/store): points
+// are written to the store as they finish and any point the store
+// already holds — keyed by plan fingerprint, pool identity and point
+// identity, regardless of which job or process computed it — is restored
+// at submit instead of executed. An interrupted sweep resubmitted
+// against the same store resumes at the first missing point; a repeated
+// identical sweep completes without running a packet.
 package sweep
 
 import (
@@ -65,10 +67,6 @@ type Spec struct {
 	// waveform pool: substantially faster, same statistics, deterministic
 	// per seed — but not packet-identical to the pool-less draw sequence.
 	Pool bool `json:"pool,omitempty"`
-	// Checkpoint is a JSON-lines checkpoint path. When the file exists
-	// and matches the spec, completed points are restored and skipped;
-	// points completing during the run are appended.
-	Checkpoint string `json:"checkpoint,omitempty"`
 }
 
 // Request resolves the spec into an experiments.SweepRequest. pool is
@@ -102,10 +100,8 @@ func (s Spec) Request(pool *wifi.WaveformPool) (experiments.SweepRequest, error)
 	return req, nil
 }
 
-// Normalised returns the spec with fidelity defaults filled and the
-// checkpoint path cleared — the form stored in journal headers and
-// compared on resume (the same sweep checkpointed to a different path
-// must still match). The distributed coordinator sends this form to
+// Normalised returns the spec with fidelity defaults filled — the form
+// stored in job manifests and sent by the distributed coordinator to
 // workers, so both sides plan from identical fields.
 func (s Spec) Normalised() Spec {
 	if s.Packets == 0 {
@@ -114,6 +110,5 @@ func (s Spec) Normalised() Spec {
 	if s.PSDUBytes == 0 {
 		s.PSDUBytes = 400
 	}
-	s.Checkpoint = ""
 	return s
 }

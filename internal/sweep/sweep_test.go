@@ -4,10 +4,11 @@ import (
 	"context"
 	"os"
 	"path/filepath"
-	"strings"
+	"sort"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/sweep/store"
 )
 
 // testSpec is a reduced-fidelity fig8 sweep: two SIRs × three MCS modes,
@@ -19,6 +20,22 @@ func testSpec() Spec {
 
 func testEngine() *Engine {
 	return New(Config{Workers: 4, ShardPackets: 2, PoolSize: 4})
+}
+
+// testStore opens a NoSync store in a fresh temp dir.
+func testStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, _, err := store.Open(dir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// testEngineStore is testEngine checkpointing through a store at dir.
+func testEngineStore(t *testing.T, dir string) *Engine {
+	t.Helper()
+	return New(Config{Workers: 4, ShardPackets: 2, PoolSize: 4, Store: testStore(t, dir)})
 }
 
 // runDirect executes the same sweep on the sequential engine-less path.
@@ -109,49 +126,30 @@ func TestEnginePoolDeterministic(t *testing.T) {
 	}
 }
 
-// TestCheckpointResume pins the round trip: a completed job writes one
-// line per point; truncating the file to a prefix and resubmitting
+// TestStoreResume pins the store round trip: a completed job writes one
+// record per point; deleting some segments and truncating another to a
+// torn prefix, then resubmitting on a fresh engine over the same dir,
 // restores exactly the surviving points and still produces bit-identical
-// results; resubmitting the full checkpoint executes zero packets.
-func TestCheckpointResume(t *testing.T) {
-	e := testEngine()
-	defer e.Close()
-	path := filepath.Join(t.TempDir(), "fig8.ckpt")
+// results; resubmitting against the intact store executes zero packets.
+func TestStoreResume(t *testing.T) {
+	dir := t.TempDir()
 	spec := testSpec()
-	spec.Checkpoint = path
 
+	e := testEngineStore(t, dir)
 	full := submitAndWait(t, e, spec)
-	data, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	e.Close()
 	nPoints := len(full.Points)
-	if len(lines) != 1+nPoints {
-		t.Fatalf("checkpoint has %d lines, want header+%d points", len(lines), nPoints)
-	}
-
-	// Simulate an interruption: keep the header and the first two
-	// completed points (plus a torn partial line, which must be ignored).
-	trunc := strings.Join(lines[:3], "\n") + "\n" + lines[3][:len(lines[3])/2]
-	if err := os.WriteFile(path, []byte(trunc), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	j, err := e.Submit(context.Background(), spec)
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := j.Wait(context.Background())
-	if err != nil {
-		t.Fatal(err)
+	if len(segs) != nPoints {
+		t.Fatalf("store has %d segments, want one per point (%d)", len(segs), nPoints)
 	}
-	if p := j.Progress(); p.RestoredPoints != 2 {
-		t.Fatalf("restored %d points, want 2", p.RestoredPoints)
-	}
-	checkSameResults(t, full.Points, res.Points)
 
-	// A complete checkpoint resumes without executing any packet.
-	j2, err := e.Submit(context.Background(), spec)
+	// A complete store resumes without executing any packet.
+	e2 := testEngineStore(t, dir)
+	j2, err := e2.Submit(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,35 +162,102 @@ func TestCheckpointResume(t *testing.T) {
 		t.Fatalf("full resume progress = %+v", p)
 	}
 	checkSameResults(t, full.Points, res2.Points)
+	e2.Close()
+
+	// Simulate crash damage: delete two whole segments and tear a third
+	// mid-record. The damaged points recompute; the rest restore.
+	sort.Strings(segs)
+	for _, s := range segs[:2] {
+		if err := os.Remove(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(segs[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(segs[2], data[:len(data)-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e3 := testEngineStore(t, dir)
+	defer e3.Close()
+	j3, err := e3.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res3, err := j3.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := j3.Progress(); p.RestoredPoints != nPoints-3 {
+		t.Fatalf("restored %d points, want %d", p.RestoredPoints, nPoints-3)
+	}
+	checkSameResults(t, full.Points, res3.Points)
 }
 
-// TestCheckpointSpecMismatch pins that a checkpoint from a different
-// sweep is refused instead of silently merged.
-func TestCheckpointSpecMismatch(t *testing.T) {
-	e := testEngine()
+// TestStoreContentAddressing pins that the store never aliases across
+// sweeps: a different seed, and a pooled sweep under a different pool
+// identity, hit nothing (content-address miss) instead of being merged
+// or refused — the store is a cache, not a per-job file.
+func TestStoreContentAddressing(t *testing.T) {
+	dir := t.TempDir()
+	e := testEngineStore(t, dir)
 	defer e.Close()
-	path := filepath.Join(t.TempDir(), "sweep.ckpt")
 	spec := testSpec()
-	spec.Checkpoint = path
 	submitAndWait(t, e, spec)
 
 	other := spec
 	other.Seed++
-	if _, err := e.Submit(context.Background(), other); err == nil || !strings.Contains(err.Error(), "mismatch") {
-		t.Fatalf("mismatched checkpoint accepted (err=%v)", err)
+	j, err := e.Submit(context.Background(), other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if p := j.Progress(); p.RestoredPoints != 0 {
+		t.Fatalf("different seed restored %d points from the store", p.RestoredPoints)
 	}
 
-	// A pooled checkpoint is tied to the pool's identity: an engine with a
-	// different pool seed must refuse it (its waveforms differ).
+	// Pooled tallies key under the pool's identity: an engine with a
+	// different pool seed must miss (its waveforms differ), while the
+	// same identity restores in full.
 	pooled := testSpec()
 	pooled.Pool = true
-	pooled.Checkpoint = filepath.Join(t.TempDir(), "pooled.ckpt")
-	submitAndWait(t, e, pooled)
-	e2 := New(Config{Workers: 2, ShardPackets: 2, PoolSize: 4, PoolSeed: 99})
-	defer e2.Close()
-	if _, err := e2.Submit(context.Background(), pooled); err == nil || !strings.Contains(err.Error(), "mismatch") {
-		t.Fatalf("pooled checkpoint accepted by a differently-seeded pool (err=%v)", err)
+	pj, err := e.Submit(context.Background(), pooled)
+	if err != nil {
+		t.Fatal(err)
 	}
+	pres, err := pj.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := New(Config{Workers: 2, ShardPackets: 2, PoolSize: 4, PoolSeed: 99, Store: testStore(t, dir)})
+	defer e2.Close()
+	j2, err := e2.Submit(context.Background(), pooled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j2.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if p := j2.Progress(); p.RestoredPoints != 0 {
+		t.Fatalf("differently-seeded pool restored %d points", p.RestoredPoints)
+	}
+	e3 := New(Config{Workers: 2, ShardPackets: 2, PoolSize: 4, Store: testStore(t, dir)})
+	defer e3.Close()
+	j3, err := e3.Submit(context.Background(), pooled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res3, err := j3.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := j3.Progress(); p.RestoredPoints != len(pres.Points) {
+		t.Fatalf("same pool identity restored %d of %d points", p.RestoredPoints, len(pres.Points))
+	}
+	checkSameResults(t, pres.Points, res3.Points)
 }
 
 // TestRemove pins job pruning: removed jobs disappear from the engine's

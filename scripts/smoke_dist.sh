@@ -3,11 +3,14 @@
 # build the binary, launch a coordinator plus two worker processes on
 # localhost, submit the same short fig8 spec `make smoke` runs — then,
 # mid-sweep, kill -9 one worker (its lease must be re-issued via TTL
-# expiry), kill -TERM the other (the SIGTERM drain path: it must finish
-# its in-flight lease, deregister and exit on its own), and join a
-# replacement worker that carries the sweep home. The streamed run's
-# final table must still be byte-identical to the single-process
-# engine's output.
+# expiry), kill -9 the COORDINATOR itself (a replacement over the same
+# store dir must replay the job from the store — stored points count as
+# cpr_store hits and are never re-leased — while the submit stream and
+# the surviving worker reconnect on their own), kill -TERM the other
+# worker (the SIGTERM drain path: it must finish its in-flight lease,
+# deregister and exit on its own), and join a replacement worker that
+# carries the sweep home. The streamed run's final table must still be
+# byte-identical to the single-process engine's output.
 set -eu
 
 GO=${GO:-go}
@@ -33,9 +36,10 @@ $GO build -o "$BIN" ./cmd/cprecycle-bench
 echo "== starting coordinator + 2 workers on 127.0.0.1:$PORT =="
 # Short lease TTL so the kill -9'd worker's lease re-queues within the
 # smoke budget instead of the 30s default.
-"$BIN" -coordinator "127.0.0.1:$PORT" -journal "$TMP/jobs" -token "$TOKEN" \
+"$BIN" -coordinator "127.0.0.1:$PORT" -store "$TMP/jobs" -token "$TOKEN" \
     -lease-ttl 3s >"$TMP/coord.log" 2>&1 &
-PIDS="$PIDS $!"
+COORD=$!
+PIDS="$PIDS $COORD"
 "$BIN" -worker -join "http://127.0.0.1:$PORT" -token "$TOKEN" >"$TMP/w1.log" 2>&1 &
 W1=$!
 PIDS="$PIDS $W1"
@@ -68,8 +72,8 @@ SUBMIT=$!
 PIDS="$PIDS $SUBMIT"
 
 dump_logs() {
-    cat "$TMP/submit.log" "$TMP/coord.log" "$TMP/w1.log" "$TMP/w2.log" \
-        "$TMP/w3.log" 2>/dev/null >&2 || true
+    cat "$TMP/submit.log" "$TMP/coord.log" "$TMP/coord2.log" "$TMP/w1.log" \
+        "$TMP/w2.log" "$TMP/w3.log" 2>/dev/null >&2 || true
 }
 
 # wait_points N: block until the SSE consumer has logged >= N completed
@@ -115,6 +119,24 @@ echo "== scraping /metrics mid-sweep (coordinator + worker 2) =="
     exit 1
 }
 echo "   both expositions parse; lease + point series are live"
+
+echo "== chaos: kill -9 the coordinator mid-sweep (store replay) =="
+kill -9 "$COORD" 2>/dev/null || true
+"$BIN" -coordinator "127.0.0.1:$PORT" -store "$TMP/jobs" -token "$TOKEN" \
+    -lease-ttl 3s >"$TMP/coord2.log" 2>&1 &
+PIDS="$PIDS $!"
+# The replacement coordinator must replay the job from the store index:
+# every already-completed point restores as a cpr_store hit instead of
+# going back to the fleet. promcheck's retries double as the
+# wait-until-restarted loop.
+"$GO" run ./cmd/promcheck -url "http://127.0.0.1:$PORT/metrics" -token "$TOKEN" \
+    -retries 100 \
+    -require cpr_store_hits_total || {
+    echo "restarted coordinator reported no store hits (points re-leased instead of restored?)" >&2
+    dump_logs
+    exit 1
+}
+echo "   coordinator replaced; stored points restored as store hits"
 
 echo "== chaos: kill -TERM worker 2 (graceful drain) =="
 kill -TERM "$W2" 2>/dev/null || true
@@ -170,4 +192,4 @@ if ! diff -u "$TMP/direct.out" "$TMP/dist.out"; then
     echo "distributed table differs from the single-engine table" >&2
     exit 1
 fi
-echo "== smoke-dist OK: table byte-identical to single engine despite worker kill, drain and replacement =="
+echo "== smoke-dist OK: table byte-identical to single engine despite worker kill, coordinator kill -9 + store replay, drain and replacement =="
