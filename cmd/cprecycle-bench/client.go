@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/sweep"
 	"repro/internal/sweep/dist"
 )
@@ -54,14 +55,13 @@ func (c *submitClient) request(method, path string, body io.Reader, headers ...s
 	return c.http.Do(req)
 }
 
-// fail decodes the server's {"error": …} body into an error.
+// fail decodes the server's {"error":{"code","message"}} envelope into
+// an error (see internal/api).
 func fail(resp *http.Response) error {
 	defer resp.Body.Close()
-	var e struct {
-		Error string `json:"error"`
-	}
-	if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
-		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, e.Error)
+	var e api.ErrorBody
+	if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Error.Message != "" {
+		return fmt.Errorf("HTTP %d (%s): %s", resp.StatusCode, e.Error.Code, e.Error.Message)
 	}
 	return fmt.Errorf("HTTP %d", resp.StatusCode)
 }
@@ -213,19 +213,33 @@ func (c *submitClient) showStatus() error {
 	return nil
 }
 
-// listWorkers prints the coordinator's worker registry (-fleet).
+// listWorkers prints the coordinator's worker registry (-fleet),
+// following the listing's pagination cursor until it is exhausted.
 func (c *submitClient) listWorkers() error {
-	resp, err := c.request(http.MethodGet, "/v1/dist/workers", nil)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fail(resp)
-	}
 	var infos []dist.WorkerInfo
-	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
-		return fmt.Errorf("decoding worker list: %w", err)
+	cursor := ""
+	for {
+		path := "/v1/dist/workers"
+		if cursor != "" {
+			path += "?cursor=" + cursor
+		}
+		resp, err := c.request(http.MethodGet, path, nil)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fail(resp)
+		}
+		var page api.List[dist.WorkerInfo]
+		err = json.NewDecoder(resp.Body).Decode(&page)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("decoding worker list: %w", err)
+		}
+		infos = append(infos, page.Items...)
+		if cursor = page.NextCursor; cursor == "" {
+			break
+		}
 	}
 	if len(infos) == 0 {
 		fmt.Println("no registered workers")

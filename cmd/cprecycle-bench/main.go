@@ -52,6 +52,28 @@
 //	$ cprecycle-bench -experiment fig8 -packets 2000 -store results/
 //	                                        # finished points restore, rest resume
 //
+// -store-max-bytes N puts the store on a size budget: when a Put pushes
+// it past N bytes, whole least-recently-hit segments are evicted (LRU by
+// last store hit, cpr_store_evicted_* counters) — except segments whose
+// records a live job still references, which are pinned until the job
+// settles. An evicted point simply recomputes on its next sweep; a
+// stored sweep whose points were evicted reports the exact gaps on its
+// history table endpoint instead of fabricating a table.
+//
+// Every run against a store is also recorded in a results-history index
+// (history.jsonl beside the segments): experiment, plan fingerprint,
+// normalised spec, pool identity and submission time. The read-only
+// GET /v1/history/* endpoints above answer from this index plus the
+// store's in-memory key index — listing past sweeps, re-assembling any
+// fully-stored sweep into its exact table without re-running a packet,
+// and diffing two sweeps point-by-point. History quickstart:
+//
+//	$ cprecycle-bench -serve :8080 -store results/
+//	$ curl :8080/v1/history/experiments
+//	$ curl :8080/v1/history/sweeps?experiment=fig8
+//	$ curl :8080/v1/history/sweeps/$FP/table      # byte-identical to the live run
+//	$ curl ':8080/v1/history/diff?a=FP1&b=FP2'    # per-point tally deltas
+//
 // Migrating from pre-store versions: point -store at the old -journal
 // directory. Any legacy JSON-lines journals (*.jsonl) found there are
 // imported into the store once and renamed *.jsonl.migrated; unparsable
@@ -61,10 +83,15 @@
 // Serve mode (-serve ADDR) exposes an in-process engine over HTTP;
 // coordinator mode (-coordinator ADDR) serves the identical client API
 // but executes nothing itself, handing point-range leases to -worker
-// processes instead:
+// processes instead. The complete /v1 surface (jobs + history + worker
+// tier + observability — the history and dist endpoints appear only on
+// servers run with -store / -coordinator respectively):
 //
-//	POST   /v1/jobs        submit a sweep.Spec (JSON body) → {"id":"j1",…}
-//	GET    /v1/jobs        list all jobs' progress
+//	POST   /v1/jobs        submit a sweep.Spec (JSON body) → 202 {"id":"j1",…}
+//	GET    /v1/jobs        jobs' progress, newest-submitted first;
+//	                       ?limit= & ?cursor= paginate ({"items":[…],
+//	                       "next_cursor":"…"}; an exhausted listing has
+//	                       no next_cursor)
 //	GET    /v1/jobs/{id}   one job's progress
 //	GET    /v1/jobs/{id}/table   the rendered table (202 while running)
 //	GET    /v1/jobs/{id}/events  SSE stream: one "point" event per
@@ -75,18 +102,54 @@
 //	                             reconnect presenting Last-Event-ID
 //	                             resumes after that seq instead of
 //	                             replaying every completed point
-//	DELETE /v1/jobs/{id}   cancel if running, and remove from the backend
+//	DELETE /v1/jobs/{id}   cancel-vs-purge: a running job is cancelled
+//	                       and removed (200); a finished job is a
+//	                       recorded result, so removing it demands an
+//	                       explicit ?purge=1 — without it the request is
+//	                       refused with 409; unknown ids 404
 //	GET    /v1/experiments list accepted experiment ids
+//
+//	GET    /v1/history/experiments       per-experiment history: distinct
+//	                                     sweeps, total runs, the latest
+//	                                     plan fingerprint
+//	GET    /v1/history/sweeps            recorded sweeps, newest first;
+//	                                     ?experiment= ?fingerprint=
+//	                                     ?since=UNIX ?until=UNIX filter,
+//	                                     ?limit=/?cursor= paginate
+//	GET    /v1/history/sweeps/{fp}/table the stored sweep re-assembled
+//	                                     into its table without re-running
+//	                                     a packet — byte-identical to the
+//	                                     live /v1/jobs/{id}/table output;
+//	                                     409 names the exact missing
+//	                                     point indices when the store
+//	                                     holds only part of the sweep
+//	GET    /v1/history/diff?a=FP&b=FP    per-point tally deltas between
+//	                                     two recorded sweeps (points
+//	                                     matched by identity; mismatched
+//	                                     point sets reported explicitly
+//	                                     as only_a/only_b)
+//
+//	POST   /v1/dist/register             join secret → worker token
+//	POST   /v1/dist/lease                long-poll for a point-range lease
+//	POST   /v1/dist/result | /heartbeat | /deregister   worker data plane
+//	GET    /v1/dist/workers              registry, newest first, paginated
+//	POST   /v1/dist/workers/{id}/drain | /revoke        fleet admin
+//	GET    /v1/dist/events               fleet lifecycle SSE stream
+//
 //	GET    /v1/status      one-shot JSON dashboard: mode, uptime, runtime
 //	                       stats, job summary, fleet stats (coordinator)
 //	                       and a flat dump of every registered metric
 //	GET    /metrics        Prometheus text exposition (0.0.4)
 //	GET    /debug/pprof/   live profiling (heap, profile, trace, …)
 //
-// The spec JSON mirrors sweep.Spec: {"experiment":"fig8","packets":2000,
-// "psdu_bytes":400,"seed":1,"axis":[…],"receivers":[…],"mcs":[…],
-// "pool":true}. Specs never name server-side paths; durability comes
-// from the server's own -store flag in both serve and coordinator mode.
+// Every endpoint answers failures with one envelope —
+// {"error":{"code":"not_found","message":"no job \"j9\""}}, Content-Type
+// application/json — with stable snake_case codes derived from the HTTP
+// status (see internal/api). The spec JSON mirrors sweep.Spec:
+// {"experiment":"fig8","packets":2000,"psdu_bytes":400,"seed":1,
+// "axis":[…],"receivers":[…],"mcs":[…],"pool":true}. Specs never name
+// server-side paths; durability comes from the server's own -store flag
+// in both serve and coordinator mode.
 //
 // # Distributed mode
 //
@@ -177,8 +240,10 @@
 // coordinator's fleet view (workers by state, in-flight leases, queue
 // depth, the adaptive lease estimate, expiry/re-queue/revocation
 // counters, SSE subscriber gauges), cpr_store_* for the result store
-// (hits, misses, dedupes, late_accepts and corrupt_records counters)
-// and cpr_dist_worker_* for a
+// (hits, misses, dedupes, late_accepts, corrupt_records and the
+// evicted_segments/records/bytes GC counters), cpr_history_* for the
+// results-history index (runs recorded, queries, table re-assemblies,
+// diffs) and cpr_dist_worker_* for a
 // worker's own lease/poll/retry/re-registration counters. Workers have
 // no API address of their own, so -obs ADDR starts a metrics side
 // server on the worker:
@@ -213,6 +278,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/sweep"
 	"repro/internal/sweep/dist"
+	"repro/internal/sweep/history"
 	"repro/internal/sweep/store"
 )
 
@@ -261,6 +327,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "engine worker goroutines; 0 = GOMAXPROCS")
 		shardPk  = flag.Int("shard", 0, "packets per engine shard; 0 = default")
 		storeDir = flag.String("store", "", "content-addressed result store directory: sweep experiments checkpoint per-point tallies here and resume from them; legacy *.jsonl journals found in the directory are migrated once")
+		storeMax = flag.Int64("store-max-bytes", 0, "result store size budget in bytes: when Puts push the store past it, least-recently-hit segments are evicted (records pinned by live jobs are never evicted); 0 = unlimited")
 		serve    = flag.String("serve", "", "serve the sweep engine over HTTP on this address instead of running experiments")
 
 		coordAddr = flag.String("coordinator", "", "serve a distributed sweep coordinator on this address (no local compute; workers join with -worker -join)")
@@ -319,18 +386,25 @@ func main() {
 
 	if *coordAddr != "" {
 		c, err := dist.New(dist.Config{
-			LeasePoints: *leasePts,
-			LeaseTarget: *leaseTgt,
-			LeaseTTL:    *leaseTTL,
-			PoolSize:    *poolSize,
-			PoolSeed:    *seed,
-			StoreDir:    *storeDir,
-			Token:       *token,
-			Log:         lg,
+			LeasePoints:   *leasePts,
+			LeaseTarget:   *leaseTgt,
+			LeaseTTL:      *leaseTTL,
+			PoolSize:      *poolSize,
+			PoolSeed:      *seed,
+			StoreDir:      *storeDir,
+			StoreMaxBytes: *storeMax,
+			Token:         *token,
+			Log:           lg,
 		})
 		if err == nil {
 			defer c.Close()
-			err = runCoordinator(*coordAddr, *token, c)
+			var hist *history.Index
+			if *storeDir != "" {
+				hist, err = openHistory(*storeDir)
+			}
+			if err == nil {
+				err = runCoordinator(*coordAddr, *token, c, hist)
+			}
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -423,12 +497,17 @@ func main() {
 		return
 	}
 
+	var st *store.Store
+	var hist *history.Index
 	if *storeDir != "" {
 		if *direct {
 			fmt.Fprintln(os.Stderr, "-store requires the engine path; drop -direct")
 			os.Exit(1)
 		}
-		st, err := openStore(*storeDir)
+		var err error
+		if st, err = openStore(*storeDir, *storeMax); err == nil {
+			hist, err = openHistory(*storeDir)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -439,7 +518,7 @@ func main() {
 	if *serve != "" {
 		eng := sweep.New(engCfg)
 		defer eng.Close()
-		if err := runServe(*serve, *token, eng); err != nil {
+		if err := runServe(*serve, *token, eng, hist, st); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -478,6 +557,10 @@ func main() {
 			}
 			var job *sweep.Job
 			if job, err = eng.Submit(context.Background(), spec); err == nil {
+				if hist != nil {
+					size, pseed := eng.PoolIdentity()
+					recordHistory(hist, spec, size, pseed)
+				}
 				var res *sweep.Result
 				if res, err = job.Wait(context.Background()); err == nil {
 					tb = res.Table
@@ -518,8 +601,9 @@ func main() {
 
 // openStore opens (creating if needed) the result store at dir and runs
 // the one-shot migration of any legacy *.jsonl journals found there.
-func openStore(dir string) (*store.Store, error) {
-	st, stats, err := store.Open(dir, store.Options{})
+// maxBytes > 0 arms the store's LRU segment eviction.
+func openStore(dir string, maxBytes int64) (*store.Store, error) {
+	st, stats, err := store.Open(dir, store.Options{MaxBytes: maxBytes})
 	if err != nil {
 		return nil, err
 	}
@@ -538,4 +622,17 @@ func openStore(dir string) (*store.Store, error) {
 		lg.Warn("unparsable legacy journal left in place", "journal", s)
 	}
 	return st, nil
+}
+
+// openHistory opens the results-history index sidecar in the store
+// directory (creating it if absent).
+func openHistory(dir string) (*history.Index, error) {
+	hist, skipped, err := history.Open(dir, history.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if skipped > 0 {
+		lg.Warn("history index salvaged past damage", "dir", dir, "skipped_lines", skipped)
+	}
+	return hist, nil
 }

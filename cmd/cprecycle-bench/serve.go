@@ -9,9 +9,12 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/experiments"
 	"repro/internal/sweep"
 	"repro/internal/sweep/dist"
+	"repro/internal/sweep/history"
+	"repro/internal/sweep/store"
 )
 
 // The client-facing HTTP API is identical in both serve modes — a local
@@ -36,13 +39,23 @@ type serveBackend interface {
 	Status() statusSnapshot
 }
 
-// engineBackend adapts the in-process sweep engine.
-type engineBackend struct{ eng *sweep.Engine }
+// engineBackend adapts the in-process sweep engine. hist, when the
+// server has a store, records every accepted submission in the results
+// history index.
+type engineBackend struct {
+	eng  *sweep.Engine
+	hist *history.Index
+}
 
 func (b engineBackend) SubmitSpec(spec sweep.Spec) (serveJob, error) {
 	// Jobs outlive the submitting request: they are cancelled via DELETE,
 	// not by the connection closing.
-	return asJob(b.eng.Submit(context.Background(), spec))
+	j, err := asJob(b.eng.Submit(context.Background(), spec))
+	if err == nil {
+		size, seed := b.eng.PoolIdentity()
+		recordHistory(b.hist, spec, size, seed)
+	}
+	return j, err
 }
 func (b engineBackend) LookupJob(id string) (serveJob, bool) {
 	j := b.eng.Job(id)
@@ -60,9 +73,19 @@ func (b engineBackend) RemoveJob(id string) bool { return b.eng.Remove(id) }
 func (b engineBackend) Status() statusSnapshot   { return newStatus("engine", b.ListJobs()) }
 
 // coordBackend adapts the distributed coordinator.
-type coordBackend struct{ c *dist.Coordinator }
+type coordBackend struct {
+	c    *dist.Coordinator
+	hist *history.Index
+}
 
-func (b coordBackend) SubmitSpec(spec sweep.Spec) (serveJob, error) { return asJob(b.c.Submit(spec)) }
+func (b coordBackend) SubmitSpec(spec sweep.Spec) (serveJob, error) {
+	j, err := asJob(b.c.Submit(spec))
+	if err == nil {
+		size, seed := b.c.PoolIdentity()
+		recordHistory(b.hist, spec, size, seed)
+	}
+	return j, err
+}
 func (b coordBackend) LookupJob(id string) (serveJob, bool) {
 	j := b.c.Job(id)
 	return j, j != nil
@@ -93,28 +116,46 @@ func asJob[J serveJob](j J, err error) (serveJob, error) {
 	return j, nil
 }
 
-// writeJSON writes one JSON response; encoding errors (the client went
-// away mid-body, a marshalling bug) are logged, not dropped.
+// recordHistory notes an accepted submission in the results-history
+// index, when the server has one. Recording failures are logged, never
+// surfaced: history is an observability sidecar, not part of the submit
+// contract.
+func recordHistory(hist *history.Index, spec sweep.Spec, poolSize int, poolSeed int64) {
+	if hist == nil {
+		return
+	}
+	if _, err := hist.Record(spec, poolSize, poolSeed, time.Now()); err != nil {
+		lg.Warn("recording sweep history", "err", err)
+	}
+}
+
+// writeJSON writes one JSON response via the shared api helpers;
+// encoding errors (the client went away mid-body, a marshalling bug) are
+// logged, not dropped.
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
+	if err := api.WriteJSON(w, status, v); err != nil {
 		lg.Warn("writing response", "err", err)
 	}
 }
 
+// writeErr answers with the shared /v1 error envelope
+// ({"error":{"code","message"}}).
 func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	api.Error(w, status, err)
 }
 
-// apiMux builds the client API over a backend. Extra metric collectors
-// (e.g. a coordinator's fleet gauges) are appended to /metrics.
-func apiMux(b serveBackend, extras ...func(io.Writer)) *http.ServeMux {
+// apiMux builds the client API over a backend. hist, when non-nil,
+// mounts the read-only GET /v1/history/* query surface (history.Handler)
+// alongside the jobs API. Extra metric collectors (e.g. a coordinator's
+// fleet gauges) are appended to /metrics.
+func apiMux(b serveBackend, hist http.Handler, extras ...func(io.Writer)) *http.ServeMux {
 	mux := http.NewServeMux()
 
 	obsRoutes(mux, b.Status, extras...)
+
+	if hist != nil {
+		mux.Handle("/v1/history/", hist)
+	}
 
 	mux.HandleFunc("GET /v1/experiments", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, experiments.SweepExperiments())
@@ -140,13 +181,21 @@ func apiMux(b serveBackend, extras ...func(io.Writer)) *http.ServeMux {
 		writeJSON(w, http.StatusAccepted, job.Progress())
 	})
 
+	// Newest-submitted first, limit/cursor paginated: a long-running
+	// service's job table can be large, and the recent jobs are the ones
+	// dashboards ask for.
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		jobs := b.ListJobs()
-		out := make([]sweep.Progress, 0, len(jobs))
-		for _, j := range jobs {
-			out = append(out, j.Progress())
+		p, err := api.ParsePage(r, 100, 1000)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
 		}
-		writeJSON(w, http.StatusOK, out)
+		jobs := b.ListJobs() // submission order
+		out := make([]sweep.Progress, 0, len(jobs))
+		for i := len(jobs) - 1; i >= 0; i-- {
+			out = append(out, jobs[i].Progress())
+		}
+		writeJSON(w, http.StatusOK, api.Paginate(out, p))
 	})
 
 	jobFor := func(w http.ResponseWriter, r *http.Request) (serveJob, bool) {
@@ -274,14 +323,23 @@ func apiMux(b serveBackend, extras ...func(io.Writer)) *http.ServeMux {
 		}
 	})
 
-	// DELETE cancels a running job and removes it from the backend either
-	// way, so a long-running service's job table can be pruned.
+	// DELETE is cancel for running jobs and purge for finished ones, and
+	// the two are kept distinct: cancelling a running job is always
+	// allowed (it stops work), but a terminal job is a recorded result
+	// and removing it must be an explicit ?purge=1 opt-in — without it
+	// the request answers 409 so an automated cancel sweeping a job
+	// table never silently discards finished results.
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		j, ok := jobFor(w, r)
 		if !ok {
 			return
 		}
 		p := j.Progress()
+		if p.State != "running" && r.URL.Query().Get("purge") != "1" {
+			api.ErrorCode(w, http.StatusConflict, "conflict", fmt.Sprintf(
+				"job %s is %s: DELETE cancels running jobs; add ?purge=1 to remove a finished one", p.ID, p.State))
+			return
+		}
 		b.RemoveJob(p.ID)
 		writeJSON(w, http.StatusOK, j.Progress())
 	})
@@ -299,9 +357,20 @@ func listen(addr string, h http.Handler, what string) error {
 	return srv.ListenAndServe()
 }
 
-// runServe exposes an in-process sweep engine over the client API.
-func runServe(addr, token string, eng *sweep.Engine) error {
-	return listen(addr, dist.BearerAuth(token, apiMux(engineBackend{eng})), "sweep engine")
+// historyHandler builds the /v1/history surface when both halves exist;
+// a store-less server simply has no history to serve.
+func historyHandler(hist *history.Index, st *store.Store) http.Handler {
+	if hist == nil || st == nil {
+		return nil
+	}
+	return history.Handler(hist, st)
+}
+
+// runServe exposes an in-process sweep engine over the client API. hist
+// (nil without -store) adds the results-history query surface.
+func runServe(addr, token string, eng *sweep.Engine, hist *history.Index, st *store.Store) error {
+	h := apiMux(engineBackend{eng: eng, hist: hist}, historyHandler(hist, st))
+	return listen(addr, dist.BearerAuth(token, h), "sweep engine")
 }
 
 // runCoordinator exposes a distributed coordinator: the client API plus
@@ -309,9 +378,10 @@ func runServe(addr, token string, eng *sweep.Engine) error {
 // whole; the worker tier runs its own two-tier auth (join secret on
 // registration and admin/fleet endpoints, per-worker minted tokens on
 // the long-polling data plane) so it must NOT sit behind BearerAuth.
-func runCoordinator(addr, token string, c *dist.Coordinator) error {
+func runCoordinator(addr, token string, c *dist.Coordinator, hist *history.Index) error {
 	root := http.NewServeMux()
 	root.Handle("/v1/dist/", c.Handler())
-	root.Handle("/", dist.BearerAuth(token, apiMux(coordBackend{c}, c.WritePrometheus)))
+	h := apiMux(coordBackend{c: c, hist: hist}, historyHandler(hist, c.Store()), c.WritePrometheus)
+	root.Handle("/", dist.BearerAuth(token, h))
 	return listen(addr, root, "sweep coordinator")
 }

@@ -22,7 +22,7 @@ import (
 func TestServeAPI(t *testing.T) {
 	eng := sweep.New(sweep.Config{Workers: 2, ShardPackets: 2})
 	defer eng.Close()
-	srv := httptest.NewServer(dist.BearerAuth("tok", apiMux(engineBackend{eng})))
+	srv := httptest.NewServer(dist.BearerAuth("tok", apiMux(engineBackend{eng: eng}, nil)))
 	defer srv.Close()
 
 	get := func(path, token string) *http.Response {
@@ -150,7 +150,7 @@ func TestServeAPI(t *testing.T) {
 func TestServeSSELastEventID(t *testing.T) {
 	eng := sweep.New(sweep.Config{Workers: 2, ShardPackets: 2})
 	defer eng.Close()
-	srv := httptest.NewServer(apiMux(engineBackend{eng}))
+	srv := httptest.NewServer(apiMux(engineBackend{eng: eng}, nil))
 	defer srv.Close()
 
 	req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/jobs",
@@ -249,7 +249,7 @@ func TestServeSSELastEventID(t *testing.T) {
 func TestServeMetricsAndStatus(t *testing.T) {
 	eng := sweep.New(sweep.Config{Workers: 2, ShardPackets: 2})
 	defer eng.Close()
-	mux := apiMux(engineBackend{eng})
+	mux := apiMux(engineBackend{eng: eng}, nil)
 
 	job, err := eng.Submit(context.Background(), sweep.Spec{
 		Experiment: "fig8", Packets: 2, PSDUBytes: 60, Seed: 3, Axis: []float64{-10},
@@ -312,7 +312,7 @@ func TestServeCoordinatorStatusHasFleet(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	s := coordBackend{c}.Status()
+	s := coordBackend{c: c}.Status()
 	if s.Mode != "coordinator" {
 		t.Errorf("status mode %q, want coordinator", s.Mode)
 	}
@@ -355,7 +355,7 @@ func (w *sseFailFlushWriter) FlushError() error {
 func TestServeSSEStopsOnFlushError(t *testing.T) {
 	eng := sweep.New(sweep.Config{Workers: 2, ShardPackets: 2})
 	defer eng.Close()
-	mux := apiMux(engineBackend{eng})
+	mux := apiMux(engineBackend{eng: eng}, nil)
 
 	job, err := eng.Submit(context.Background(), sweep.Spec{
 		Experiment: "fig8", Packets: 2, PSDUBytes: 60, Seed: 3, Axis: []float64{-10, -20},

@@ -63,7 +63,17 @@
 // resume through a content-addressed result store (internal/sweep/store:
 // bit-packed CRC-guarded records keyed by plan fingerprint, pool
 // identity and point identity; torn tails and corrupt records salvage
-// every intact prefix record).
+// every intact prefix record). The store can run on a size budget
+// (-store-max-bytes): least-recently-hit segments are evicted whole,
+// never touching records a live job has pinned. A results-history index
+// (internal/sweep/history) records every sweep submitted against a
+// store — experiment, plan fingerprint, spec, pool identity, run times
+// — and serves the read-only GET /v1/history/* query surface: past
+// sweeps listed and filtered, any fully-stored sweep re-assembled into
+// its byte-identical table without re-running a packet, and two sweeps
+// diffed point-by-point from stored tallies alone. The HTTP plumbing
+// every /v1 tier shares — the {"error":{"code","message"}} envelope,
+// bearer auth, limit/cursor pagination — lives in internal/api.
 //
 // The service scales across processes and machines through
 // internal/sweep/dist: a coordinator decomposes each job into point-range

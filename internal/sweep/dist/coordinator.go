@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/experiments"
 	"repro/internal/sweep"
 	"repro/internal/sweep/store"
@@ -63,6 +64,11 @@ type Config struct {
 	StoreDir string
 	// StoreNoSync skips the store's fsyncs (tests/benches only).
 	StoreNoSync bool
+	// StoreMaxBytes bounds the store's segment bytes (0 = unbounded):
+	// past it, least-recently-hit segments are evicted — except those
+	// holding points of live jobs, which stay pinned until the job
+	// finishes. Wired from -store-max-bytes.
+	StoreMaxBytes int64
 	// Token is the fleet join secret: required (as "Authorization:
 	// Bearer <Token>") on registration and on admin calls. Data-plane
 	// calls authenticate with the per-worker token minted at
@@ -207,7 +213,7 @@ func New(cfg Config) (*Coordinator, error) {
 		fleetSubs: make(map[int]chan FleetEvent),
 	}
 	if cfg.StoreDir != "" {
-		st, stats, err := store.Open(cfg.StoreDir, store.Options{NoSync: cfg.StoreNoSync})
+		st, stats, err := store.Open(cfg.StoreDir, store.Options{NoSync: cfg.StoreNoSync, MaxBytes: cfg.StoreMaxBytes})
 		if err != nil {
 			return nil, err
 		}
@@ -231,6 +237,17 @@ func New(cfg Config) (*Coordinator, error) {
 		}
 	}
 	return c, nil
+}
+
+// Store returns the coordinator's content-addressed result store (nil
+// when not durable) — the history surface queries it read-only.
+func (c *Coordinator) Store() *store.Store { return c.store }
+
+// PoolIdentity returns the pool size and seed the coordinator keys
+// stored results under — what history recording and store lookups
+// outside the coordinator must use to reproduce its keys.
+func (c *Coordinator) PoolIdentity() (size int, seed int64) {
+	return c.cfg.PoolSize, c.cfg.PoolSeed
 }
 
 // Close ends the fleet event stream and stops accepting work. Pending
@@ -382,6 +399,9 @@ func (c *Coordinator) newJob(spec sweep.Spec) (*Job, error) {
 	}
 	if c.store != nil {
 		j.keys = sweep.PlanKeys(plan, spec.Pool, c.cfg.PoolSize, c.cfg.PoolSeed)
+		// Pin the job's key set so the MaxBytes GC cannot collect records
+		// a live job still references; released when the job finishes.
+		j.unpin = c.store.Pin(j.keys...)
 	}
 	j.rebuildPending()
 	return j, nil
@@ -398,6 +418,9 @@ func (c *Coordinator) Submit(spec sweep.Spec) (*Job, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
+		if j.unpin != nil {
+			j.unpin()
+		}
 		return nil, fmt.Errorf("dist: coordinator is closed")
 	}
 	c.nextID++
@@ -868,8 +891,9 @@ type Job struct {
 	// single point until then).
 	estPerPoint float64
 	// keys are the per-point content-address store keys (nil when the
-	// coordinator is not durable).
+	// coordinator is not durable); unpin releases their eviction pins.
 	keys     []store.Key
+	unpin    func()
 	events   []sweep.PointEvent
 	subs     map[int]chan sweep.PointEvent
 	nextSub  int
@@ -1100,7 +1124,7 @@ func (j *Job) markDoneLocked(idx int, p sweep.PointTally, persist bool) bool {
 	j.donePoints++
 	if persist && j.coord.store != nil {
 		rec := store.Record{Key: j.keys[idx], Tally: store.Tally{N: pt.n, OK: pt.ok}}
-		if err := j.coord.store.Put(rec); err != nil {
+		if err := j.coord.store.Put(time.Now(), rec); err != nil {
 			j.failLocked(fmt.Errorf("dist: store put: %w", err))
 			return true
 		}
@@ -1130,6 +1154,7 @@ func (j *Job) absorbStoreLocked(countMisses bool) int {
 		return 0
 	}
 	restored := 0
+	now := time.Now()
 	for i := range j.points {
 		if j.points[i].done {
 			continue
@@ -1142,6 +1167,7 @@ func (j *Job) absorbStoreLocked(countMisses bool) int {
 			continue
 		}
 		store.Hits.Inc()
+		st.Touch(j.keys[i], now)
 		j.markDoneLocked(i, sweep.PointTally{Point: i, N: t.N, OK: t.OK}, false)
 		j.restored++
 		restored++
@@ -1296,6 +1322,9 @@ func (j *Job) finalizeLocked() {
 	j.table = table
 	j.results = results
 	j.elapsed = time.Since(j.start)
+	if j.unpin != nil {
+		j.unpin()
+	}
 	j.closeSubsLocked()
 	j.coord.emit(FleetEvent{Type: "job-done", Job: j.ID, Points: len(j.points)})
 	close(j.done)
@@ -1309,6 +1338,9 @@ func (j *Job) failLocked(err error) {
 	j.finished = true
 	j.err = err
 	j.elapsed = time.Since(j.start)
+	if j.unpin != nil {
+		j.unpin()
+	}
 	j.dropLeasesLocked()
 	j.closeSubsLocked()
 	j.coord.emit(FleetEvent{Type: "job-failed", Job: j.ID, Detail: err.Error()})
@@ -1423,9 +1455,7 @@ func (j *Job) Progress() sweep.Progress {
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	writeJSON := func(w http.ResponseWriter, status int, v any) {
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(status)
-		if err := json.NewEncoder(w).Encode(v); err != nil {
+		if err := api.WriteJSON(w, status, v); err != nil {
 			c.log.Warn("writing response", "err", err)
 		}
 	}
@@ -1433,7 +1463,7 @@ func (c *Coordinator) Handler() http.Handler {
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(v); err != nil {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			api.Error(w, http.StatusBadRequest, err)
 			return false
 		}
 		return true
@@ -1444,11 +1474,11 @@ func (c *Coordinator) Handler() http.Handler {
 			ws, status := c.authWorker(r)
 			if status != http.StatusOK {
 				w.Header().Set("WWW-Authenticate", `Bearer realm="cprecycle-dist"`)
-				msg := "unknown worker token (re-register)"
+				code, msg := "unauthorized", "unknown worker token (re-register)"
 				if status == http.StatusForbidden {
-					msg = "worker revoked"
+					code, msg = "forbidden", "worker revoked"
 				}
-				writeJSON(w, status, map[string]string{"error": msg})
+				api.ErrorCode(w, status, code, msg)
 				return
 			}
 			h(ws, w, r)
@@ -1459,15 +1489,7 @@ func (c *Coordinator) Handler() http.Handler {
 		if c.cfg.Token == "" {
 			return h
 		}
-		want := []byte("Bearer " + c.cfg.Token)
-		return func(w http.ResponseWriter, r *http.Request) {
-			if subtle.ConstantTimeCompare([]byte(r.Header.Get("Authorization")), want) != 1 {
-				w.Header().Set("WWW-Authenticate", `Bearer realm="cprecycle"`)
-				http.Error(w, "unauthorized", http.StatusUnauthorized)
-				return
-			}
-			h(w, r)
-		}
+		return api.BearerAuth(c.cfg.Token, h).ServeHTTP
 	}
 
 	mux.HandleFunc("POST /v1/dist/register", admin(func(w http.ResponseWriter, r *http.Request) {
@@ -1477,7 +1499,7 @@ func (c *Coordinator) Handler() http.Handler {
 		}
 		_, resp, err := c.registerWorker(req.Worker)
 		if err != nil {
-			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			api.Error(w, http.StatusInternalServerError, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
@@ -1520,7 +1542,7 @@ func (c *Coordinator) Handler() http.Handler {
 			return
 		}
 		if err := j.result(res); err != nil {
-			writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+			api.Error(w, http.StatusConflict, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -1533,7 +1555,7 @@ func (c *Coordinator) Handler() http.Handler {
 		}
 		j := c.jobForLease(hb.Lease)
 		if j == nil || !j.heartbeat(hb, time.Now()) {
-			writeJSON(w, http.StatusGone, map[string]string{"error": "lease revoked"})
+			api.ErrorCode(w, http.StatusGone, "gone", "lease revoked")
 			return
 		}
 		draining, _ := c.workerDirective(ws)
@@ -1546,12 +1568,23 @@ func (c *Coordinator) Handler() http.Handler {
 	}))
 
 	mux.HandleFunc("GET /v1/dist/workers", admin(func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, c.WorkerInfos())
+		page, err := api.ParsePage(r, 100, 1000)
+		if err != nil {
+			api.Error(w, http.StatusBadRequest, err)
+			return
+		}
+		// Newest-first, like /v1/jobs: the workers that just joined are
+		// the ones an operator is usually looking for.
+		infos := c.WorkerInfos()
+		for i, jj := 0, len(infos)-1; i < jj; i, jj = i+1, jj-1 {
+			infos[i], infos[jj] = infos[jj], infos[i]
+		}
+		writeJSON(w, http.StatusOK, api.Paginate(infos, page))
 	}))
 
 	mux.HandleFunc("POST /v1/dist/workers/{id}/drain", admin(func(w http.ResponseWriter, r *http.Request) {
 		if !c.DrainWorker(r.PathValue("id")) {
-			writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such worker"})
+			api.ErrorCode(w, http.StatusNotFound, "not_found", "no such worker")
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "draining"})
@@ -1559,7 +1592,7 @@ func (c *Coordinator) Handler() http.Handler {
 
 	mux.HandleFunc("POST /v1/dist/workers/{id}/revoke", admin(func(w http.ResponseWriter, r *http.Request) {
 		if !c.RevokeWorker(r.PathValue("id")) {
-			writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such worker"})
+			api.ErrorCode(w, http.StatusNotFound, "not_found", "no such worker")
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "revoked"})
@@ -1572,19 +1605,9 @@ func (c *Coordinator) Handler() http.Handler {
 
 // BearerAuth wraps h so every request must carry
 // "Authorization: Bearer <token>". An empty token disables the check
-// (for localhost experimentation; production coordinators set one). The
-// comparison is constant-time.
+// (for localhost experimentation; production coordinators set one).
+// Kept as a thin alias over internal/api so existing callers keep
+// working; failures answer with the standard JSON error envelope.
 func BearerAuth(token string, h http.Handler) http.Handler {
-	if token == "" {
-		return h
-	}
-	want := []byte("Bearer " + token)
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if subtle.ConstantTimeCompare([]byte(r.Header.Get("Authorization")), want) != 1 {
-			w.Header().Set("WWW-Authenticate", `Bearer realm="cprecycle"`)
-			http.Error(w, "unauthorized", http.StatusUnauthorized)
-			return
-		}
-		h.ServeHTTP(w, r)
-	})
+	return api.BearerAuth(token, h)
 }

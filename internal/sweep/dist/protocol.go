@@ -140,10 +140,14 @@ import "repro/internal/sweep"
 //	POST /v1/dist/result      LeaseResult  → 200 (idempotent)
 //	POST /v1/dist/heartbeat   Heartbeat    → 200 HeartbeatResponse, or 410 when the lease was re-issued
 //	POST /v1/dist/deregister  → 200 (live leases re-queued immediately)
-//	GET  /v1/dist/workers     → 200 []WorkerInfo                       (join-secret auth)
+//	GET  /v1/dist/workers     → 200 {"items":[WorkerInfo…],"next_cursor":…}, newest first (join-secret auth)
 //	POST /v1/dist/workers/{id}/drain    → 200                          (join-secret auth)
 //	POST /v1/dist/workers/{id}/revoke   → 200                          (join-secret auth)
 //	GET  /v1/dist/events      fleet-wide SSE stream (Last-Event-ID resume, join-secret auth)
+//
+// Failures answer with the shared /v1 envelope
+// ({"error":{"code","message"}}, internal/api); workers key on the
+// status codes alone (401 re-register, 403 revoked, 410 lease gone).
 //
 // Data-plane calls (lease, result, heartbeat, deregister) authenticate
 // with the per-worker token minted by register; 401 = unknown token

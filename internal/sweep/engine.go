@@ -91,6 +91,13 @@ func New(cfg Config) *Engine {
 // Pool returns the engine's shared waveform pool.
 func (e *Engine) Pool() *wifi.WaveformPool { return e.pool }
 
+// PoolIdentity returns the pool size and seed the engine keys stored
+// results under (post-defaults) — what history recording and store
+// lookups outside the engine must use to reproduce its keys.
+func (e *Engine) PoolIdentity() (size int, seed int64) {
+	return e.cfg.PoolSize, e.cfg.PoolSeed
+}
+
 // Close stops the workers, cancelling any running jobs first.
 func (e *Engine) Close() {
 	e.mu.Lock()
@@ -226,6 +233,11 @@ func (e *Engine) submit(ctx context.Context, spec Spec, subset []int) (*Job, err
 	if st := e.cfg.Store; st != nil {
 		j.store = st
 		j.keys = PlanKeys(plan, spec.Pool, e.cfg.PoolSize, e.cfg.PoolSeed)
+		// Pin the job's full key set for its lifetime: the MaxBytes GC
+		// must never collect a record this job may still restore from or
+		// has just written. Released in fail/finalize.
+		j.unpin = st.Pin(j.keys...)
+		now := time.Now()
 		for _, idx := range active {
 			ps := j.points[idx]
 			t, ok := st.Get(j.keys[idx])
@@ -241,6 +253,7 @@ func (e *Engine) submit(ctx context.Context, spec Spec, subset []int) (*Job, err
 				continue
 			}
 			store.Hits.Inc()
+			st.Touch(j.keys[idx], now)
 			ps.ok = t.OK
 			ps.n = t.N
 			ps.done = true
@@ -373,6 +386,7 @@ type Job struct {
 	cancel context.CancelFunc
 	store  *store.Store
 	keys   []store.Key
+	unpin  func()
 	start  time.Time
 
 	totalPackets   int64
@@ -522,7 +536,7 @@ func (j *Job) completeShard(point int, counts []int, n int, err error) {
 		return
 	}
 	if j.store != nil {
-		if err := j.store.Put(store.Record{Key: j.keys[point], Tally: store.Tally{N: nTotal, OK: okCopy}}); err != nil {
+		if err := j.store.Put(time.Now(), store.Record{Key: j.keys[point], Tally: store.Tally{N: nTotal, OK: okCopy}}); err != nil {
 			j.fail(err)
 			return
 		}
@@ -544,6 +558,9 @@ func (j *Job) fail(err error) {
 		j.err = err
 		j.elapsed = time.Since(j.start)
 		j.closeSubs()
+		if j.unpin != nil {
+			j.unpin()
+		}
 	}
 	j.mu.Unlock()
 	if already {
@@ -587,6 +604,9 @@ func (j *Job) finalize() {
 	j.results = results
 	j.elapsed = time.Since(j.start)
 	j.closeSubs()
+	if j.unpin != nil {
+		j.unpin()
+	}
 	j.mu.Unlock()
 	if err != nil {
 		jobsFailed.Inc()

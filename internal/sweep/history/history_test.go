@@ -1,0 +1,368 @@
+package history
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/experiments"
+	"repro/internal/sweep"
+	"repro/internal/sweep/store"
+)
+
+// testNow mirrors the store tests: the index takes time from callers,
+// never from time.Now.
+var testNow = time.Unix(1700000000, 0)
+
+// smallSpec is a cheap two-point sweep: planning it draws no waveforms,
+// so tests stay fast even though the experiment is real.
+func smallSpec() sweep.Spec {
+	return sweep.Spec{Experiment: "fig5", Packets: 8, PSDUBytes: 40, Seed: 3, Axis: []float64{0, 5}}
+}
+
+func openAll(t *testing.T) (*Index, *store.Store, string) {
+	t.Helper()
+	dir := t.TempDir()
+	ix, skipped, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("fresh index skipped %d lines", skipped)
+	}
+	st, _, err := store.Open(dir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, st, dir
+}
+
+// fillStore Puts a deterministic synthetic tally for every point of fp's
+// plan, exactly shaped to the plan, and returns the tallies.
+func fillStore(t *testing.T, ix *Index, st *store.Store, fp string) [][]experiments.PSRPoint {
+	t.Helper()
+	pi, err := ix.planFor(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([][]experiments.PSRPoint, len(pi.plan.Points))
+	for i, key := range pi.keys {
+		cfg := pi.plan.Points[i].Cfg
+		ok := make([]int, len(cfg.Receivers))
+		pts := make([]experiments.PSRPoint, len(cfg.Receivers))
+		for a := range ok {
+			ok[a] = (i + a) % (cfg.Packets + 1)
+			pts[a] = experiments.PSRPoint{Kind: cfg.Receivers[a], OK: ok[a], N: cfg.Packets}
+		}
+		if err := st.Put(testNow, store.Record{Key: key, Tally: store.Tally{N: cfg.Packets, OK: ok}}); err != nil {
+			t.Fatal(err)
+		}
+		results[i] = pts
+	}
+	return results
+}
+
+func TestRecordAggregatesAndPersists(t *testing.T) {
+	ix, _, dir := openAll(t)
+	spec := smallSpec()
+	fp, err := ix.Record(spec, 0, 0, testNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fp) != 32 {
+		t.Fatalf("fingerprint %q", fp)
+	}
+	fp2, err := ix.Record(spec, 0, 0, testNow.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp2 != fp {
+		t.Fatalf("same spec fingerprinted %s then %s", fp, fp2)
+	}
+	other := spec
+	other.Seed = 4
+	if _, err := ix.Record(other, 0, 0, testNow.Add(2*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	sweeps := ix.Sweeps(Filter{})
+	if len(sweeps) != 2 {
+		t.Fatalf("want 2 sweeps, got %+v", sweeps)
+	}
+	// Newest-first: the seed-4 sweep ran last.
+	if sweeps[0].Spec.Seed != 4 || sweeps[1].Runs != 2 {
+		t.Fatalf("order/aggregation wrong: %+v", sweeps)
+	}
+	if sweeps[1].FirstRunUnix != testNow.Unix() || sweeps[1].LastRunUnix != testNow.Add(time.Hour).Unix() {
+		t.Fatalf("run time bracket wrong: %+v", sweeps[1])
+	}
+
+	exps := ix.Experiments()
+	if len(exps) != 1 || exps[0].Experiment != "fig5" || exps[0].Sweeps != 2 || exps[0].Runs != 3 {
+		t.Fatalf("experiments summary %+v", exps)
+	}
+	if exps[0].LatestFingerprint == fp {
+		t.Fatal("latest fingerprint should be the seed-4 sweep")
+	}
+
+	// Reopen replays the sidecar identically.
+	ix2, skipped, err := Open(dir, Options{NoSync: true})
+	if err != nil || skipped != 0 {
+		t.Fatalf("reopen: %v skipped=%d", err, skipped)
+	}
+	if got := ix2.Sweeps(Filter{}); len(got) != 2 || got[1].Runs != 2 {
+		t.Fatalf("reopen lost history: %+v", got)
+	}
+}
+
+func TestOpenSalvagesTornTail(t *testing.T) {
+	ix, _, dir := openAll(t)
+	if _, err := ix.Record(smallSpec(), 0, 0, testNow); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, indexFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A crash mid-append leaves a torn final line; foreign lines may
+	// predate the format. Both must be skipped, not fatal.
+	torn := append([]byte("not json\n"), data...)
+	torn = append(torn, []byte(`{"v":1,"fp":"abc","spec"`)...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ix2, skipped, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 2 {
+		t.Fatalf("skipped=%d want 2", skipped)
+	}
+	if got := ix2.Sweeps(Filter{}); len(got) != 1 || got[0].Runs != 1 {
+		t.Fatalf("intact line lost: %+v", got)
+	}
+}
+
+func TestTableReassemblesFromStore(t *testing.T) {
+	ix, st, _ := openAll(t)
+	fp, err := ix.Record(smallSpec(), 0, 0, testNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := fillStore(t, ix, st, fp)
+
+	tb, err := ix.Table(fp, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, _ := ix.planFor(fp)
+	want, err := pi.plan.Assemble(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Render() != want.Render() {
+		t.Fatalf("stored table diverges:\n%s\nvs\n%s", tb.Render(), want.Render())
+	}
+}
+
+func TestTableReportsMissingPoints(t *testing.T) {
+	ix, st, _ := openAll(t)
+	fp, err := ix.Record(smallSpec(), 0, 0, testNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty store: every point is a gap, indices listed explicitly.
+	_, err = ix.Table(fp, st)
+	var missing *MissingPointsError
+	if !errors.As(err, &missing) {
+		t.Fatalf("err=%v", err)
+	}
+	if len(missing.Indices) != missing.Total || missing.Indices[0] != 0 {
+		t.Fatalf("missing %+v", missing)
+	}
+
+	if _, err := ix.Table("0123456789abcdef0123456789abcdef", st); !errors.Is(err, ErrUnknownFingerprint) {
+		t.Fatalf("unknown fp err=%v", err)
+	}
+}
+
+func TestDiffIdenticalSweepIsEqual(t *testing.T) {
+	ix, st, _ := openAll(t)
+	fp, err := ix.Record(smallSpec(), 0, 0, testNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillStore(t, ix, st, fp)
+	d, err := ix.CompareSweeps(fp, fp, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Equal || len(d.Points) != 0 || d.Shared == 0 {
+		t.Fatalf("self-diff not equal: %+v", d)
+	}
+}
+
+func TestDiffReportsMismatchedPointSets(t *testing.T) {
+	ix, st, _ := openAll(t)
+	a := smallSpec()
+	b := smallSpec()
+	b.Axis = []float64{5, 10} // shares the 5 point with a's {0, 5}
+	fpA, err := ix.Record(a, 0, 0, testNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpB, err := ix.Record(b, 0, 0, testNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillStore(t, ix, st, fpA)
+	fillStore(t, ix, st, fpB)
+	d, err := ix.CompareSweeps(fpA, fpB, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Equal {
+		t.Fatalf("mismatched point sets reported equal: %+v", d)
+	}
+	if len(d.OnlyA) == 0 || len(d.OnlyB) == 0 {
+		t.Fatalf("exclusive points not reported: %+v", d)
+	}
+	if d.Shared == 0 {
+		t.Fatalf("shared axis point not matched: %+v", d)
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	ix, st, _ := openAll(t)
+	fp, err := ix.Record(smallSpec(), 0, 0, testNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillStore(t, ix, st, fp)
+	srv := httptest.NewServer(Handler(ix, st))
+	defer srv.Close()
+
+	get := func(path string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, body
+	}
+
+	// Experiments summary.
+	resp, body := get("/v1/history/experiments")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("experiments: %d %s", resp.StatusCode, body)
+	}
+	var exps []ExperimentSummary
+	if err := json.Unmarshal(body, &exps); err != nil || len(exps) != 1 || exps[0].LatestFingerprint != fp {
+		t.Fatalf("experiments body %s err=%v", body, err)
+	}
+
+	// Sweeps listing, filters and pagination edges.
+	resp, body = get("/v1/history/sweeps?experiment=fig5&limit=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweeps: %d %s", resp.StatusCode, body)
+	}
+	var page api.List[Sweep]
+	if err := json.Unmarshal(body, &page); err != nil || len(page.Items) != 1 || page.NextCursor != "" {
+		t.Fatalf("sweeps page %s err=%v", body, err)
+	}
+	resp, body = get("/v1/history/sweeps?cursor=99")
+	var empty api.List[Sweep]
+	if err := json.Unmarshal(body, &empty); err != nil || len(empty.Items) != 0 {
+		t.Fatalf("cursor past end: %d %s", resp.StatusCode, body)
+	}
+	resp, body = get("/v1/history/sweeps?experiment=nope")
+	if err := json.Unmarshal(body, &empty); err != nil || len(empty.Items) != 0 {
+		t.Fatalf("filter miss: %d %s", resp.StatusCode, body)
+	}
+	if resp, body = get("/v1/history/sweeps?since=zzz"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad since: %d %s", resp.StatusCode, body)
+	}
+
+	// Table: OK, and the envelope on unknown / incomplete fingerprints.
+	resp, body = get("/v1/history/sweeps/" + fp + "/table")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(resp.Header.Get("Content-Type"), "text/plain") {
+		t.Fatalf("table: %d %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	if !strings.Contains(string(body), "==") {
+		t.Fatalf("table body does not look rendered: %q", body)
+	}
+	resp, body = get("/v1/history/sweeps/ffffffffffffffffffffffffffffffff/table")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown fp: %d %s", resp.StatusCode, body)
+	}
+	var envelope api.ErrorBody
+	if err := json.Unmarshal(body, &envelope); err != nil || envelope.Error.Code != "not_found" {
+		t.Fatalf("unknown fp envelope %s err=%v", body, err)
+	}
+
+	// Diff: equal self-diff, bad params, unknown side.
+	resp, body = get("/v1/history/diff?a=" + fp + "&b=" + fp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("diff: %d %s", resp.StatusCode, body)
+	}
+	var d Diff
+	if err := json.Unmarshal(body, &d); err != nil || !d.Equal {
+		t.Fatalf("diff body %s err=%v", body, err)
+	}
+	if resp, body = get("/v1/history/diff?a=" + fp); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("diff missing b: %d %s", resp.StatusCode, body)
+	}
+	if resp, body = get("/v1/history/diff?a=" + fp + "&b=ffffffffffffffffffffffffffffffff"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("diff unknown b: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestTableAfterEviction pins the GC interaction: an evicted point makes
+// the stored sweep partial, and the table endpoint says exactly which
+// points are gone instead of fabricating a table.
+func TestTableAfterEviction(t *testing.T) {
+	ix, _, dir := openAll(t)
+	fp, err := ix.Record(smallSpec(), 0, 0, testNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := ix.planFor(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tiny budget: each Put lands in its own segment and evicts the
+	// previous one, so only the last point survives.
+	st, _, err := store.Open(dir, store.Options{NoSync: true, MaxBytes: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, key := range pi.keys {
+		cfg := pi.plan.Points[i].Cfg
+		ok := make([]int, len(cfg.Receivers))
+		if err := st.Put(testNow.Add(time.Duration(i)*time.Second), store.Record{Key: key, Tally: store.Tally{N: cfg.Packets, OK: ok}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err = ix.Table(fp, st)
+	var missing *MissingPointsError
+	if !errors.As(err, &missing) {
+		t.Fatalf("err=%v (store bytes=%d)", err, st.Bytes())
+	}
+	if len(missing.Indices) == 0 || len(missing.Indices) >= len(pi.keys) {
+		t.Fatalf("eviction gaps %+v of %d", missing, len(pi.keys))
+	}
+}

@@ -1,0 +1,16 @@
+package history
+
+import "repro/internal/obs"
+
+// History metrics follow the repo-wide cpr_ naming scheme (see
+// internal/obs): cpr_history_* counts index writes and query traffic.
+var (
+	RunsRecorded = obs.NewCounter("cpr_history_runs_recorded_total",
+		"Sweep submissions recorded in the history index.")
+	Queries = obs.NewCounter("cpr_history_queries_total",
+		"GET /v1/history/* requests served (all endpoints).")
+	TableBuilds = obs.NewCounter("cpr_history_table_builds_total",
+		"Stored sweeps reassembled into tables without re-running.")
+	Diffs = obs.NewCounter("cpr_history_diffs_total",
+		"Point-by-point sweep diffs computed.")
+)

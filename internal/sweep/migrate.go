@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/sweep/store"
@@ -48,7 +49,7 @@ func ImportLegacyJournal(path string, st *store.Store) (int, error) {
 		}
 		recs = append(recs, store.Record{Key: keys[idx], Tally: store.Tally{N: cp.N, OK: cp.OK}})
 	}
-	if err := st.Put(recs...); err != nil {
+	if err := st.Put(time.Now(), recs...); err != nil {
 		return 0, err
 	}
 	return len(recs), nil

@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"os"
 	"testing"
 )
 
@@ -9,6 +10,8 @@ func benchRecord(i int) Record {
 	var k Key
 	k[0] = byte(i)
 	k[1] = byte(i >> 8)
+	k[2] = byte(i >> 16)
+	k[3] = byte(i >> 24)
 	return Record{Key: k, Tally: Tally{N: 2000, OK: []int{1999, 1500, 1234, 7}}}
 }
 
@@ -27,7 +30,7 @@ func BenchmarkStoreDecode(b *testing.B) {
 	b.SetBytes(int64(len(frame)))
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		n, damaged := parseSegment(append(append([]byte(nil), segMagic...), frame...), func(Record) {})
+		n, damaged := parseSegment(append(append([]byte(nil), segMagic...), frame...), func(Record, int64) {})
 		if n != 1 || damaged {
 			b.Fatalf("n=%d damaged=%v", n, damaged)
 		}
@@ -44,7 +47,7 @@ func BenchmarkStoreLookup(b *testing.B) {
 	for i := range recs {
 		recs[i] = benchRecord(i)
 	}
-	if err := s.Put(recs...); err != nil {
+	if err := s.Put(testNow, recs...); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
@@ -56,23 +59,71 @@ func BenchmarkStoreLookup(b *testing.B) {
 	}
 }
 
-func BenchmarkStorePut(b *testing.B) {
+// BenchmarkStorePutFresh measures the full fresh-record Put path: encode,
+// atomic segment write (NoSync), index and eviction bookkeeping. Its
+// predecessor (BenchmarkStorePut, retired in the PR9 trajectory) built
+// keys from only the low 16 bits of the record counter, so long runs
+// silently degenerated into measuring the duplicate no-op path — ns/op
+// swung 29x with b.N. Here every record is unique, and the store is
+// wiped outside the timer every window segments so directory growth — an
+// artefact of benchmark accumulation, not of real sweeps, which put a
+// bounded point set — never enters the measurement.
+func BenchmarkStorePutFresh(b *testing.B) {
 	for _, batch := range []int{1, 30} {
 		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
-			s, _, err := Open(b.TempDir(), Options{NoSync: true})
+			const window = 512
+			dir := b.TempDir()
+			s, _, err := Open(dir, Options{NoSync: true})
 			if err != nil {
 				b.Fatal(err)
 			}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
+				if i > 0 && i%window == 0 {
+					b.StopTimer()
+					if err := os.RemoveAll(dir); err != nil {
+						b.Fatal(err)
+					}
+					if err := os.MkdirAll(dir, 0o755); err != nil {
+						b.Fatal(err)
+					}
+					if s, _, err = Open(dir, Options{NoSync: true}); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+				}
 				recs := make([]Record, batch)
 				for j := range recs {
 					recs[j] = benchRecord(i*batch + j)
 				}
-				if err := s.Put(recs...); err != nil {
+				if err := s.Put(testNow, recs...); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkStorePutDup measures the duplicate fast path: a Put whose
+// records are all already stored must cost index lookups only — no
+// segment file, no fsync, no eviction scan.
+func BenchmarkStorePutDup(b *testing.B) {
+	s, _, err := Open(b.TempDir(), Options{NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := make([]Record, 30)
+	for j := range recs {
+		recs[j] = benchRecord(j)
+	}
+	if err := s.Put(testNow, recs...); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(testNow, recs...); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

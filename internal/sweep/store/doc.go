@@ -65,4 +65,27 @@
 // engine or fleet recomputes the missing points — deterministically, so
 // the final tables are byte-identical either way. FuzzStoreRecovery
 // pins all of this against arbitrary truncations and byte corruptions.
+//
+// # Eviction / GC
+//
+// Unbounded by default, the store accepts a byte budget
+// (Options.MaxBytes, wired from -store-max-bytes). After every Put the
+// least-recently-hit whole segments are evicted — file deleted, records
+// dropped from the index — until the store fits. "Hit" means a tally
+// actually displaced work: the same decision sites that count
+// cpr_store_hits_total call Touch, so mere index probes (Get, Locate)
+// do not refresh a segment. Segments holding any pinned key are never
+// victims: engines and coordinators Pin a job's full key set while the
+// job is live, so records a running job may restore from cannot be
+// collected under it, even if that leaves the store over budget until
+// the job finishes. Eviction is deliberately coarse (whole segments)
+// because segments are immutable and append-only; an evicted point is
+// not an error, just a future recompute (and re-Put) like any other
+// cache miss. Evictions are counted in cpr_store_evicted_segments_total,
+// cpr_store_evicted_records_total and cpr_store_evicted_bytes_total.
+//
+// The store itself never reads the wall clock — Put and Touch take the
+// caller's now, and reopened segments inherit their file mtime — so
+// eviction order is reproducible under test clocks and survives
+// restarts.
 package store

@@ -144,17 +144,19 @@ func unpackBits(p []byte, arms, width int) ([]int, error) {
 }
 
 // parseSegment scans one segment's bytes, emitting every intact record of
-// the longest valid prefix. It never panics and never emits a record that
-// failed its CRC or canonical-form checks: at the first torn or corrupt
-// frame the rest of the segment is skipped (framing beyond it cannot be
-// trusted) and damaged reports true. A file that is not a segment at all
-// (bad magic or version) emits nothing and reports damaged.
-func parseSegment(data []byte, emit func(Record)) (records int, damaged bool) {
+// the longest valid prefix along with its frame's byte offset in the
+// file. It never panics and never emits a record that failed its CRC or
+// canonical-form checks: at the first torn or corrupt frame the rest of
+// the segment is skipped (framing beyond it cannot be trusted) and
+// damaged reports true. A file that is not a segment at all (bad magic
+// or version) emits nothing and reports damaged.
+func parseSegment(data []byte, emit func(r Record, off int64)) (records int, damaged bool) {
 	if len(data) < len(segMagic) || string(data[:len(segMagic)]) != string(segMagic) {
 		return 0, true
 	}
 	rest := data[len(segMagic):]
 	for len(rest) > 0 {
+		off := int64(len(data) - len(rest))
 		plen, used := binary.Uvarint(rest)
 		if used <= 0 || plen == 0 || plen > maxPayload {
 			return records, true
@@ -172,7 +174,7 @@ func parseSegment(data []byte, emit func(Record)) (records int, damaged bool) {
 		if err != nil {
 			return records, true
 		}
-		emit(r)
+		emit(r, off)
 		records++
 		rest = rest[4+plen:]
 	}

@@ -54,7 +54,7 @@ func FuzzStoreRecovery(f *testing.F) {
 			byKey[r.Key] = r.Tally
 		}
 		var got []Record
-		parseSegment(data, func(r Record) { got = append(got, r) })
+		parseSegment(data, func(r Record, _ int64) { got = append(got, r) })
 
 		// Nothing corrupted may surface: every emitted record must be
 		// byte-identical to the original under its key.

@@ -23,4 +23,13 @@ var (
 	// Corrupt counts damaged segments skipped (in part or whole) on Open.
 	Corrupt = obs.NewCounter("cpr_store_corrupt_records_total",
 		"Store segments with torn or corrupt records skipped during recovery.")
+	// EvictedSegments counts whole segments removed by the MaxBytes GC.
+	EvictedSegments = obs.NewCounter("cpr_store_evicted_segments_total",
+		"Store segments evicted by the -store-max-bytes LRU policy.")
+	// EvictedRecords counts records dropped from the index by eviction.
+	EvictedRecords = obs.NewCounter("cpr_store_evicted_records_total",
+		"Point records dropped from the store index by segment eviction.")
+	// EvictedBytes counts segment bytes reclaimed by eviction.
+	EvictedBytes = obs.NewCounter("cpr_store_evicted_bytes_total",
+		"Segment bytes reclaimed by the -store-max-bytes LRU policy.")
 )

@@ -5,7 +5,12 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
+
+// testNow is the fixed caller-supplied clock for test Puts: the store
+// takes time from its callers, never from time.Now.
+var testNow = time.Unix(1700000000, 0)
 
 func testKey(b byte) Key {
 	var k Key
@@ -29,7 +34,7 @@ func TestPutGetRoundTrip(t *testing.T) {
 		{Key: testKey(2), Tally: Tally{N: 0, OK: []int{0}}},
 		{Key: testKey(3), Tally: Tally{N: 1, OK: []int{1, 0, 1}}},
 	}
-	if err := s.Put(recs...); err != nil {
+	if err := s.Put(testNow, recs...); err != nil {
 		t.Fatal(err)
 	}
 	for _, r := range recs {
@@ -59,10 +64,10 @@ func TestReopenRestoresIndex(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put(Record{Key: testKey(1), Tally: Tally{N: 9, OK: []int{3, 9}}}); err != nil {
+	if err := s.Put(testNow, Record{Key: testKey(1), Tally: Tally{N: 9, OK: []int{3, 9}}}); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put(Record{Key: testKey(2), Tally: Tally{N: 5, OK: []int{5}}}); err != nil {
+	if err := s.Put(testNow, Record{Key: testKey(2), Tally: Tally{N: 5, OK: []int{5}}}); err != nil {
 		t.Fatal(err)
 	}
 	s2, stats, err := Open(dir, Options{NoSync: true})
@@ -77,7 +82,7 @@ func TestReopenRestoresIndex(t *testing.T) {
 		t.Fatalf("got %+v ok=%v", got, ok)
 	}
 	// New segments after reopen must not clobber old ones.
-	if err := s2.Put(Record{Key: testKey(3), Tally: Tally{N: 1, OK: []int{0}}}); err != nil {
+	if err := s2.Put(testNow, Record{Key: testKey(3), Tally: Tally{N: 1, OK: []int{0}}}); err != nil {
 		t.Fatal(err)
 	}
 	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
@@ -93,11 +98,11 @@ func TestPutDeduplicates(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := Record{Key: testKey(7), Tally: Tally{N: 4, OK: []int{2}}}
-	if err := s.Put(r); err != nil {
+	if err := s.Put(testNow, r); err != nil {
 		t.Fatal(err)
 	}
 	// Same key again, even with a different tally: no-op, no new segment.
-	if err := s.Put(Record{Key: testKey(7), Tally: Tally{N: 8, OK: []int{8}}}); err != nil {
+	if err := s.Put(testNow, Record{Key: testKey(7), Tally: Tally{N: 8, OK: []int{8}}}); err != nil {
 		t.Fatal(err)
 	}
 	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
@@ -123,7 +128,7 @@ func TestPutRejectsInvalidTally(t *testing.T) {
 		{N: 3, OK: make([]int, maxArms+1)},
 	}
 	for i, tl := range bad {
-		if err := s.Put(Record{Key: testKey(byte(i)), Tally: tl}); err == nil {
+		if err := s.Put(testNow, Record{Key: testKey(byte(i)), Tally: tl}); err == nil {
 			t.Fatalf("tally %+v accepted", tl)
 		}
 	}
@@ -135,7 +140,7 @@ func TestTornTailSalvagesPrefix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put(
+	if err := s.Put(testNow,
 		Record{Key: testKey(1), Tally: Tally{N: 10, OK: []int{4, 10, 0}}},
 		Record{Key: testKey(2), Tally: Tally{N: 10, OK: []int{1, 2, 3}}},
 	); err != nil {
@@ -171,7 +176,7 @@ func TestBitFlipStopsSegment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put(
+	if err := s.Put(testNow,
 		Record{Key: testKey(1), Tally: Tally{N: 100, OK: []int{42}}},
 		Record{Key: testKey(2), Tally: Tally{N: 100, OK: []int{43}}},
 		Record{Key: testKey(3), Tally: Tally{N: 100, OK: []int{44}}},
@@ -217,7 +222,7 @@ func TestForeignFileSkipped(t *testing.T) {
 		t.Fatalf("stats %+v", stats)
 	}
 	// The damaged file's number is still burned for new segments.
-	if err := s.Put(Record{Key: testKey(1), Tally: Tally{N: 1, OK: []int{1}}}); err != nil {
+	if err := s.Put(testNow, Record{Key: testKey(1), Tally: Tally{N: 1, OK: []int{1}}}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "seg-00000006.seg")); err != nil {

@@ -192,4 +192,57 @@ if ! diff -u "$TMP/direct.out" "$TMP/dist.out"; then
     echo "distributed table differs from the single-engine table" >&2
     exit 1
 fi
-echo "== smoke-dist OK: table byte-identical to single engine despite worker kill, coordinator kill -9 + store replay, drain and replacement =="
+
+echo "== re-submitting the identical sweep (must complete from the store) =="
+# Content addressing makes the re-run lease-free: every point restores
+# from the store, and the table must still be byte-identical.
+# shellcheck disable=SC2086
+if ! "$BIN" -submit -join "http://127.0.0.1:$PORT" -token "$TOKEN" $SPEC_FLAGS \
+    >"$TMP/dist2.out" 2>"$TMP/submit2.log"; then
+    echo "store-replay submit failed:" >&2
+    cat "$TMP/submit2.log" >&2
+    dump_logs
+    exit 1
+fi
+if ! diff -u "$TMP/dist.out" "$TMP/dist2.out"; then
+    echo "store-replayed table differs from the first run" >&2
+    exit 1
+fi
+
+echo "== querying the results-history surface =="
+hcurl() { curl -sf -H "Authorization: Bearer $TOKEN" "http://127.0.0.1:$PORT$1"; }
+# No jq in CI: the fingerprint is a 32-hex token on its own indented
+# JSON line, extractable with sed.
+FP=$(hcurl "/v1/history/sweeps?experiment=fig8" |
+    sed -n 's/.*"fingerprint": "\([0-9a-f]\{32\}\)".*/\1/p' | head -1)
+if [ -z "$FP" ]; then
+    echo "history index has no recorded fig8 sweep" >&2
+    hcurl "/v1/history/sweeps" >&2 || true
+    dump_logs
+    exit 1
+fi
+if ! hcurl "/v1/history/sweeps/$FP/table" >"$TMP/hist.out"; then
+    echo "history table endpoint failed for $FP" >&2
+    dump_logs
+    exit 1
+fi
+if ! diff -u "$TMP/dist.out" "$TMP/hist.out"; then
+    echo "history-reassembled table differs from the live run" >&2
+    exit 1
+fi
+if ! hcurl "/v1/history/diff?a=$FP&b=$FP" | grep -q '"equal": true'; then
+    echo "self-diff of sweep $FP reported deltas:" >&2
+    hcurl "/v1/history/diff?a=$FP&b=$FP" >&2 || true
+    exit 1
+fi
+"$GO" run ./cmd/promcheck -url "http://127.0.0.1:$PORT/metrics" -token "$TOKEN" \
+    -retries 50 \
+    -require cpr_history_runs_recorded_total \
+    -require cpr_history_queries_total || {
+    echo "history metrics missing from coordinator /metrics" >&2
+    dump_logs
+    exit 1
+}
+echo "   history table byte-identical, self-diff clean, cpr_history_* live"
+
+echo "== smoke-dist OK: table byte-identical to single engine despite worker kill, coordinator kill -9 + store replay, drain and replacement; store re-run and history surface verified =="
