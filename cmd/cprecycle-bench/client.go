@@ -246,10 +246,17 @@ func (c *submitClient) listWorkers() error {
 		return nil
 	}
 	for _, wi := range infos {
-		fmt.Printf("%-4s %-20s %-9s leases=%-3d granted=%-5d age=%s idle=%s\n",
+		// prog is how long since the worker's freshest lease advanced a
+		// packet — the wedged-worker tell the supervisor's stuck detector
+		// keys on; "-" for workers holding no live lease.
+		prog := "-"
+		if wi.LastProgressSec >= 0 {
+			prog = (time.Duration(wi.LastProgressSec) * time.Second).Round(time.Second).String()
+		}
+		fmt.Printf("%-4s %-20s %-9s leases=%-3d granted=%-5d age=%-8s idle=%-8s prog=%s\n",
 			wi.ID, wi.Name, wi.State, wi.Leases, wi.Granted,
 			(time.Duration(wi.AgeSec) * time.Second).Round(time.Second),
-			(time.Duration(wi.IdleSec) * time.Second).Round(time.Second))
+			(time.Duration(wi.IdleSec) * time.Second).Round(time.Second), prog)
 	}
 	return nil
 }

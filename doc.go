@@ -101,14 +101,33 @@
 // (admin endpoint or SIGTERM, piggy-backed on heartbeat and lease
 // responses — the worker finishes its in-flight lease, deregisters, and
 // nothing is re-queued via TTL expiry) and revocation (the token dies
-// immediately, live leases re-queue, late results are refused). The
-// determinism contract — coordinator + N workers renders the
-// byte-identical table of one direct engine, including under injected
-// transport chaos, mid-sweep worker death, drain and revocation — is
-// pinned by the dist package tests and the end-to-end chaos smoke (make
-// smoke-dist). The cmd/cprecycle-bench command routes the sweep figures
+// immediately, live leases re-queue, late results are refused). Workers
+// also police their own resource budgets, self-draining when live heap
+// exceeds -mem-budget or sustained process CPU (sampled from
+// /proc/self/stat, falling back to the runtime's scheduler accounting)
+// exceeds -cpu-budget. The determinism contract — coordinator + N
+// workers renders the byte-identical table of one direct engine,
+// including under injected transport chaos, mid-sweep worker death,
+// drain and revocation — is pinned by the dist package tests and the
+// end-to-end chaos smoke (make smoke-dist).
+//
+// The fleet drives itself through internal/sweep/supervise: an
+// autoscaling supervisor — a stateless observe/decide/actuate control
+// loop over the coordinator's admin API and fleet event stream — spawns
+// and drains worker processes so the pending queue drains in a target
+// wall-clock at the observed per-point latency, replaces crashed
+// workers under jittered exponential backoff behind a crash-loop
+// circuit breaker, and detects stuck workers the TTL machinery cannot
+// see (heartbeating leases with zero point progress, registered
+// workers silent beyond the long-poll bound), draining them and
+// escalating ignored drains to revocation. Scale-down is always
+// graceful drain, never revocation; kill -9 the supervisor and a
+// successor rebuilds its world view from the registry, adopting
+// orphans instead of duplicating them. The cmd/cprecycle-bench command
+// routes the sweep figures
 // through the engine and serves both tiers over HTTP (-serve,
-// -coordinator / -worker / -submit, fleet admin via -fleet / -drain /
+// -coordinator / -worker / -submit / -supervisor, fleet admin via
+// -fleet / -drain /
 // -revoke), with per-point SSE streaming on /v1/jobs/{id}/events and a
 // fleet-wide lifecycle stream on /v1/dist/events (events carry their seq
 // as the SSE id; reconnecting consumers present Last-Event-ID and resume
@@ -125,7 +144,10 @@
 // cpr_sweep_packet_seconds) plus engine job/point counters; the
 // coordinator and worker render instance-scoped fleet series (cpr_dist_*:
 // workers by state, in-flight leases, queue depth, the adaptive lease
-// estimate, expiry/re-queue/revocation and SSE-drop counters). Every
+// estimate, oldest lease-progress age, expiry/re-queue/revocation and
+// SSE-drop counters), and the supervisor its control-loop series
+// (cpr_supervisor_*: target/live worker gauges, spawn/crash/quarantine,
+// scale-down and stuck-detection counters). Every
 // serving mode exposes GET /metrics and authenticated /debug/pprof
 // handlers, plus GET /v1/status — a one-call JSON dashboard that
 // `cprecycle-bench -fleet` renders. Logging is structured (log/slog)

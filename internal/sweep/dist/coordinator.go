@@ -634,19 +634,56 @@ func (c *Coordinator) untrackLease(workerID, leaseID string) {
 }
 
 // WorkerInfos snapshots the registry for the admin API, ordered by
-// registration.
+// registration. Each info carries the worker's point-progress age — the
+// seconds since the freshest of its live leases last advanced its
+// heartbeat packet count (−1 with no live lease) — so the -fleet
+// dashboard and the supervisor's stuck-lease detector can tell a busy
+// worker from a wedged one. The registry is snapshotted under wmu first
+// and lease progress resolved per job afterwards (j.mu must never be
+// taken under wmu).
 func (c *Coordinator) WorkerInfos() []WorkerInfo {
 	now := time.Now()
+	type leaseRef struct{ worker, lease, job string }
+	var refs []leaseRef
 	c.wmu.Lock()
-	defer c.wmu.Unlock()
 	out := make([]WorkerInfo, 0, len(c.workers))
 	for _, ws := range c.workers {
 		out = append(out, WorkerInfo{
 			ID: ws.id, Name: ws.name, State: ws.state,
 			Leases: len(ws.leases), Granted: ws.granted,
-			AgeSec:  now.Sub(ws.joined).Seconds(),
-			IdleSec: now.Sub(ws.lastSeen).Seconds(),
+			AgeSec:          now.Sub(ws.joined).Seconds(),
+			IdleSec:         now.Sub(ws.lastSeen).Seconds(),
+			LastProgressSec: -1,
 		})
+		for lid, jid := range ws.leases {
+			refs = append(refs, leaseRef{worker: ws.id, lease: lid, job: jid})
+		}
+	}
+	c.wmu.Unlock()
+	progress := make(map[string]float64, len(refs)) // worker id → min age
+	for _, ref := range refs {
+		j := c.Job(ref.job)
+		if j == nil {
+			continue
+		}
+		j.mu.Lock()
+		l, ok := j.leases[ref.lease]
+		var age float64
+		if ok {
+			age = now.Sub(l.progress).Seconds()
+		}
+		j.mu.Unlock()
+		if !ok {
+			continue
+		}
+		if cur, seen := progress[ref.worker]; !seen || age < cur {
+			progress[ref.worker] = age
+		}
+	}
+	for i := range out {
+		if age, ok := progress[out[i].ID]; ok {
+			out[i].LastProgressSec = age
+		}
 	}
 	sort.Slice(out, func(a, b int) bool { return jobSeq(out[a].ID) < jobSeq(out[b].ID) })
 	return out
@@ -864,6 +901,13 @@ type lease struct {
 	// hbPackets is the worker's last heartbeat-reported packet count,
 	// folded into Progress.DonePackets while the lease runs.
 	hbPackets int64
+	// progress is when the lease last made observable point progress: set
+	// at grant and advanced only by heartbeats whose DonePackets grew. A
+	// lease that keeps heartbeating with a frozen count — a wedged worker
+	// the TTL machinery cannot see — shows up as a growing progress age
+	// here, which WorkerInfos/Stats expose and the supervisor's
+	// stuck-lease detector acts on.
+	progress time.Time
 }
 
 // Job is one distributed sweep job. All methods are safe for concurrent
@@ -1013,11 +1057,12 @@ func (j *Job) grantLease(ws *workerState, now time.Time, activeWorkers int) *Lea
 	j.pending = j.pending[take:]
 	j.nextLease++
 	l := &lease{
-		id:      fmt.Sprintf("%s-l%d", j.ID, j.nextLease),
-		worker:  ws.id,
-		points:  points,
-		granted: now,
-		expires: now.Add(cfg.LeaseTTL),
+		id:       fmt.Sprintf("%s-l%d", j.ID, j.nextLease),
+		worker:   ws.id,
+		points:   points,
+		granted:  now,
+		expires:  now.Add(cfg.LeaseTTL),
+		progress: now,
 	}
 	j.leases[l.id] = l
 	j.coord.mu.Lock()
@@ -1086,6 +1131,7 @@ func (j *Job) heartbeat(hb Heartbeat, now time.Time) bool {
 	l.expires = now.Add(j.coord.cfg.LeaseTTL)
 	if hb.DonePackets > l.hbPackets {
 		l.hbPackets = hb.DonePackets
+		l.progress = now
 	}
 	if hb.DonePackets > 0 {
 		if avg := j.avgPacketsLocked(l); avg > 0 {
@@ -1596,6 +1642,23 @@ func (c *Coordinator) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "revoked"})
+	}))
+
+	mux.HandleFunc("GET /v1/dist/stats", admin(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Stats())
+	}))
+
+	mux.HandleFunc("POST /v1/dist/annotate", admin(func(w http.ResponseWriter, r *http.Request) {
+		var req AnnotateRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		if !strings.HasPrefix(req.Type, "supervisor-") || len(req.Type) > 64 {
+			api.ErrorCode(w, http.StatusBadRequest, "bad_request", `annotation type must start with "supervisor-"`)
+			return
+		}
+		c.emit(FleetEvent{Type: req.Type, Worker: req.Worker, Detail: req.Detail})
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	}))
 
 	mux.HandleFunc("GET /v1/dist/events", admin(c.fleetEventsHandler))

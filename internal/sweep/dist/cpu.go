@@ -1,0 +1,80 @@
+package dist
+
+import (
+	"os"
+	"runtime/metrics"
+	"strconv"
+	"strings"
+)
+
+// processCPUSeconds returns the cumulative CPU time this process has
+// consumed, in seconds, across all threads — the quantity the
+// -cpu-budget watchdog differences into a rate. Two sources, tried in
+// order:
+//
+//   - /proc/self/stat (Linux): utime + stime in clock ticks, i.e. real
+//     user+system CPU as the kernel accounts it, including cgo and
+//     syscall time. The tick rate is USER_HZ, fixed at 100 by the Linux
+//     ABI for everything exported via /proc (sysconf(_SC_CLK_TCK) — the
+//     kernel's internal HZ differs but is rescaled before export), so no
+//     cgo is needed to read it.
+//   - runtime/metrics /cpu/classes/{user,gc/total}:cpu-seconds
+//     (everywhere else): the Go scheduler's own accounting. It misses
+//     time spent in cgo or blocked syscalls, but for a pure-Go worker it
+//     tracks the kernel's number closely.
+//
+// ok=false means neither source is usable and the watchdog disarms.
+func processCPUSeconds() (float64, bool) {
+	if sec, ok := procStatCPUSeconds(); ok {
+		return sec, true
+	}
+	return runtimeCPUSeconds()
+}
+
+// userHZ is the /proc clock-tick unit (see processCPUSeconds).
+const userHZ = 100
+
+// procStatCPUSeconds parses utime+stime out of /proc/self/stat.
+func procStatCPUSeconds() (float64, bool) {
+	data, err := os.ReadFile("/proc/self/stat")
+	if err != nil {
+		return 0, false
+	}
+	// Field 2 (comm) is a parenthesised process name that may itself
+	// contain spaces and parentheses; everything after the LAST ')' is
+	// space-separated. In that remainder utime and stime are fields 12
+	// and 13 (1-indexed; fields 14 and 15 of the whole line).
+	s := string(data)
+	i := strings.LastIndexByte(s, ')')
+	if i < 0 {
+		return 0, false
+	}
+	fields := strings.Fields(s[i+1:])
+	if len(fields) < 13 {
+		return 0, false
+	}
+	utime, err1 := strconv.ParseUint(fields[11], 10, 64)
+	stime, err2 := strconv.ParseUint(fields[12], 10, 64)
+	if err1 != nil || err2 != nil {
+		return 0, false
+	}
+	return float64(utime+stime) / userHZ, true
+}
+
+// runtimeCPUSeconds sums the Go runtime's user and GC CPU accounting.
+func runtimeCPUSeconds() (float64, bool) {
+	samples := []metrics.Sample{
+		{Name: "/cpu/classes/user:cpu-seconds"},
+		{Name: "/cpu/classes/gc/total:cpu-seconds"},
+	}
+	metrics.Read(samples)
+	total := 0.0
+	any := false
+	for _, s := range samples {
+		if s.Value.Kind() == metrics.KindFloat64 {
+			total += s.Value.Float64()
+			any = true
+		}
+	}
+	return total, any
+}

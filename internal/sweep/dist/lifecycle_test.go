@@ -314,6 +314,54 @@ func TestMemBudgetSelfDrain(t *testing.T) {
 	}
 }
 
+// TestCPUBudgetSelfDrain pins the CPU watchdog the same way: a worker
+// whose injected CPU sampler reports a rate far over -cpu-budget for
+// CPUSustain consecutive checks takes the ordinary graceful-drain path,
+// and the sweep completes byte-identically on an unconstrained worker.
+func TestCPUBudgetSelfDrain(t *testing.T) {
+	spec := testSpec()
+	want := directTable(t, spec)
+	c, srv := testCoordinator(t, Config{LeasePoints: 2, LeaseTTL: 60 * time.Second})
+	j, err := c.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := 0.0
+	w, err := StartWorker(WorkerConfig{
+		Coordinator:   srv.URL,
+		Engine:        sweep.Config{Workers: 2, ShardPackets: 2},
+		Heartbeat:     50 * time.Millisecond,
+		RetryBase:     10 * time.Millisecond,
+		RetryMax:      100 * time.Millisecond,
+		CPUBudget:     0.5,
+		CPUCheckEvery: 5 * time.Millisecond,
+		CPUSustain:    2,
+		// Every sample adds 10 CPU-seconds, so the measured rate is
+		// thousands of cores against a budget of half a core.
+		CPUSample: func() (float64, bool) { cpu += 10; return cpu, true },
+		Log:       testLogger(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	select {
+	case <-w.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatal("over-CPU-budget worker never drained itself")
+	}
+	if !w.Draining() {
+		t.Fatal("worker exited without its drain flag set")
+	}
+	if infos := c.WorkerInfos(); len(infos) != 0 {
+		t.Fatalf("self-drained worker still registered: %+v", infos)
+	}
+	testWorker(t, srv.URL, "")
+	if got := waitTable(t, j); got != want {
+		t.Fatalf("table after cpu-budget drain differs from direct:\n%s\nvs\n%s", got, want)
+	}
+}
+
 // TestFleetEventStream pins the dashboard surface: the in-process
 // subscription replays history with strictly increasing sequence
 // numbers, and the SSE endpoint authenticates with the join secret and

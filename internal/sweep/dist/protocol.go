@@ -143,6 +143,8 @@ import "repro/internal/sweep"
 //	GET  /v1/dist/workers     → 200 {"items":[WorkerInfo…],"next_cursor":…}, newest first (join-secret auth)
 //	POST /v1/dist/workers/{id}/drain    → 200                          (join-secret auth)
 //	POST /v1/dist/workers/{id}/revoke   → 200                          (join-secret auth)
+//	GET  /v1/dist/stats       → 200 FleetStats                         (join-secret auth)
+//	POST /v1/dist/annotate    AnnotateRequest → 200                    (join-secret auth)
 //	GET  /v1/dist/events      fleet-wide SSE stream (Last-Event-ID resume, join-secret auth)
 //
 // Failures answer with the shared /v1 envelope
@@ -263,6 +265,24 @@ type WorkerInfo struct {
 	// worker was last heard from.
 	AgeSec  float64 `json:"age_sec"`
 	IdleSec float64 `json:"idle_sec"`
+	// LastProgressSec is the time since the freshest of the worker's live
+	// leases last advanced its heartbeat packet count (the lease grant
+	// counts as progress), or −1 when the worker holds no live lease. A
+	// worker that heartbeats dutifully while this grows is wedged — the
+	// failure mode the supervisor's stuck-lease detector keys on.
+	LastProgressSec float64 `json:"last_progress_sec"`
+}
+
+// AnnotateRequest (POST /v1/dist/annotate, join-secret auth) injects a
+// control-plane annotation into the fleet event stream. Only
+// "supervisor-" prefixed types are accepted: the supervisor uses it to
+// surface spawns, quarantines and stuck-lease actions next to the
+// coordinator's own lifecycle events, where stream consumers already
+// look.
+type AnnotateRequest struct {
+	Type   string `json:"type"`
+	Worker string `json:"worker,omitempty"`
+	Detail string `json:"detail,omitempty"`
 }
 
 // FleetEvent is one entry of the fleet-wide event stream (GET
@@ -270,7 +290,7 @@ type WorkerInfo struct {
 // milestones, sequenced for Last-Event-ID resume.
 type FleetEvent struct {
 	Seq  int    `json:"seq"`
-	Type string `json:"type"` // worker-join|worker-drain|worker-revoke|worker-leave|lease-grant|lease-expire|job-submit|job-done|job-failed
+	Type string `json:"type"` // worker-join|worker-drain|worker-revoke|worker-leave|lease-grant|lease-expire|lease-cancel|job-submit|job-done|job-failed|supervisor-*
 	// Worker is the assigned worker id (worker and lease events).
 	Worker string `json:"worker,omitempty"`
 	Job    string `json:"job,omitempty"`

@@ -2,6 +2,8 @@ package dist
 
 import (
 	"io"
+	"math"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -26,6 +28,19 @@ type FleetStats struct {
 	FleetEvents     int     `json:"fleet_events"`    // total emitted this life
 	SSESubscribers  int     `json:"sse_subscribers"` // live fleet-stream subscribers
 	SSEDropped      int64   `json:"sse_dropped"`     // subscribers dropped for falling behind
+	// OldestProgressSec is the progress age of the stalest live lease:
+	// seconds since it last advanced its heartbeat packet count (0 with no
+	// live leases). A value that keeps growing while heartbeats keep
+	// landing is the wedged-worker signature the stuck-lease detector
+	// exists for.
+	OldestProgressSec float64 `json:"oldest_progress_sec"`
+	// HeartbeatSec/LongPollSec/TTLSec echo the pacing the coordinator
+	// advertises at registration, so stream consumers (the supervisor's
+	// stuck thresholds, dashboards) can calibrate against the fleet's
+	// actual cadence instead of guessing.
+	HeartbeatSec float64 `json:"heartbeat_sec"`
+	LongPollSec  float64 `json:"long_poll_sec"`
+	TTLSec       float64 `json:"ttl_sec"`
 }
 
 // Stats assembles a FleetStats snapshot. Each job and registry lock is
@@ -39,7 +54,11 @@ func (c *Coordinator) Stats() FleetStats {
 		RequeuedPoints: c.requeuedPts.Load(),
 		Revocations:    c.revocations.Load(),
 		SSEDropped:     c.sseDropped.Load(),
+		HeartbeatSec:   c.cfg.Heartbeat.Seconds(),
+		LongPollSec:    c.cfg.LongPoll.Seconds(),
+		TTLSec:         c.cfg.LeaseTTL.Seconds(),
 	}
+	now := time.Now()
 	for _, j := range c.Jobs() {
 		j.mu.Lock()
 		switch {
@@ -49,6 +68,11 @@ func (c *Coordinator) Stats() FleetStats {
 			s.QueueDepth += len(j.pending)
 			if j.estPerPoint > s.LeaseEstSeconds {
 				s.LeaseEstSeconds = j.estPerPoint
+			}
+			for _, l := range j.leases {
+				if age := now.Sub(l.progress).Seconds(); age > s.OldestProgressSec {
+					s.OldestProgressSec = age
+				}
 			}
 		case j.err != nil:
 			s.JobsFailed++
@@ -107,10 +131,14 @@ func (c *Coordinator) WritePrometheus(w io.Writer) {
 	obs.WriteSample(w, "cpr_dist_fleet_subscribers", float64(s.SSESubscribers))
 	obs.WriteHeader(w, "cpr_dist_fleet_dropped_total", "counter", "Fleet subscribers dropped for falling behind.")
 	obs.WriteSample(w, "cpr_dist_fleet_dropped_total", float64(s.SSEDropped))
+	obs.WriteHeader(w, "cpr_dist_oldest_progress_seconds", "gauge", "Progress age of the stalest live lease (0 with none).")
+	obs.WriteSample(w, "cpr_dist_oldest_progress_seconds", s.OldestProgressSec)
 }
 
-// WorkerStats is a worker's own operational counters, served by the
-// worker's -obs endpoint alongside the engine metrics.
+// WorkerStats is a worker's own operational counters plus its current
+// lease, served by the worker's -obs endpoint (GET /v1/status) alongside
+// the engine metrics — the same one-call snapshot shape the other roles
+// expose, so the supervisor and humans probe every role uniformly.
 type WorkerStats struct {
 	Name            string `json:"name"`
 	Worker          string `json:"worker,omitempty"` // coordinator-assigned id
@@ -120,11 +148,18 @@ type WorkerStats struct {
 	Retries         int64  `json:"retries"`
 	Reregistrations int64  `json:"reregistrations"`
 	Results         int64  `json:"results"`
+	// Lease/LeaseJob name the lease currently executing (empty when the
+	// worker is idle or parked on a long-poll).
+	Lease    string `json:"lease,omitempty"`
+	LeaseJob string `json:"lease_job,omitempty"`
+	// CPUCores is the most recent process CPU rate sample in cores
+	// (0 until the -cpu-budget watchdog has taken two samples).
+	CPUCores float64 `json:"cpu_cores,omitempty"`
 }
 
 // Stats snapshots the worker's counters.
 func (w *Worker) Stats() WorkerStats {
-	return WorkerStats{
+	s := WorkerStats{
 		Name:            w.cfg.ID,
 		Worker:          w.WorkerID(),
 		Draining:        w.drain.Load(),
@@ -133,7 +168,12 @@ func (w *Worker) Stats() WorkerStats {
 		Retries:         w.retries.Load(),
 		Reregistrations: w.reregs.Load(),
 		Results:         w.results.Load(),
+		CPUCores:        math.Float64frombits(w.cpuRate.Load()),
 	}
+	if cur, ok := w.curLease.Load().(curLease); ok {
+		s.Lease, s.LeaseJob = cur.lease, cur.job
+	}
+	return s
 }
 
 // WritePrometheus renders the worker's counters as cpr_dist_worker_*
@@ -156,4 +196,12 @@ func (w *Worker) WritePrometheus(out io.Writer) {
 		v = 1
 	}
 	obs.WriteSample(out, "cpr_dist_worker_draining", v)
+	obs.WriteHeader(out, "cpr_dist_worker_lease_inflight", "gauge", "1 while a lease is executing locally.")
+	inflight := 0.0
+	if s.Lease != "" {
+		inflight = 1
+	}
+	obs.WriteSample(out, "cpr_dist_worker_lease_inflight", inflight)
+	obs.WriteHeader(out, "cpr_dist_worker_cpu_cores", "gauge", "Most recent process CPU rate sample (cores; 0 until sampled).")
+	obs.WriteSample(out, "cpr_dist_worker_cpu_cores", s.CPUCores)
 }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
@@ -56,6 +57,26 @@ type WorkerConfig struct {
 	// MemCheckEvery is the heap sampling interval for MemBudget
 	// (default 2s; tests shorten it).
 	MemCheckEvery time.Duration
+	// CPUBudget, when positive, is a self-imposed CPU ceiling in cores —
+	// the -mem-budget twin. The worker samples its cumulative process CPU
+	// time (from /proc/self/stat where available, falling back to
+	// runtime/metrics CPU classes) every CPUCheckEvery, and triggers the
+	// same graceful drain as MemBudget once the measured rate stays over
+	// budget for CPUSustain consecutive samples. Sustained, not
+	// instantaneous: a single busy sampling window (a lease warming its
+	// waveform pool, a GC burst) must not cost the fleet a worker. Zero
+	// disables the watchdog.
+	CPUBudget float64
+	// CPUCheckEvery is the CPU sampling interval for CPUBudget (default
+	// 2s; tests shorten it).
+	CPUCheckEvery time.Duration
+	// CPUSustain is how many consecutive over-budget samples trigger the
+	// drain (default 3).
+	CPUSustain int
+	// CPUSample overrides the cumulative process-CPU-seconds source
+	// (tests inject a deterministic ramp; nil uses the real process
+	// clock).
+	CPUSample func() (seconds float64, ok bool)
 	// HTTPClient overrides the default client (tests inject the
 	// httptest transport or a chaos RoundTripper; production tunes
 	// timeouts). Client-level timeouts should exceed the long-poll
@@ -95,6 +116,12 @@ func (c WorkerConfig) withDefaults() (WorkerConfig, error) {
 	if c.MemCheckEvery <= 0 {
 		c.MemCheckEvery = 2 * time.Second
 	}
+	if c.CPUCheckEvery <= 0 {
+		c.CPUCheckEvery = 2 * time.Second
+	}
+	if c.CPUSustain <= 0 {
+		c.CPUSustain = 3
+	}
 	return c, nil
 }
 
@@ -131,6 +158,10 @@ type Worker struct {
 	reregs  atomic.Int64 // transparent re-registrations after a 401
 	results atomic.Int64 // lease results delivered
 	drain   atomic.Bool
+	cpuRate atomic.Uint64 // math.Float64bits of the last CPU rate sample (cores)
+	// curLease holds a curLease naming the lease executing right now
+	// (zero value when idle) — surfaced by Stats for /v1/status.
+	curLease atomic.Value
 
 	// pollCancel interrupts a parked long-poll so a drain takes effect
 	// immediately instead of after the poll deadline.
@@ -173,6 +204,10 @@ func StartWorker(cfg WorkerConfig) (*Worker, error) {
 		w.wg.Add(1)
 		go w.memWatch()
 	}
+	if cfg.CPUBudget > 0 {
+		w.wg.Add(1)
+		go w.cpuWatch()
+	}
 	return w, nil
 }
 
@@ -203,6 +238,66 @@ func (w *Worker) memWatch() {
 			if heap > uint64(w.cfg.MemBudget) {
 				w.log.Warn("heap budget exceeded, self-draining",
 					"heap_bytes", heap, "budget_bytes", w.cfg.MemBudget)
+				w.Drain()
+				return
+			}
+		}
+	}
+}
+
+// curLease is the value stored in Worker.curLease while a lease runs.
+type curLease struct{ lease, job string }
+
+// cpuWatch enforces WorkerConfig.CPUBudget: it differences cumulative
+// process CPU seconds across CPUCheckEvery windows into a rate in cores,
+// and triggers the same graceful drain as memWatch once the rate has
+// stayed over budget for CPUSustain consecutive windows. Like the heap
+// watchdog, draining (not dying) lets the in-flight lease complete and
+// report before the worker leaves the fleet — capacity is shed before a
+// cgroup throttler or a co-tenant starves everything on the box.
+func (w *Worker) cpuWatch() {
+	defer w.wg.Done()
+	sample := w.cfg.CPUSample
+	if sample == nil {
+		sample = processCPUSeconds
+	}
+	last, ok := sample()
+	if !ok {
+		w.log.Warn("no process CPU source; -cpu-budget watchdog disabled")
+		return
+	}
+	lastAt := time.Now()
+	over := 0
+	t := time.NewTicker(w.cfg.CPUCheckEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.ctx.Done():
+			return
+		case <-t.C:
+			if w.drain.Load() {
+				return
+			}
+			cur, ok := sample()
+			if !ok {
+				return // CPU source vanished; nothing to enforce
+			}
+			now := time.Now()
+			window := now.Sub(lastAt).Seconds()
+			if window <= 0 {
+				continue
+			}
+			rate := (cur - last) / window
+			last, lastAt = cur, now
+			w.cpuRate.Store(math.Float64bits(rate))
+			if rate > w.cfg.CPUBudget {
+				over++
+			} else {
+				over = 0
+			}
+			if over >= w.cfg.CPUSustain {
+				w.log.Warn("cpu budget exceeded, self-draining",
+					"cpu_cores", rate, "budget_cores", w.cfg.CPUBudget, "sustained_samples", over)
 				w.Drain()
 				return
 			}
@@ -437,6 +532,8 @@ func (w *Worker) engineFor(l *Lease) *sweep.Engine {
 // runLease executes one lease to completion (or abandonment) and reports
 // the result.
 func (w *Worker) runLease(l *Lease) {
+	w.curLease.Store(curLease{lease: l.ID, job: l.Job})
+	defer w.curLease.Store(curLease{})
 	eng := w.engineFor(l)
 	job, err := eng.SubmitPoints(w.ctx, l.Spec, l.Points)
 	if err != nil {

@@ -1,0 +1,145 @@
+package supervise
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/api"
+	"repro/internal/sweep/dist"
+)
+
+// coordClient is the supervisor's view of the coordinator: the
+// join-secret-authenticated admin surface under /v1/dist/. Every method
+// takes a context so converge passes can carry their own deadlines and
+// Shutdown can keep working after the control loop's context died.
+type coordClient struct {
+	base  string
+	token string
+	http  *http.Client
+}
+
+func (c *coordClient) do(ctx context.Context, method, path string, body, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		payload, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		rd = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode == http.StatusOK && out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+func (c *coordClient) stats(ctx context.Context) (dist.FleetStats, error) {
+	var s dist.FleetStats
+	status, err := c.do(ctx, http.MethodGet, "/v1/dist/stats", nil, &s)
+	if err == nil && status != http.StatusOK {
+		err = fmt.Errorf("supervise: GET /v1/dist/stats: HTTP %d", status)
+	}
+	return s, err
+}
+
+// workers pages through the full registry (newest first, as served).
+func (c *coordClient) workers(ctx context.Context) ([]dist.WorkerInfo, error) {
+	var out []dist.WorkerInfo
+	cursor := ""
+	for {
+		path := "/v1/dist/workers?limit=500"
+		if cursor != "" {
+			path += "&cursor=" + cursor
+		}
+		var page api.List[dist.WorkerInfo]
+		status, err := c.do(ctx, http.MethodGet, path, nil, &page)
+		if err != nil {
+			return nil, err
+		}
+		if status != http.StatusOK {
+			return nil, fmt.Errorf("supervise: GET /v1/dist/workers: HTTP %d", status)
+		}
+		out = append(out, page.Items...)
+		if page.NextCursor == "" {
+			return out, nil
+		}
+		cursor = page.NextCursor
+	}
+}
+
+// workerAction POSTs a drain or revoke for one worker. 404 is not an
+// error to the caller: the worker left between observe and actuate,
+// which is the control loop's normal weather.
+func (c *coordClient) workerAction(ctx context.Context, id, action string) error {
+	status, err := c.do(ctx, http.MethodPost, "/v1/dist/workers/"+id+"/"+action, nil, nil)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK && status != http.StatusNotFound {
+		return fmt.Errorf("supervise: %s %s: HTTP %d", action, id, status)
+	}
+	return nil
+}
+
+// annotate injects a supervisor-* event into the fleet stream.
+// Best-effort: an annotation that cannot land must never stall the
+// control loop, so errors are returned for logging only.
+func (c *coordClient) annotate(ctx context.Context, typ, worker, detail string) error {
+	status, err := c.do(ctx, http.MethodPost, "/v1/dist/annotate",
+		dist.AnnotateRequest{Type: typ, Worker: worker, Detail: detail}, nil)
+	if err == nil && status != http.StatusOK {
+		err = fmt.Errorf("supervise: annotate: HTTP %d", status)
+	}
+	return err
+}
+
+// events opens the fleet SSE stream, resuming after lastSeq when ≥ 0
+// via Last-Event-ID. The caller owns the returned body.
+func (c *coordClient) events(ctx context.Context, lastSeq int) (io.ReadCloser, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/dist/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	if lastSeq >= 0 {
+		req.Header.Set("Last-Event-ID", strconv.Itoa(lastSeq))
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("supervise: GET /v1/dist/events: HTTP %d", resp.StatusCode)
+	}
+	return resp.Body, nil
+}

@@ -1,0 +1,113 @@
+package supervise
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+)
+
+// Spawner abstracts "start one more worker". The supervisor decides
+// when; the spawner decides how — a local process (LocalSpawner), an
+// in-process dist.Worker (the tests' fake), or anything that can be
+// started by name and observed until it exits.
+type Spawner interface {
+	// Spawn starts a worker that will join the fleet under the given
+	// self-reported name. The name is how the supervisor later matches
+	// the process against the coordinator's registry, so the spawned
+	// worker MUST register with exactly this name.
+	Spawn(name string) (Proc, error)
+}
+
+// Proc is a handle on one spawned worker's lifetime.
+type Proc interface {
+	// Done closes when the worker process has exited (for any reason).
+	Done() <-chan struct{}
+	// Err reports how it exited: nil for a clean exit, the failure
+	// otherwise. Valid only after Done is closed.
+	Err() error
+	// Kill hard-stops the worker (SIGKILL-equivalent). Idempotent; used
+	// to reap revoked workers and spawns that never register.
+	Kill()
+}
+
+// LocalSpawner starts workers as local child processes: Command plus
+// "-worker-name <name>" appended, typically the running cprecycle-bench
+// binary with -worker flags. Each worker's combined stdout/stderr goes
+// to <LogDir>/<name>.log and its pid to <LogDir>/<name>.pid (so smoke
+// tests and operators can find, kill or SIGSTOP a specific spawn).
+type LocalSpawner struct {
+	// Command is the argv to run (Command[0] is the binary). Required.
+	Command []string
+	// LogDir receives per-worker .log and .pid files; created if
+	// missing. Empty inherits the supervisor's stdout/stderr and writes
+	// no pid files.
+	LogDir string
+}
+
+func (s *LocalSpawner) Spawn(name string) (Proc, error) {
+	if len(s.Command) == 0 {
+		return nil, fmt.Errorf("supervise: LocalSpawner needs a command")
+	}
+	args := append(append([]string(nil), s.Command[1:]...), "-worker-name", name)
+	cmd := exec.Command(s.Command[0], args...)
+	var logf *os.File
+	if s.LogDir != "" {
+		if err := os.MkdirAll(s.LogDir, 0o755); err != nil {
+			return nil, fmt.Errorf("supervise: %w", err)
+		}
+		f, err := os.Create(filepath.Join(s.LogDir, name+".log"))
+		if err != nil {
+			return nil, fmt.Errorf("supervise: %w", err)
+		}
+		logf = f
+		cmd.Stdout = f
+		cmd.Stderr = f
+	} else {
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+	}
+	if err := cmd.Start(); err != nil {
+		if logf != nil {
+			logf.Close()
+		}
+		return nil, fmt.Errorf("supervise: starting worker: %w", err)
+	}
+	if s.LogDir != "" {
+		pid := []byte(strconv.Itoa(cmd.Process.Pid) + "\n")
+		_ = os.WriteFile(filepath.Join(s.LogDir, name+".pid"), pid, 0o644)
+	}
+	p := &localProc{cmd: cmd, done: make(chan struct{})}
+	go func() {
+		p.err = cmd.Wait()
+		if logf != nil {
+			logf.Close()
+		}
+		close(p.done)
+	}()
+	return p, nil
+}
+
+type localProc struct {
+	cmd  *exec.Cmd
+	done chan struct{}
+	err  error // written before done closes
+	kill sync.Once
+}
+
+func (p *localProc) Done() <-chan struct{} { return p.done }
+
+func (p *localProc) Err() error {
+	select {
+	case <-p.done:
+		return p.err
+	default:
+		return nil
+	}
+}
+
+func (p *localProc) Kill() {
+	p.kill.Do(func() { _ = p.cmd.Process.Kill() })
+}

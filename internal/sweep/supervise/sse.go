@@ -1,0 +1,33 @@
+package supervise
+
+import (
+	"bufio"
+	"io"
+	"strings"
+)
+
+// scanSSE reads a text/event-stream body line by line, calling emit for
+// each "field: value" line and emit("", "") at each blank-line event
+// boundary. It returns when the stream ends (nil on EOF, the read error
+// otherwise). Only the subset of the SSE grammar the coordinator emits
+// is handled: id, event and data fields plus comment lines (ignored).
+func scanSSE(r io.Reader, emit func(field, value string)) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			emit("", "")
+		case strings.HasPrefix(line, ":"):
+			// comment / keep-alive
+		default:
+			field, value, _ := strings.Cut(line, ":")
+			emit(field, strings.TrimPrefix(value, " "))
+		}
+	}
+	if err := sc.Err(); err != nil && err != io.EOF {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package supervise
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Worker registry states as reported by WorkerInfo.State.
+const (
+	workerActive   = "active"
+	workerDraining = "draining"
+	workerRevoked  = "revoked"
+)
+
+// Stats is a point-in-time snapshot of the supervisor's control loop.
+type Stats struct {
+	// TargetWorkers/LiveWorkers are the last converge pass's computed
+	// target and observed fleet size (registered active plus spawns not
+	// yet registered).
+	TargetWorkers int `json:"target_workers"`
+	LiveWorkers   int `json:"live_workers"`
+	// OwnedProcs is the number of processes this supervisor life spawned
+	// that are still running.
+	OwnedProcs int `json:"owned_procs"`
+	// Quarantined reports whether the crash-loop breaker is open, and
+	// QuarantineRemainingSec how long until spawning half-opens again.
+	Quarantined            bool    `json:"quarantined"`
+	QuarantineRemainingSec float64 `json:"quarantine_remaining_sec,omitempty"`
+	// RecentCrashes is the crash count inside the sliding CrashWindow.
+	RecentCrashes int `json:"recent_crashes"`
+
+	Spawns         int64 `json:"spawns"`
+	SpawnFailures  int64 `json:"spawn_failures"`
+	Crashes        int64 `json:"crashes"`
+	Quarantines    int64 `json:"quarantines"`
+	ScaleDowns     int64 `json:"scale_downs"`
+	StuckDrains    int64 `json:"stuck_drains"`
+	StuckRevokes   int64 `json:"stuck_revokes"`
+	Converges      int64 `json:"converges"`
+	ConvergeErrors int64 `json:"converge_errors"`
+	// Events counts fleet SSE events consumed from /v1/dist/events.
+	Events int64 `json:"events"`
+}
+
+// Stats snapshots the supervisor.
+func (s *Supervisor) Stats() Stats {
+	now := time.Now()
+	s.mu.Lock()
+	st := Stats{
+		TargetWorkers: s.lastTarget,
+		LiveWorkers:   s.lastLive,
+		OwnedProcs:    len(s.procs),
+	}
+	if !s.quarantinedUntil.IsZero() && now.Before(s.quarantinedUntil) {
+		st.Quarantined = true
+		st.QuarantineRemainingSec = s.quarantinedUntil.Sub(now).Seconds()
+	}
+	for _, t := range s.crashTimes {
+		if now.Sub(t) <= s.cfg.CrashWindow {
+			st.RecentCrashes++
+		}
+	}
+	s.mu.Unlock()
+	st.Spawns = s.spawns.Load()
+	st.SpawnFailures = s.spawnFailures.Load()
+	st.Crashes = s.crashes.Load()
+	st.Quarantines = s.quarantines.Load()
+	st.ScaleDowns = s.scaleDowns.Load()
+	st.StuckDrains = s.stuckDrains.Load()
+	st.StuckRevokes = s.stuckRevokes.Load()
+	st.Converges = s.converges.Load()
+	st.ConvergeErrors = s.convergeErrors.Load()
+	st.Events = s.events.Load()
+	return st
+}
+
+// WritePrometheus emits the cpr_supervisor_* families in Prometheus
+// text exposition format. Instance-scoped, like the coordinator's
+// cpr_dist_* series.
+func (s *Supervisor) WritePrometheus(w io.Writer) {
+	st := s.Stats()
+	obs.WriteHeader(w, "cpr_supervisor_target_workers", "gauge", "Worker count the last converge pass aimed for.")
+	obs.WriteSample(w, "cpr_supervisor_target_workers", float64(st.TargetWorkers))
+	obs.WriteHeader(w, "cpr_supervisor_live_workers", "gauge", "Fleet size the last converge pass observed (registered active plus pending spawns).")
+	obs.WriteSample(w, "cpr_supervisor_live_workers", float64(st.LiveWorkers))
+	obs.WriteHeader(w, "cpr_supervisor_owned_procs", "gauge", "Worker processes spawned by this supervisor life that are still running.")
+	obs.WriteSample(w, "cpr_supervisor_owned_procs", float64(st.OwnedProcs))
+	obs.WriteHeader(w, "cpr_supervisor_quarantined", "gauge", "1 while the crash-loop breaker has spawning quarantined.")
+	q := 0.0
+	if st.Quarantined {
+		q = 1
+	}
+	obs.WriteSample(w, "cpr_supervisor_quarantined", q)
+	obs.WriteHeader(w, "cpr_supervisor_recent_crashes", "gauge", "Crashes and spawn failures inside the sliding crash window.")
+	obs.WriteSample(w, "cpr_supervisor_recent_crashes", float64(st.RecentCrashes))
+
+	obs.WriteHeader(w, "cpr_supervisor_spawns_total", "counter", "Workers spawned.")
+	obs.WriteSample(w, "cpr_supervisor_spawns_total", float64(st.Spawns))
+	obs.WriteHeader(w, "cpr_supervisor_spawn_failures_total", "counter", "Spawn attempts that failed outright.")
+	obs.WriteSample(w, "cpr_supervisor_spawn_failures_total", float64(st.SpawnFailures))
+	obs.WriteHeader(w, "cpr_supervisor_crashes_total", "counter", "Unrequested worker exits and spawn failures, as fed to the crash-loop breaker.")
+	obs.WriteSample(w, "cpr_supervisor_crashes_total", float64(st.Crashes))
+	obs.WriteHeader(w, "cpr_supervisor_quarantines_total", "counter", "Times the crash-loop breaker opened.")
+	obs.WriteSample(w, "cpr_supervisor_quarantines_total", float64(st.Quarantines))
+	obs.WriteHeader(w, "cpr_supervisor_scale_downs_total", "counter", "Workers drained to shed excess capacity.")
+	obs.WriteSample(w, "cpr_supervisor_scale_downs_total", float64(st.ScaleDowns))
+	obs.WriteHeader(w, "cpr_supervisor_stuck_drains_total", "counter", "Workers drained by the stuck-lease detector.")
+	obs.WriteSample(w, "cpr_supervisor_stuck_drains_total", float64(st.StuckDrains))
+	obs.WriteHeader(w, "cpr_supervisor_stuck_revokes_total", "counter", "Stuck drains escalated to revocation.")
+	obs.WriteSample(w, "cpr_supervisor_stuck_revokes_total", float64(st.StuckRevokes))
+	obs.WriteHeader(w, "cpr_supervisor_converges_total", "counter", "Converge passes run.")
+	obs.WriteSample(w, "cpr_supervisor_converges_total", float64(st.Converges))
+	obs.WriteHeader(w, "cpr_supervisor_converge_errors_total", "counter", "Converge passes that could not observe the coordinator.")
+	obs.WriteSample(w, "cpr_supervisor_converge_errors_total", float64(st.ConvergeErrors))
+	obs.WriteHeader(w, "cpr_supervisor_events_total", "counter", "Fleet SSE events consumed.")
+	obs.WriteSample(w, "cpr_supervisor_events_total", float64(st.Events))
+}

@@ -1,0 +1,496 @@
+package supervise
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sweep"
+	"repro/internal/sweep/dist"
+)
+
+func testLogger(t *testing.T) *slog.Logger {
+	return slog.New(slog.NewTextHandler(testWriter{t}, &slog.HandlerOptions{Level: slog.LevelDebug}))
+}
+
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
+
+// testSpec mirrors the dist package's reduced fig8 sweep: six points.
+func testSpec() sweep.Spec {
+	return sweep.Spec{Experiment: "fig8", Packets: 4, PSDUBytes: 60, Seed: 3, Axis: []float64{-10, -20}}
+}
+
+func directTable(t *testing.T, spec sweep.Spec) string {
+	t.Helper()
+	req, err := spec.Request(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := experiments.NewSweepPlan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := experiments.RunSweepPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb.Render()
+}
+
+func testCoordinator(t *testing.T, cfg dist.Config) (*dist.Coordinator, *httptest.Server) {
+	t.Helper()
+	if cfg.LeaseTTL == 0 {
+		cfg.LeaseTTL = 10 * time.Second
+	}
+	cfg.Log = testLogger(t)
+	c, err := dist.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	t.Cleanup(func() { srv.Close(); c.Close() })
+	return c, srv
+}
+
+// workerSpawner spawns real in-process dist.Workers that register under
+// the supervisor-assigned name — the production shape of the fake.
+type workerSpawner struct {
+	t     *testing.T
+	url   string
+	token string
+
+	mu    sync.Mutex
+	count int
+}
+
+func (s *workerSpawner) Spawn(name string) (Proc, error) {
+	s.mu.Lock()
+	s.count++
+	s.mu.Unlock()
+	w, err := dist.StartWorker(dist.WorkerConfig{
+		Coordinator: s.url,
+		Token:       s.token,
+		ID:          name,
+		Engine:      sweep.Config{Workers: 2, ShardPackets: 2},
+		Heartbeat:   50 * time.Millisecond,
+		RetryBase:   10 * time.Millisecond,
+		RetryMax:    100 * time.Millisecond,
+		Log:         testLogger(s.t),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &workerProc{w: w}, nil
+}
+
+func (s *workerSpawner) spawned() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+type workerProc struct{ w *dist.Worker }
+
+func (p *workerProc) Done() <-chan struct{} { return p.w.Done() }
+func (p *workerProc) Err() error            { return nil }
+func (p *workerProc) Kill()                 { p.w.Close() }
+
+// crashSpawner hands out procs that have already died.
+type crashSpawner struct {
+	mu     sync.Mutex
+	spawns []time.Time
+}
+
+func (s *crashSpawner) Spawn(name string) (Proc, error) {
+	s.mu.Lock()
+	s.spawns = append(s.spawns, time.Now())
+	s.mu.Unlock()
+	done := make(chan struct{})
+	close(done)
+	return &deadProc{done: done}, nil
+}
+
+func (s *crashSpawner) times() []time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]time.Time(nil), s.spawns...)
+}
+
+type deadProc struct{ done chan struct{} }
+
+func (p *deadProc) Done() <-chan struct{} { return p.done }
+func (p *deadProc) Err() error            { return fmt.Errorf("exit status 1") }
+func (p *deadProc) Kill()                 {}
+
+func waitTable(t *testing.T, j *dist.Job) string {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	res, err := j.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Table.Render()
+}
+
+// waitUntil polls cond every few milliseconds until it holds or the
+// deadline kills the test.
+func waitUntil(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func postJSON(t *testing.T, url, token, path string, body, out any) int {
+	t.Helper()
+	payload, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url+path, bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestSupervisorScalesAndCompletes is the happy path: an empty fleet, a
+// submitted job, a supervisor that spawns workers up to its cap, the
+// sweep completing byte-identically to the direct path, and the fleet
+// scaling back to zero once idle.
+func TestSupervisorScalesAndCompletes(t *testing.T) {
+	spec := testSpec()
+	want := directTable(t, spec)
+	c, srv := testCoordinator(t, dist.Config{LeasePoints: 1, Token: "sup-secret"})
+	j, err := c.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := &workerSpawner{t: t, url: srv.URL, token: "sup-secret"}
+	s, err := Start(Config{
+		Coordinator: srv.URL,
+		Token:       "sup-secret",
+		Spawner:     sp,
+		MaxWorkers:  2,
+		Interval:    20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	if got := waitTable(t, j); got != want {
+		t.Fatalf("supervised table differs from direct:\n%s\nvs\n%s", got, want)
+	}
+	if sp.spawned() == 0 {
+		t.Fatal("supervisor completed the job without spawning anyone")
+	}
+	if sp.spawned() > 2 {
+		t.Fatalf("supervisor spawned %d workers with MaxWorkers 2", sp.spawned())
+	}
+	// Idle fleet, MinWorkers 0: every worker must be drained away.
+	waitUntil(t, 30*time.Second, "fleet to scale to zero", func() bool {
+		for _, wi := range c.WorkerInfos() {
+			if wi.State == workerActive || wi.State == workerDraining {
+				return false
+			}
+		}
+		return true
+	})
+	st := s.Stats()
+	if st.Crashes != 0 {
+		t.Fatalf("clean scale-down recorded %d crashes", st.Crashes)
+	}
+	if st.ScaleDowns == 0 {
+		t.Fatal("fleet scaled to zero without a recorded scale-down")
+	}
+}
+
+// TestSupervisorResumes is the chaos case the supervisor's
+// statelessness exists for: a supervisor killed (no shutdown, workers
+// orphaned) mid-scale-up and replaced. The successor must adopt the
+// orphan rather than duplicate it — total spawns across both lives stay
+// within the target — and the sweep still completes byte-identically.
+func TestSupervisorResumes(t *testing.T) {
+	spec := testSpec()
+	spec.Packets = 16 // stretch the job so the handover happens mid-flight
+	want := directTable(t, spec)
+	c, srv := testCoordinator(t, dist.Config{LeasePoints: 1, Token: "sup-secret"})
+	j, err := c.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp1 := &workerSpawner{t: t, url: srv.URL, token: "sup-secret"}
+	cfg := Config{
+		Coordinator: srv.URL,
+		Token:       "sup-secret",
+		MaxWorkers:  2,
+		Interval:    20 * time.Millisecond,
+	}
+	cfg.Spawner = sp1
+	s1, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the first spawn register, then kill s1 mid-scale-up: its loop
+	// stops dead but its workers are not shut down — they are now
+	// orphans, exactly the kill -9 aftermath.
+	waitUntil(t, 30*time.Second, "first worker to register", func() bool {
+		for _, wi := range c.WorkerInfos() {
+			if wi.State == workerActive {
+				return true
+			}
+		}
+		return false
+	})
+	s1.Close()
+
+	sp2 := &workerSpawner{t: t, url: srv.URL, token: "sup-secret"}
+	cfg.Spawner = sp2
+	s2, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s2.Close)
+	if got := waitTable(t, j); got != want {
+		t.Fatalf("table after supervisor handover differs from direct:\n%s\nvs\n%s", got, want)
+	}
+	// No duplicate spawns: the successor counted the orphan toward the
+	// target, so both lives together never exceeded MaxWorkers.
+	if total := sp1.spawned() + sp2.spawned(); total > 2 {
+		t.Fatalf("two supervisor lives spawned %d workers for a target capped at 2", total)
+	}
+	waitUntil(t, 30*time.Second, "successor to converge", func() bool {
+		return s2.Stats().Converges > 0 && s2.Stats().ConvergeErrors == 0
+	})
+	// The successor drains the fleet — including the adopted orphan —
+	// once idle.
+	waitUntil(t, 30*time.Second, "fleet to scale to zero", func() bool {
+		for _, wi := range c.WorkerInfos() {
+			if wi.State == workerActive || wi.State == workerDraining {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestCrashLoopQuarantine pins the circuit breaker: a spawner whose
+// workers die instantly is retried with (jittered, exponential,
+// capped) backoff exactly CrashLimit times and then quarantined — no
+// further spawns, a quarantine counter tick, and a
+// supervisor-quarantine fleet event.
+func TestCrashLoopQuarantine(t *testing.T) {
+	c, srv := testCoordinator(t, dist.Config{Token: "sup-secret"})
+	sp := &crashSpawner{}
+	base := 20 * time.Millisecond
+	s, err := Start(Config{
+		Coordinator:      srv.URL,
+		Token:            "sup-secret",
+		Spawner:          sp,
+		MinWorkers:       1, // demand without needing a job
+		MaxWorkers:       2,
+		Interval:         5 * time.Millisecond,
+		CrashLimit:       4,
+		CrashWindow:      time.Minute,
+		Quarantine:       time.Hour, // never lifts inside the test
+		SpawnBackoffBase: base,
+		SpawnBackoffMax:  80 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	waitUntil(t, 30*time.Second, "crash-loop quarantine", func() bool {
+		return s.Stats().Quarantined
+	})
+	// Quarantined means quarantined: give the loop time to misbehave,
+	// then check no spawn landed past the limit.
+	time.Sleep(20 * s.cfg.Interval)
+	st := s.Stats()
+	if st.Quarantines != 1 {
+		t.Fatalf("quarantines = %d, want 1", st.Quarantines)
+	}
+	if st.Crashes != 4 {
+		t.Fatalf("crashes = %d, want exactly CrashLimit (4)", st.Crashes)
+	}
+	times := sp.times()
+	if len(times) != 4 {
+		t.Fatalf("spawn attempts = %d, want exactly CrashLimit (4)", len(times))
+	}
+	// Backoff bounds: after n recent crashes the next spawn waits at
+	// least half of base·2^(n-1) (the jitter floor) and at most
+	// SpawnBackoffMax plus scheduling slack.
+	for i := 1; i < len(times); i++ {
+		gap := times[i].Sub(times[i-1])
+		floor := (base << (i - 1)) / 2
+		if max := 80 * time.Millisecond; floor > max/2 {
+			floor = max / 2
+		}
+		if gap < floor {
+			t.Fatalf("spawn %d→%d gap %v under backoff floor %v", i-1, i, gap, floor)
+		}
+		if gap > 5*time.Second {
+			t.Fatalf("spawn %d→%d gap %v absurdly over the 80ms cap", i-1, i, gap)
+		}
+	}
+	past, _, cancel := c.SubscribeFleet(-1)
+	cancel()
+	found := false
+	for _, ev := range past {
+		if ev.Type == "supervisor-quarantine" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no supervisor-quarantine event in the fleet stream")
+	}
+}
+
+// TestStuckDrainEscalation pins both prongs of the stuck detector
+// against hand-driven workers, with the supervisor in observe-and-heal
+// mode (no spawner):
+//
+//   - a worker that heartbeats its lease dutifully but never advances a
+//     packet is drained as wedged, and when it ignores the drain for
+//     StuckGrace the drain escalates to a revocation that re-queues its
+//     lease;
+//   - a worker that registers and then goes silent while the TTL
+//     machinery sees nothing (no lease to expire) is drained as a
+//     zombie.
+func TestStuckDrainEscalation(t *testing.T) {
+	c, srv := testCoordinator(t, dist.Config{
+		LeasePoints: 1,
+		LeaseTTL:    60 * time.Second, // TTL must NOT be what saves us
+		LongPoll:    50 * time.Millisecond,
+		Token:       "sup-secret",
+	})
+	if _, err := c.Submit(testSpec()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The wedged worker: registers, takes a lease, heartbeats forever
+	// with zero packet progress, ignoring drain directives.
+	var reg dist.RegisterResponse
+	if status := postJSON(t, srv.URL, "sup-secret", "/v1/dist/register", dist.RegisterRequest{Worker: "wedged"}, &reg); status != http.StatusOK {
+		t.Fatalf("registering wedged worker: HTTP %d", status)
+	}
+	var lease dist.LeaseResponse
+	if status := postJSON(t, srv.URL, reg.Token, "/v1/dist/lease", dist.LeaseRequest{Worker: "wedged"}, &lease); status != http.StatusOK || lease.Lease == nil {
+		t.Fatalf("wedged worker lease: HTTP %d, lease=%v", status, lease.Lease)
+	}
+	hbCtx, hbCancel := context.WithCancel(context.Background())
+	defer hbCancel()
+	revoked := make(chan struct{})
+	go func() {
+		var once sync.Once
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-tick.C:
+				var hr dist.HeartbeatResponse
+				status := postJSON(t, srv.URL, reg.Token, "/v1/dist/heartbeat",
+					dist.Heartbeat{Worker: "wedged", Lease: lease.Lease.ID, DonePackets: 0}, &hr)
+				if status == http.StatusForbidden {
+					once.Do(func() { close(revoked) })
+					return
+				}
+			}
+		}
+	}()
+
+	// The zombie: registers and is never heard from again.
+	if status := postJSON(t, srv.URL, "sup-secret", "/v1/dist/register", dist.RegisterRequest{Worker: "zombie"}, new(dist.RegisterResponse)); status != http.StatusOK {
+		t.Fatalf("registering zombie worker: HTTP %d", status)
+	}
+
+	s, err := Start(Config{
+		Coordinator: srv.URL,
+		Token:       "sup-secret",
+		Interval:    20 * time.Millisecond,
+		StuckAfter:  200 * time.Millisecond,
+		StuckGrace:  200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	state := func(name string) string {
+		for _, wi := range c.WorkerInfos() {
+			if wi.Name == name {
+				return wi.State
+			}
+		}
+		return "gone"
+	}
+	waitUntil(t, 30*time.Second, "wedged worker to be drained", func() bool {
+		return state("wedged") != workerActive
+	})
+	waitUntil(t, 30*time.Second, "wedged worker to be revoked", func() bool {
+		return state("wedged") == workerRevoked
+	})
+	select {
+	case <-revoked:
+	case <-time.After(30 * time.Second):
+		t.Fatal("revoked worker's heartbeats were never rejected with 403")
+	}
+	waitUntil(t, 30*time.Second, "zombie worker to be drained", func() bool {
+		return state("zombie") != workerActive
+	})
+	st := s.Stats()
+	if st.StuckDrains < 2 {
+		t.Fatalf("stuck drains = %d, want ≥ 2 (wedged + zombie)", st.StuckDrains)
+	}
+	if st.StuckRevokes < 1 {
+		t.Fatalf("stuck revokes = %d, want ≥ 1", st.StuckRevokes)
+	}
+	// The revocation re-queued the wedged lease; a real worker finishes
+	// the sweep.
+	past, _, cancel := c.SubscribeFleet(-1)
+	cancel()
+	var sawStuck bool
+	for _, ev := range past {
+		if ev.Type == "supervisor-stuck" {
+			sawStuck = true
+		}
+	}
+	if !sawStuck {
+		t.Fatal("no supervisor-stuck event in the fleet stream")
+	}
+}

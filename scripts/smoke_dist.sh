@@ -11,6 +11,13 @@
 # deregister and exit on its own), and join a replacement worker that
 # carries the sweep home. The streamed run's final table must still be
 # byte-identical to the single-process engine's output.
+#
+# A second leg exercises the autoscaling supervisor (-supervisor): a
+# fresh coordinator, a supervisor that must scale the fleet up from
+# nothing for a second sweep, a kill -9'd spawned worker that must be
+# replaced, and a SIGSTOPped one that must trip the stuck-lease
+# detector (drain, then revocation, then reap). The supervised sweep's
+# table must again be byte-identical to the single engine's.
 set -eu
 
 GO=${GO:-go}
@@ -124,7 +131,8 @@ echo "== chaos: kill -9 the coordinator mid-sweep (store replay) =="
 kill -9 "$COORD" 2>/dev/null || true
 "$BIN" -coordinator "127.0.0.1:$PORT" -store "$TMP/jobs" -token "$TOKEN" \
     -lease-ttl 3s >"$TMP/coord2.log" 2>&1 &
-PIDS="$PIDS $!"
+COORD2=$!
+PIDS="$PIDS $COORD2"
 # The replacement coordinator must replay the job from the store index:
 # every already-completed point restores as a cpr_store hit instead of
 # going back to the fleet. promcheck's retries double as the
@@ -143,7 +151,8 @@ kill -TERM "$W2" 2>/dev/null || true
 
 echo "== joining replacement worker =="
 "$BIN" -worker -join "http://127.0.0.1:$PORT" -token "$TOKEN" >"$TMP/w3.log" 2>&1 &
-PIDS="$PIDS $!"
+W3=$!
+PIDS="$PIDS $W3"
 
 # The drained worker must exit on its own once its in-flight lease is
 # done and it has deregistered — no second signal, no kill -9.
@@ -245,4 +254,159 @@ fi
 }
 echo "   history table byte-identical, self-diff clean, cpr_history_* live"
 
-echo "== smoke-dist OK: table byte-identical to single engine despite worker kill, coordinator kill -9 + store replay, drain and replacement; store re-run and history surface verified =="
+echo "== supervisor leg: fresh coordinator with a fast long-poll bound =="
+# Retire the manually-run fleet: the supervisor owns worker lifecycle
+# from here. The coordinator restarts with -long-poll 2s so the stuck
+# detector's idle bound (stuck-after + long-poll) is smoke-sized, with
+# -seed 2 so its pinned waveform-pool identity matches the seed-2
+# direct reference below, and with a fresh store so leg-1 manifests do
+# not replay under the new pool identity.
+kill -9 "$COORD2" "$W3" 2>/dev/null || true
+"$BIN" -coordinator "127.0.0.1:$PORT" -store "$TMP/jobs2" -token "$TOKEN" \
+    -lease-ttl 3s -long-poll 2s -seed 2 >"$TMP/coord3.log" 2>&1 &
+PIDS="$PIDS $!"
+
+SUP_OBS_PORT=$((PORT + 2))
+SPEC2_FLAGS="-experiment fig8 -packets 8 -bytes 60 -seed 2 -pool"
+
+dump_sup_logs() {
+    dump_logs
+    cat "$TMP/sup.log" "$TMP/coord3.log" "$TMP/sup"/*.log 2>/dev/null >&2 || true
+}
+
+echo "== starting supervisor (min 1, max 3, stuck-after 4s) =="
+"$BIN" -supervisor -join "http://127.0.0.1:$PORT" -token "$TOKEN" \
+    -min-workers 1 -max-workers 3 -stuck-after 4s \
+    -worker-logs "$TMP/sup" -obs "127.0.0.1:$SUP_OBS_PORT" >"$TMP/sup.log" 2>&1 &
+SUP=$!
+PIDS="$PIDS $SUP"
+"$GO" run ./cmd/promcheck -url "http://127.0.0.1:$SUP_OBS_PORT/metrics" -token "$TOKEN" \
+    -retries 150 \
+    -require cpr_supervisor_converges_total || {
+    echo "supervisor never converged" >&2
+    dump_sup_logs
+    exit 1
+}
+
+echo "== submitting second sweep (supervisor must scale up from nothing) =="
+# shellcheck disable=SC2086
+"$BIN" -submit -join "http://127.0.0.1:$PORT" -token "$TOKEN" $SPEC2_FLAGS \
+    >"$TMP/sup-dist.out" 2>"$TMP/sup-submit.log" &
+SUBMIT2=$!
+PIDS="$PIDS $SUBMIT2"
+
+# first_live_sup_pid [exclude]: newest spawned worker pid that is alive
+# and not the excluded one.
+first_live_sup_pid() {
+    for f in "$TMP/sup"/*.pid; do
+        [ -e "$f" ] || continue
+        pid=$(cat "$f")
+        [ "$pid" = "${1:-}" ] && continue
+        kill -0 "$pid" 2>/dev/null && { echo "$pid"; return 0; }
+    done
+    return 1
+}
+
+WA=""
+for _ in $(seq 1 300); do
+    WA=$(first_live_sup_pid) && break
+    sleep 0.1
+done
+if [ -z "$WA" ]; then
+    echo "supervisor never spawned a worker" >&2
+    dump_sup_logs
+    exit 1
+fi
+echo "== chaos: kill -9 spawned worker (pid $WA) — supervisor must replace it =="
+kill -9 "$WA" 2>/dev/null || true
+"$GO" run ./cmd/promcheck -url "http://127.0.0.1:$SUP_OBS_PORT/metrics" -token "$TOKEN" \
+    -retries 150 \
+    -require cpr_supervisor_crashes_total || {
+    echo "supervisor never recorded the kill -9 as a crash" >&2
+    dump_sup_logs
+    exit 1
+}
+WB=""
+for _ in $(seq 1 300); do
+    WB=$(first_live_sup_pid "$WA") && break
+    sleep 0.1
+done
+if [ -z "$WB" ]; then
+    echo "killed worker was never replaced" >&2
+    dump_sup_logs
+    exit 1
+fi
+echo "   replaced (pid $WB)"
+
+echo "== chaos: SIGSTOP worker $WB — stuck detector must drain, revoke, reap =="
+kill -STOP "$WB" 2>/dev/null || true
+# Worst case: lease TTL (3s) + idle past stuck-after+long-poll (6s) +
+# stuck grace (4s) before the revocation, then the reap. 300 promcheck
+# retries = 60s absorbs all of it.
+"$GO" run ./cmd/promcheck -url "http://127.0.0.1:$SUP_OBS_PORT/metrics" -token "$TOKEN" \
+    -retries 300 \
+    -require cpr_supervisor_spawns_total \
+    -require cpr_supervisor_stuck_drains_total \
+    -require cpr_supervisor_stuck_revokes_total || {
+    echo "stuck detector never drained+revoked the SIGSTOPped worker" >&2
+    dump_sup_logs
+    exit 1
+}
+reaped=0
+for _ in $(seq 1 300); do
+    if ! kill -0 "$WB" 2>/dev/null; then
+        reaped=1
+        break
+    fi
+    sleep 0.1
+done
+if [ "$reaped" != 1 ]; then
+    echo "revoked SIGSTOPped worker was never reaped" >&2
+    dump_sup_logs
+    exit 1
+fi
+echo "   stuck worker drained, revoked and reaped"
+
+if ! wait "$SUBMIT2"; then
+    echo "supervised submit failed:" >&2
+    dump_sup_logs
+    exit 1
+fi
+points2=$(grep -c '^point ' "$TMP/sup-submit.log" || true)
+if [ "$points2" != 30 ]; then
+    echo "expected 30 SSE point events for the supervised sweep, saw $points2:" >&2
+    cat "$TMP/sup-submit.log" >&2
+    exit 1
+fi
+
+echo "== supervised sweep vs single-process engine reference =="
+# shellcheck disable=SC2086
+"$BIN" $SPEC2_FLAGS | grep -v -e '^\[' -e '^$' >"$TMP/sup-direct.out"
+if ! diff -u "$TMP/sup-direct.out" "$TMP/sup-dist.out"; then
+    echo "supervised table differs from the single-engine table" >&2
+    exit 1
+fi
+
+echo "== SIGTERM supervisor (must drain its spawns and exit) =="
+kill -TERM "$SUP" 2>/dev/null || true
+stopped=0
+for _ in $(seq 1 600); do
+    if ! kill -0 "$SUP" 2>/dev/null; then
+        stopped=1
+        break
+    fi
+    sleep 0.1
+done
+if [ "$stopped" != 1 ]; then
+    echo "supervisor never exited after SIGTERM" >&2
+    dump_sup_logs
+    exit 1
+fi
+if leftover=$(first_live_sup_pid); then
+    echo "supervisor exited but left spawned worker $leftover running" >&2
+    dump_sup_logs
+    exit 1
+fi
+echo "   supervisor drained its fleet and exited"
+
+echo "== smoke-dist OK: table byte-identical to single engine despite worker kill, coordinator kill -9 + store replay, drain and replacement; store re-run and history surface verified; supervisor scaled, replaced a kill -9, reaped a SIGSTOP zombie, drained on SIGTERM =="
